@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Assemble bench_output.txt from per-experiment section files in
+canonical order. Used by the maintainer scripts; each section file is
+the stdout of `dune exec bench/main.exe -- <id>`."""
+
+import sys
+
+ORDER = ["fig2", "fig3", "fig4", "tab1", "tab2", "fig8", "tab3", "fig9", "micro"]
+
+
+def sections(text):
+    """Split a concatenated harness output into {id: section_text}."""
+    out = {}
+    current = None
+    buf = []
+    for line in text.splitlines(keepends=True):
+        if line.startswith("[") and "]" in line:
+            ident = line[1 : line.index("]")]
+            if ident in ORDER:
+                if current:
+                    out[current] = "".join(buf)
+                current = ident
+                buf = [line]
+                continue
+        if current:
+            buf.append(line)
+    if current:
+        out[current] = "".join(buf)
+    return out
+
+
+def main():
+    combined = {}
+    for path in sys.argv[1:-1]:
+        with open(path) as f:
+            combined.update(sections(f.read()))
+    missing = [i for i in ORDER if i not in combined]
+    if missing:
+        print(f"warning: missing sections {missing}", file=sys.stderr)
+    with open(sys.argv[-1], "w") as f:
+        f.write("Xenic reproduction harness (full mode)\n\n")
+        for ident in ORDER:
+            if ident in combined:
+                f.write(combined[ident].rstrip() + "\n\n")
+
+
+if __name__ == "__main__":
+    main()
