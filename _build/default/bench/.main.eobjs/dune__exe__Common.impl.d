@@ -1,0 +1,1 @@
+bench/common.ml: Config Engine Features List Printf Rdma_system String Sys System Xenic_cluster Xenic_params Xenic_proto Xenic_sim Xenic_stats Xenic_system Xenic_workload

@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Array Common Engine List Mailbox Process Rdma Resource Smartnic Xenic_net Xenic_nicdev Xenic_pcie Xenic_sim Xenic_stats

@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Array Common Engine List Mailbox Process Rdma Smartnic Units Xenic_net Xenic_nicdev Xenic_pcie Xenic_sim Xenic_stats

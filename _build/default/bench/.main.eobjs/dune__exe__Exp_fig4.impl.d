@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Common Engine List Process Units Xenic_pcie Xenic_sim Xenic_stats

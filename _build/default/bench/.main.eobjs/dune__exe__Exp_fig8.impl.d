@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Common Driver List Rdma_system Retwis Smallbank System Tpcc Xenic_cluster Xenic_params Xenic_proto Xenic_system Xenic_workload

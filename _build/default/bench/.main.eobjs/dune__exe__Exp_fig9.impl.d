@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Common Driver Features List Printf Rdma_system Retwis Smallbank System Xenic_cluster Xenic_proto Xenic_stats Xenic_system Xenic_workload

@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Array Bechamel Benchmark Btree Bytes Chained Common Hashtbl Hopscotch Instance Measure Robinhood Staged Test Time Toolkit Xenic_stats Xenic_store

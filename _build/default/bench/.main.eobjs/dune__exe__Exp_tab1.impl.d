@@ -1,0 +1,1 @@
+bench/exp_tab1.ml: Common List Xenic_params Xenic_stats

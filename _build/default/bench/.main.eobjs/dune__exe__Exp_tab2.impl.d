@@ -1,0 +1,1 @@
+bench/exp_tab2.ml: Array Bytes Chained Common Hopscotch List Nic_index Printf Rng Robinhood Xenic_sim Xenic_stats Xenic_store

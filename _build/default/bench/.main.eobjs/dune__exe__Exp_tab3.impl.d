@@ -1,0 +1,1 @@
+bench/exp_tab3.ml: Common Driver List Printf Rdma_system Retwis Smallbank System Tpcc Xenic_cluster Xenic_params Xenic_proto Xenic_stats Xenic_system Xenic_workload

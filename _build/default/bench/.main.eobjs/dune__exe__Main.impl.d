@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Exp_fig2 Exp_fig3 Exp_fig4 Exp_fig8 Exp_fig9 Exp_micro Exp_tab1 Exp_tab2 Exp_tab3 List Printf Sys

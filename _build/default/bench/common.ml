@@ -1,0 +1,104 @@
+(* Shared plumbing for the experiment harness. *)
+
+open Xenic_sim
+open Xenic_cluster
+open Xenic_proto
+
+let quick =
+  ref
+    (match Sys.getenv_opt "XENIC_QUICK" with
+    | Some ("0" | "false") | None -> false
+    | Some _ -> true)
+
+let scale n = if !quick then max 1 (n / 4) else n
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let hw = Xenic_params.Hw.testbed
+
+(* The paper's testbed: 6 servers, 3-way replication. *)
+let cluster_nodes = 6
+
+let replication = 3
+
+let mk_xenic ?(features = Features.full) ?(hw = hw) ?(nodes = cluster_nodes)
+    ?(params = Xenic_system.default_params) ~store_cfg () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes ~replication in
+  let segments, seg_size, d_max = store_cfg in
+  let p =
+    { params with Xenic_system.features; segments; seg_size; d_max }
+  in
+  System.of_xenic (Xenic_system.create engine hw cfg p)
+
+let mk_rdma ?(hw = hw) ?(nodes = cluster_nodes)
+    ?(params = Rdma_system.default_params) ~buckets flavor () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes ~replication in
+  let p = { params with Rdma_system.buckets } in
+  System.of_rdma (Rdma_system.create engine hw cfg flavor p)
+
+(* A latency/throughput sweep over closed-loop concurrency. *)
+type point = {
+  concurrency : int;
+  tput : float;  (* txn/s per server *)
+  median_us : float;
+  p99_us : float;
+  abort_rate : float;
+}
+
+let sweep ?(concurrencies = [ 1; 2; 4; 8; 16; 32 ]) ~target ~load ~spec mk_sys =
+  List.map
+    (fun concurrency ->
+      let sys = mk_sys () in
+      load sys;
+      let result =
+        Xenic_workload.Driver.run sys (spec sys) ~concurrency ~target
+      in
+      {
+        concurrency;
+        tput = result.Xenic_workload.Driver.tput_per_server;
+        median_us = result.Xenic_workload.Driver.median_latency_us;
+        p99_us = result.Xenic_workload.Driver.p99_latency_us;
+        abort_rate = result.Xenic_workload.Driver.abort_rate;
+      })
+    concurrencies
+
+let peak points = List.fold_left (fun acc p -> max acc p.tput) 0.0 points
+
+let min_median points =
+  List.fold_left (fun acc p -> min acc p.median_us) infinity points
+
+let print_sweep ~title series =
+  let t =
+    Xenic_stats.Table.create ~title
+      ~columns:
+        ("system"
+        :: List.concat_map
+             (fun p -> [ Printf.sprintf "c=%d tput" p.concurrency; "med us" ])
+             (snd (List.hd series)))
+  in
+  List.iter
+    (fun (name, points) ->
+      Xenic_stats.Table.add_row t
+        (name
+        :: List.concat_map
+             (fun p ->
+               [
+                 Xenic_stats.Table.cellf ~decimals:0 p.tput;
+                 Xenic_stats.Table.cellf ~decimals:1 p.median_us;
+               ])
+             points))
+    series;
+  Xenic_stats.Table.print t
+
+let print_summary ~title ~metric series =
+  let t = Xenic_stats.Table.create ~title ~columns:[ "system"; metric ] in
+  List.iter
+    (fun (name, v) ->
+      Xenic_stats.Table.add_row t [ name; Xenic_stats.Table.cellf ~decimals:1 v ])
+    series;
+  Xenic_stats.Table.print t

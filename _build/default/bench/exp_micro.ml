@@ -1,0 +1,99 @@
+(* Extra: real wall-clock microbenchmarks of the core data structures,
+   via Bechamel (one Test.make per structure/operation). *)
+
+open Bechamel
+open Toolkit
+open Xenic_store
+
+let n = 10_000
+
+let mk_robinhood () =
+  let t =
+    Robinhood.create ~segments:256 ~seg_size:64 ~d_max:(Some 8)
+      ~vsize:Bytes.length
+  in
+  let v = Bytes.create 40 in
+  for i = 0 to n - 1 do
+    ignore (Robinhood.insert t (i * 2654435761) v)
+  done;
+  t
+
+let mk_chained () =
+  let t = Chained.create ~buckets:2048 ~b:8 in
+  let v = Bytes.create 40 in
+  for i = 0 to n - 1 do
+    Chained.insert t (i * 2654435761) v
+  done;
+  t
+
+let mk_hopscotch () =
+  let t = Hopscotch.create ~capacity:16384 ~h:8 in
+  let v = Bytes.create 40 in
+  for i = 0 to n - 1 do
+    Hopscotch.insert t (i * 2654435761) v
+  done;
+  t
+
+let mk_btree () =
+  let t = Btree.create () in
+  for i = 0 to n - 1 do
+    Btree.insert t i i
+  done;
+  t
+
+let tests () =
+  let rh = mk_robinhood () in
+  let ch = mk_chained () in
+  let hs = mk_hopscotch () in
+  let bt = mk_btree () in
+  let keys = Array.init n (fun i -> i * 2654435761) in
+  let counter = ref 0 in
+  let next () =
+    counter := (!counter + 1) mod n;
+    !counter
+  in
+  let hist = Xenic_stats.Histogram.create () in
+  Test.make_grouped ~name:"stores"
+    [
+      Test.make ~name:"robinhood.find" (Staged.stage (fun () ->
+          ignore (Robinhood.find rh keys.(next ()))));
+      Test.make ~name:"chained.find" (Staged.stage (fun () ->
+          ignore (Chained.find ch keys.(next ()))));
+      Test.make ~name:"hopscotch.find" (Staged.stage (fun () ->
+          ignore (Hopscotch.find hs keys.(next ()))));
+      Test.make ~name:"btree.find" (Staged.stage (fun () ->
+          ignore (Btree.find bt (next ()))));
+      Test.make ~name:"btree.range20" (Staged.stage (fun () ->
+          let lo = next () mod (n - 30) in
+          ignore (Btree.fold_range bt ~lo ~hi:(lo + 20) ~init:0 (fun a _ _ -> a + 1))));
+      (* Batched x1000: a single record is too cheap (~30 ns) for a
+         stable OLS estimate. *)
+      Test.make ~name:"histogram.record.x1000" (Staged.stage (fun () ->
+          for v = 0 to 999 do
+            Xenic_stats.Histogram.record hist (float_of_int v)
+          done));
+    ]
+
+let run () =
+  Common.section "Microbenchmarks: real wall-clock ns/op (Bechamel)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t =
+    Xenic_stats.Table.create ~title:"Estimated cost per operation"
+      ~columns:[ "operation"; "ns/op" ]
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (x :: _) ->
+          Xenic_stats.Table.add_row t [ name; Xenic_stats.Table.cellf x ]
+      | _ -> Xenic_stats.Table.add_row t [ name; "-" ])
+    results;
+  Xenic_stats.Table.print t

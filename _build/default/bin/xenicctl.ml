@@ -1,0 +1,158 @@
+(* xenicctl: run a transaction benchmark on any of the five systems
+   with custom cluster/load parameters.
+
+     dune exec bin/xenicctl.exe -- run --system xenic --workload smallbank \
+       --nodes 6 --concurrency 16 --target 20000 *)
+
+open Cmdliner
+open Xenic_cluster
+open Xenic_proto
+open Xenic_workload
+
+type system_kind = Xenic | Drtmh | Drtmh_nc | Fasst | Drtmr | Farm
+
+let system_conv =
+  Arg.enum
+    [
+      ("xenic", Xenic);
+      ("drtmh", Drtmh);
+      ("farm", Farm);
+      ("drtmh-nc", Drtmh_nc);
+      ("fasst", Fasst);
+      ("drtmr", Drtmr);
+    ]
+
+type workload_kind = Smallbank | Retwis | Tpcc | Tpcc_no
+
+let workload_conv =
+  Arg.enum
+    [
+      ("smallbank", Smallbank);
+      ("retwis", Retwis);
+      ("tpcc", Tpcc);
+      ("tpcc-neworder", Tpcc_no);
+    ]
+
+let build_system kind ~nodes ~replication ~store_cfg ~buckets ~cache =
+  let engine = Xenic_sim.Engine.create () in
+  let cfg = Config.make ~nodes ~replication in
+  let hw = Xenic_params.Hw.testbed in
+  match kind with
+  | Xenic ->
+      let segments, seg_size, d_max = store_cfg in
+      System.of_xenic
+        (Xenic_system.create engine hw cfg
+           {
+             Xenic_system.default_params with
+             segments;
+             seg_size;
+             d_max;
+             cache_capacity = cache;
+             app_threads = 8;
+             worker_threads = 8;
+           })
+  | (Drtmh | Drtmh_nc | Fasst | Drtmr | Farm) as k ->
+      let flavor =
+        match k with
+        | Drtmh -> Rdma_system.Drtmh
+        | Drtmh_nc -> Rdma_system.Drtmh_nc
+        | Fasst -> Rdma_system.Fasst
+        | Farm -> Rdma_system.Farm
+        | _ -> Rdma_system.Drtmr
+      in
+      System.of_rdma
+        (Rdma_system.create engine hw cfg flavor
+           { Rdma_system.default_params with buckets })
+
+let run_cmd system workload nodes replication concurrency target scale seed =
+  let sb = { Smallbank.default_params with accounts_per_node = scale } in
+  let rw = { Retwis.default_params with keys_per_node = scale } in
+  let tp =
+    {
+      Tpcc.default_params with
+      warehouses_per_node = max 2 (scale / 2_500);
+      customers_per_district = 30;
+      items = max 200 (scale / 20);
+    }
+  in
+  let store_cfg, buckets, cache, load, spec =
+    match workload with
+    | Smallbank ->
+        ( Smallbank.store_cfg sb,
+          Smallbank.chained_buckets sb,
+          2 * sb.Smallbank.accounts_per_node,
+          Smallbank.load sb,
+          fun sys ->
+            Smallbank.spec sb ~nodes:sys.System.cfg.Config.nodes )
+    | Retwis ->
+        ( Retwis.store_cfg rw,
+          Retwis.chained_buckets rw,
+          rw.Retwis.keys_per_node,
+          Retwis.load rw,
+          fun sys -> Retwis.spec rw ~nodes:sys.System.cfg.Config.nodes )
+    | Tpcc ->
+        ( Tpcc.store_cfg tp,
+          Tpcc.chained_buckets tp,
+          Tpcc.hash_keys_per_shard tp,
+          Tpcc.load tp,
+          fun sys -> Tpcc.spec tp sys )
+    | Tpcc_no ->
+        let tp = { tp with Tpcc.uniform_item_partitions = true } in
+        ( Tpcc.store_cfg tp,
+          Tpcc.chained_buckets tp,
+          Tpcc.hash_keys_per_shard tp,
+          Tpcc.load tp,
+          fun sys -> Tpcc.new_order_spec tp sys )
+  in
+  let sys =
+    build_system system ~nodes ~replication ~store_cfg ~buckets ~cache
+  in
+  Printf.printf "loading %s on %s (%d nodes, rf=%d)...\n%!"
+    (match workload with
+    | Smallbank -> "smallbank"
+    | Retwis -> "retwis"
+    | Tpcc -> "tpcc"
+    | Tpcc_no -> "tpcc-neworder")
+    sys.System.name nodes replication;
+  load sys;
+  let result =
+    Driver.run ~seed:(Int64.of_int seed) sys (spec sys) ~concurrency ~target
+  in
+  Printf.printf
+    "%s: %.0f txn/s/server, median %.1fus, p99 %.1fus, abort rate %.1f%%\n"
+    sys.System.name result.Driver.tput_per_server
+    result.Driver.median_latency_us result.Driver.p99_latency_us
+    (100.0 *. result.Driver.abort_rate);
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v)
+    (Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics))
+
+let cmd =
+  let system =
+    Arg.(value & opt system_conv Xenic & info [ "system"; "s" ] ~doc:"System to run: xenic, drtmh, drtmh-nc, fasst, drtmr.")
+  in
+  let workload =
+    Arg.(value & opt workload_conv Smallbank & info [ "workload"; "w" ] ~doc:"Workload: smallbank, retwis, tpcc, tpcc-neworder.")
+  in
+  let nodes = Arg.(value & opt int 6 & info [ "nodes" ] ~doc:"Cluster size.") in
+  let replication =
+    Arg.(value & opt int 3 & info [ "replication" ] ~doc:"Copies per shard.")
+  in
+  let concurrency =
+    Arg.(value & opt int 16 & info [ "concurrency"; "c" ] ~doc:"Outstanding transactions per node.")
+  in
+  let target =
+    Arg.(value & opt int 10_000 & info [ "target"; "n" ] ~doc:"Committed-transaction target.")
+  in
+  let scale =
+    Arg.(value & opt int 20_000 & info [ "scale" ] ~doc:"Keys/accounts per node (drives TPC-C warehouses).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload RNG seed.") in
+  let term =
+    Term.(
+      const run_cmd $ system $ workload $ nodes $ replication $ concurrency
+      $ target $ scale $ seed)
+  in
+  Cmd.v (Cmd.info "xenicctl" ~doc:"Run Xenic-reproduction benchmarks") term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Config Driver Format List Smallbank System Xenic_cluster Xenic_params Xenic_proto Xenic_sim Xenic_system Xenic_workload

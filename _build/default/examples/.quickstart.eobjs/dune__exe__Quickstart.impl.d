@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Config Engine Format Keyspace List Metrics Op Printf Process System Types Xenic_cluster Xenic_params Xenic_proto Xenic_sim Xenic_stats Xenic_system

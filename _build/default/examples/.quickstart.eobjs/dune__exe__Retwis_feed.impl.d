@@ -1,0 +1,1 @@
+examples/retwis_feed.ml: Config Driver Format Metrics Rdma_system Retwis System Xenic_cluster Xenic_params Xenic_proto Xenic_sim Xenic_stats Xenic_system Xenic_workload

@@ -1,0 +1,1 @@
+examples/retwis_feed.mli:

@@ -1,0 +1,1 @@
+examples/tpcc_day.ml: Config District Driver Format Keyspace List System Tpcc Tpcc_schema Xenic_cluster Xenic_params Xenic_proto Xenic_sim Xenic_system Xenic_workload

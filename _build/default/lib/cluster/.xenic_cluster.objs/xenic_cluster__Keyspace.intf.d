@@ -1,0 +1,1 @@
+lib/cluster/keyspace.mli: Format

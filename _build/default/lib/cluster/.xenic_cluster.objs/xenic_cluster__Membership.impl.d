@@ -1,0 +1,1 @@
+lib/cluster/membership.ml: Array Config Engine List Process Xenic_sim

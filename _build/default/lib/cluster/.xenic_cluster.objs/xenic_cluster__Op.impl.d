@@ -1,0 +1,1 @@
+lib/cluster/op.ml: Bytes Format Keyspace

@@ -1,0 +1,1 @@
+lib/cluster/op.mli: Format Keyspace

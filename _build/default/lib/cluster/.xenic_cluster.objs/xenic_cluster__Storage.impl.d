@@ -1,0 +1,1 @@
+lib/cluster/storage.ml: Array Btree Bytes Config Hashtbl Keyspace List Op Option Printf Robinhood Xenic_store

@@ -1,0 +1,1 @@
+lib/cluster/storage.mli: Config Keyspace Op Xenic_store

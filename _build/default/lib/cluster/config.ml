@@ -1,0 +1,23 @@
+type t = { nodes : int; replication : int }
+
+let make ~nodes ~replication =
+  if nodes <= 0 then invalid_arg "Config.make: nodes";
+  if replication <= 0 || replication > nodes then
+    invalid_arg "Config.make: replication must be in [1, nodes]";
+  { nodes; replication }
+
+let primary t ~shard =
+  if shard < 0 || shard >= t.nodes then invalid_arg "Config.primary";
+  shard
+
+let backups t ~shard =
+  List.init (t.replication - 1) (fun i -> (shard + i + 1) mod t.nodes)
+
+let replicas t ~shard = primary t ~shard :: backups t ~shard
+
+let holds t ~shard ~node = List.mem node (replicas t ~shard)
+
+let backup_shards t ~node =
+  List.filter
+    (fun shard -> List.mem node (backups t ~shard))
+    (List.init t.nodes (fun s -> s))

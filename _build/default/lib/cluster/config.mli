@@ -1,0 +1,26 @@
+(** Cluster topology: each node is the transaction coordinator for its
+    clients, the primary replica of one database shard, and a backup
+    replica for [replication - 1] other shards (§4). *)
+
+type t = {
+  nodes : int;  (** Servers in the cluster. *)
+  replication : int;  (** Copies of each shard: 1 primary + (r-1) backups. *)
+}
+
+val make : nodes:int -> replication:int -> t
+
+(** Shard [s]'s primary is node [s]. *)
+val primary : t -> shard:int -> int
+
+(** Backups of shard [s]: the [replication - 1] nodes after the
+    primary, in ring order. *)
+val backups : t -> shard:int -> int list
+
+(** All nodes replicating shard [s] (primary first). *)
+val replicas : t -> shard:int -> int list
+
+(** Does [node] hold a copy of [shard]? *)
+val holds : t -> shard:int -> node:int -> bool
+
+(** Shards for which [node] is a backup. *)
+val backup_shards : t -> node:int -> int list

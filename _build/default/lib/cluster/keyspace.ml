@@ -1,0 +1,33 @@
+type t = int
+
+(* Layout, low to high: id:46 | table:8 | ordered:1 | shard:8. *)
+let id_bits = 46
+
+let table_bits = 8
+
+let max_shard = 255
+
+let max_table = (1 lsl table_bits) - 1
+
+let max_id = (1 lsl id_bits) - 1
+
+let make ~shard ~table ~ordered ~id =
+  if shard < 0 || shard > max_shard then invalid_arg "Keyspace.make: shard";
+  if table < 0 || table > max_table then invalid_arg "Keyspace.make: table";
+  if id < 0 || id > max_id then invalid_arg "Keyspace.make: id";
+  let o = if ordered then 1 else 0 in
+  (((shard lsl 1) lor o) lsl (table_bits + id_bits))
+  lor (table lsl id_bits) lor id
+
+let shard k = k lsr (1 + table_bits + id_bits)
+
+let table k = (k lsr id_bits) land max_table
+
+let ordered k = (k lsr (table_bits + id_bits)) land 1 = 1
+
+let id k = k land max_id
+
+let pp fmt k =
+  Format.fprintf fmt "s%d.t%d%s.%d" (shard k) (table k)
+    (if ordered k then "o" else "")
+    (id k)

@@ -1,0 +1,77 @@
+open Xenic_sim
+
+type node_state = { mutable last_renew : float; mutable failed : bool; mutable dead : bool }
+
+type t = {
+  engine : Engine.t;
+  lease_ns : float;
+  nodes : node_state array;
+  mutable epoch : int;
+  mutable subscribers : (epoch:int -> dead:int list -> unit) list;
+}
+
+let create engine cfg ~lease_ns =
+  {
+    engine;
+    lease_ns;
+    nodes =
+      Array.init cfg.Config.nodes (fun _ ->
+          { last_renew = 0.0; failed = false; dead = false });
+    epoch = 0;
+    subscribers = [];
+  }
+
+let epoch t = t.epoch
+
+let is_alive t n = not t.nodes.(n).dead
+
+let alive_nodes t =
+  Array.to_list (Array.mapi (fun i s -> (i, s)) t.nodes)
+  |> List.filter_map (fun (i, s) -> if s.dead then None else Some i)
+
+let fail_node t ~node = t.nodes.(node).failed <- true
+
+let on_reconfigure t f = t.subscribers <- f :: t.subscribers
+
+let check_expiry t =
+  let now = Engine.now t.engine in
+  let newly_dead =
+    Array.to_list (Array.mapi (fun i s -> (i, s)) t.nodes)
+    |> List.filter_map (fun (i, s) ->
+           if (not s.dead) && now -. s.last_renew > t.lease_ns then begin
+             s.dead <- true;
+             Some i
+           end
+           else None)
+  in
+  if newly_dead <> [] then begin
+    t.epoch <- t.epoch + 1;
+    List.iter (fun f -> f ~epoch:t.epoch ~dead:newly_dead) t.subscribers
+  end
+
+let start t =
+  let renew_period = t.lease_ns /. 3.0 in
+  Array.iteri
+    (fun _i s -> s.last_renew <- Engine.now t.engine)
+    t.nodes;
+  (* Renewal loop per node. *)
+  Array.iter
+    (fun s ->
+      Process.spawn t.engine (fun () ->
+          let rec loop () =
+            if not s.failed then begin
+              s.last_renew <- Engine.now t.engine;
+              Process.sleep t.engine renew_period;
+              loop ()
+            end
+          in
+          loop ()))
+    t.nodes;
+  (* Manager expiry checker. *)
+  Process.spawn t.engine (fun () ->
+      let rec loop () =
+        Process.sleep t.engine (t.lease_ns /. 2.0);
+        check_expiry t;
+        if List.length (alive_nodes t) > 0 then loop ()
+      in
+      loop ())

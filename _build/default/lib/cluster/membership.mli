@@ -1,0 +1,29 @@
+(** Lease-based cluster membership (§4.2.1).
+
+    A stand-in for the paper's ZooKeeper cluster manager: every node
+    holds a lease and renews it periodically; the manager declares a
+    node dead when its lease expires, bumps the configuration epoch,
+    and notifies reconfiguration subscribers (who run recovery:
+    promoting backups, rebuilding lock state). *)
+
+type t
+
+val create : Xenic_sim.Engine.t -> Config.t -> lease_ns:float -> t
+
+(** Spawn the manager's expiry checker and each node's renewal loop. *)
+val start : t -> unit
+
+(** Current configuration epoch (bumped on every membership change). *)
+val epoch : t -> int
+
+val is_alive : t -> int -> bool
+
+val alive_nodes : t -> int list
+
+(** Stop a node's renewals; its lease will expire and trigger
+    reconfiguration (fault injection). *)
+val fail_node : t -> node:int -> unit
+
+(** Subscribe to reconfiguration events: called with the new epoch and
+    the nodes newly declared dead. *)
+val on_reconfigure : t -> (epoch:int -> dead:int list -> unit) -> unit

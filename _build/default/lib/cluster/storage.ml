@@ -1,0 +1,94 @@
+open Xenic_store
+
+type shard_store = { hash : bytes Robinhood.t; ordered : bytes Btree.t }
+
+type t = {
+  node : int;
+  stores : shard_store option array;
+  (* Last-applied stamp per ordered key: ordered tables carry no
+     per-object version, so concurrent log-apply workers order their
+     writes by the log-append stamp instead. *)
+  ordered_stamps : (Keyspace.t, int) Hashtbl.t;
+}
+
+let create cfg ~node ~segments ~seg_size ~d_max =
+  let stores =
+    Array.init cfg.Config.nodes (fun shard ->
+        if Config.holds cfg ~shard ~node then
+          Some
+            {
+              hash =
+                Robinhood.create ~segments ~seg_size ~d_max ~vsize:Bytes.length;
+              ordered = Btree.create ();
+            }
+        else None)
+  in
+  { node; stores; ordered_stamps = Hashtbl.create 1024 }
+
+let node t = t.node
+
+let shard_store t ~shard =
+  match t.stores.(shard) with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Storage.shard_store: node %d does not hold shard %d"
+           t.node shard)
+
+let holds t ~shard = t.stores.(shard) <> None
+
+let read t k =
+  let s = shard_store t ~shard:(Keyspace.shard k) in
+  if Keyspace.ordered k then
+    match Btree.find s.ordered k with Some v -> Some (v, 0) | None -> None
+  else Robinhood.find s.hash k
+
+let apply t op ~seq =
+  let k = Op.key op in
+  let s = shard_store t ~shard:(Keyspace.shard k) in
+  if Keyspace.ordered k then begin
+    (* [seq] is the log-append stamp: apply only in stamp order so
+       concurrent workers cannot regress a newer write. *)
+    let last = Option.value ~default:(-1) (Hashtbl.find_opt t.ordered_stamps k) in
+    if seq > last then begin
+      Hashtbl.replace t.ordered_stamps k seq;
+      match op with
+      | Op.Put (_, v) -> Btree.insert s.ordered k v
+      | Op.Delete _ -> ignore (Btree.delete s.ordered k)
+    end
+  end
+  else
+    (* [seq] is the object version: never regress. *)
+    let current = match Robinhood.find s.hash k with
+      | Some (_, s') -> s'
+      | None -> -1
+    in
+    if seq > current then
+      match op with
+      | Op.Put (_, v) ->
+          if not (Robinhood.update s.hash k v ~seq) then begin
+            ignore (Robinhood.insert s.hash k v);
+            ignore (Robinhood.update s.hash k v ~seq)
+          end
+      | Op.Delete _ -> ignore (Robinhood.delete s.hash k)
+
+let load t k v =
+  let s = shard_store t ~shard:(Keyspace.shard k) in
+  if Keyspace.ordered k then Btree.insert s.ordered k v
+  else ignore (Robinhood.insert s.hash k v)
+
+let iter_hash t ~shard f =
+  let s = shard_store t ~shard in
+  Robinhood.iter s.hash f
+
+let ordered_min t ~lo ~hi =
+  let s = shard_store t ~shard:(Keyspace.shard lo) in
+  Btree.min_in_range s.ordered ~lo ~hi
+
+let ordered_max t ~lo ~hi =
+  let s = shard_store t ~shard:(Keyspace.shard lo) in
+  Btree.max_in_range s.ordered ~lo ~hi
+
+let ordered_range t ~lo ~hi =
+  let s = shard_store t ~shard:(Keyspace.shard lo) in
+  List.rev (Btree.fold_range s.ordered ~lo ~hi ~init:[] (fun acc k v -> (k, v) :: acc))

@@ -1,0 +1,43 @@
+(** Umbrella module: the public face of the Xenic reproduction.
+
+    {1 Quick tour}
+
+    Build an engine and a cluster, pick a system, load data, and run
+    transactions (see [examples/quickstart.ml]):
+
+    {[
+      let engine = Xenic.Sim.Engine.create () in
+      let cfg = Xenic.Cluster.Config.make ~nodes:6 ~replication:3 in
+      let sys =
+        Xenic.Proto.System.of_xenic
+          (Xenic.Proto.Xenic_system.create engine Xenic.Params.Hw.testbed cfg
+             Xenic.Proto.Xenic_system.default_params)
+      in
+      ...
+    ]}
+
+    {1 Layers}
+
+    - {!Sim}: deterministic discrete-event engine, processes, resources.
+    - {!Stats}: histograms, counters, report tables.
+    - {!Params}: calibrated hardware constants ({!Params.Hw.testbed}).
+    - {!Net}: fabric, packets, gather-list aggregation.
+    - {!Pcie}: the LiquidIO DMA engine model.
+    - {!Nicdev}: SmartNIC and RDMA NIC device models.
+    - {!Store}: Robinhood table, NIC caching index, baselines' stores,
+      B+ tree, host-memory log.
+    - {!Cluster}: topology, key encoding, replica storage, membership.
+    - {!Proto}: the Xenic transaction system and the RDMA baselines
+      behind one {!Proto.System.t} interface.
+    - {!Workload}: TPC-C, Retwis, Smallbank, and the closed-loop driver. *)
+
+module Sim = Xenic_sim
+module Stats = Xenic_stats
+module Params = Xenic_params
+module Net = Xenic_net
+module Pcie = Xenic_pcie
+module Nicdev = Xenic_nicdev
+module Store = Xenic_store
+module Cluster = Xenic_cluster
+module Proto = Xenic_proto
+module Workload = Xenic_workload

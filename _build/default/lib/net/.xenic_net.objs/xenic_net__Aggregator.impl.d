@@ -1,0 +1,1 @@
+lib/net/aggregator.ml: Array Engine Fabric List Xenic_sim

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Engine Mailbox Packet Printf Process Resource Xenic_params Xenic_sim

@@ -1,0 +1,75 @@
+open Xenic_sim
+
+type 'm pending = {
+  mutable msgs : 'm list;  (* newest first *)
+  mutable bytes : int;
+  mutable count : int;
+  mutable timer_armed : bool;
+}
+
+type 'm t = {
+  fabric : 'm Fabric.t;
+  src : int;
+  enabled : bool;
+  dests : 'm pending array;
+  mutable frames : int;
+  mutable messages : int;
+}
+
+let create fabric ~src ~enabled =
+  {
+    fabric;
+    src;
+    enabled;
+    dests =
+      Array.init (Fabric.nodes fabric) (fun _ ->
+          { msgs = []; bytes = 0; count = 0; timer_armed = false });
+    frames = 0;
+    messages = 0;
+  }
+
+let flush t dst =
+  let p = t.dests.(dst) in
+  if p.count > 0 then begin
+    t.frames <- t.frames + 1;
+    t.messages <- t.messages + p.count;
+    Fabric.send t.fabric ~src:t.src ~dst ~payload_bytes:p.bytes
+      (List.rev p.msgs);
+    p.msgs <- [];
+    p.bytes <- 0;
+    p.count <- 0
+  end
+
+let push t ~dst ~bytes msg =
+  if dst = t.src then Fabric.loopback t.fabric ~node:t.src [ msg ]
+  else begin
+    let hw = Fabric.hw t.fabric in
+    let framed = bytes + hw.agg_msg_header_b in
+    if not t.enabled then begin
+      t.frames <- t.frames + 1;
+      t.messages <- t.messages + 1;
+      Fabric.send t.fabric ~src:t.src ~dst ~payload_bytes:framed [ msg ]
+    end
+    else begin
+      let p = t.dests.(dst) in
+      p.msgs <- msg :: p.msgs;
+      p.bytes <- p.bytes + framed;
+      p.count <- p.count + 1;
+      if p.bytes >= hw.mtu_b || p.count >= hw.agg_max_msgs then flush t dst
+      else if not p.timer_armed then begin
+        p.timer_armed <- true;
+        Engine.after (Fabric.engine t.fabric) hw.agg_window_ns (fun () ->
+            p.timer_armed <- false;
+            flush t dst)
+      end
+    end
+  end
+
+let flush_all t =
+  for dst = 0 to Array.length t.dests - 1 do
+    flush t dst
+  done
+
+let frames t = t.frames
+
+let messages t = t.messages

@@ -1,0 +1,26 @@
+(** Per-destination gather-list transmission batching (§4.3.2).
+
+    The SmartNIC collects outbound messages per destination and emits
+    one frame when a flush trigger fires: the gather list reaches the
+    MTU, the message cap, or the opportunistic-batching window expires.
+    With aggregation disabled every message is its own frame — the
+    configuration used by the Fig 9a ablation step. *)
+
+type 'm t
+
+val create :
+  'm Fabric.t -> src:int -> enabled:bool -> 'm t
+
+(** [push t ~dst ~bytes msg] queues [msg] ([bytes] of payload) for
+    [dst], transmitting according to the batching policy. Messages to
+    the local node short-circuit through {!Fabric.loopback}. *)
+val push : 'm t -> dst:int -> bytes:int -> 'm -> unit
+
+(** Force out all pending gather lists (e.g. end of a polling burst). *)
+val flush_all : 'm t -> unit
+
+(** Frames emitted and messages carried, for batching-efficiency
+    reports. *)
+val frames : 'm t -> int
+
+val messages : 'm t -> int

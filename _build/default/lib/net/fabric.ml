@@ -1,0 +1,76 @@
+open Xenic_sim
+
+type 'm node = {
+  tx : Resource.t;
+  rx_link : Resource.t;
+  inbox : 'm Packet.t Mailbox.t;
+}
+
+type 'm t = {
+  engine : Engine.t;
+  hw : Xenic_params.Hw.t;
+  node_arr : 'm node array;
+  mutable frames : int;
+  mutable bytes : int;
+  mutable rate_override : float option;
+}
+
+let create engine hw ~nodes =
+  let make i =
+    {
+      tx = Resource.create engine ~name:(Printf.sprintf "tx%d" i) ~servers:1;
+      rx_link = Resource.create engine ~name:(Printf.sprintf "rx%d" i) ~servers:1;
+      inbox = Mailbox.create engine;
+    }
+  in
+  {
+    engine;
+    hw;
+    node_arr = Array.init nodes make;
+    frames = 0;
+    bytes = 0;
+    rate_override = None;
+  }
+
+let nodes t = Array.length t.node_arr
+
+let engine t = t.engine
+
+let hw t = t.hw
+
+let rx t i = t.node_arr.(i).inbox
+
+let rate t =
+  match t.rate_override with
+  | Some r -> r
+  | None -> Xenic_params.Hw.link_rate t.hw
+
+let send t ~src ~dst ~payload_bytes msgs =
+  let wire_bytes = payload_bytes + t.hw.eth_frame_overhead_b in
+  t.frames <- t.frames + 1;
+  t.bytes <- t.bytes + wire_bytes;
+  let packet = { Packet.src; dst; wire_bytes; msgs } in
+  let serialization = float_of_int wire_bytes /. rate t in
+  Process.spawn t.engine (fun () ->
+      Resource.use t.node_arr.(src).tx serialization;
+      Process.sleep t.engine t.hw.wire_latency_ns;
+      Resource.use t.node_arr.(dst).rx_link serialization;
+      Mailbox.send t.node_arr.(dst).inbox packet)
+
+let transfer t ~src ~dst ~wire_bytes =
+  t.frames <- t.frames + 1;
+  t.bytes <- t.bytes + wire_bytes;
+  let serialization = float_of_int wire_bytes /. rate t in
+  Resource.use t.node_arr.(src).tx serialization;
+  Process.sleep t.engine t.hw.wire_latency_ns;
+  Resource.use t.node_arr.(dst).rx_link serialization
+
+let loopback t ~node msgs =
+  let packet = { Packet.src = node; dst = node; wire_bytes = 0; msgs } in
+  Mailbox.send t.node_arr.(node).inbox packet
+
+let frames_sent t = t.frames
+
+let bytes_sent t = t.bytes
+
+let set_rate_override t r = t.rate_override <- r

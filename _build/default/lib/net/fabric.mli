@@ -1,0 +1,44 @@
+(** Flow-level network fabric: full-duplex per-node links with finite
+    bandwidth, FIFO serialization, and a fixed wire latency.
+
+    A transmitted frame occupies the source TX link and the destination
+    RX link for its serialization time, travels for
+    [hw.wire_latency_ns], and lands in the destination's receive
+    mailbox. Saturation and incast therefore emerge from queueing. *)
+
+type 'm t
+
+val create : Xenic_sim.Engine.t -> Xenic_params.Hw.t -> nodes:int -> 'm t
+
+val nodes : 'm t -> int
+
+val engine : 'm t -> Xenic_sim.Engine.t
+
+val hw : 'm t -> Xenic_params.Hw.t
+
+(** [send t ~src ~dst ~payload_bytes msgs] transmits one frame carrying
+    [msgs]. Framing overhead is added here; [payload_bytes] covers the
+    messages and any per-message headers. Callable from any context. *)
+val send : 'm t -> src:int -> dst:int -> payload_bytes:int -> 'm list -> unit
+
+(** Receive mailbox of a node; a dispatch loop should [recv] from it. *)
+val rx : 'm t -> int -> 'm Packet.t Xenic_sim.Mailbox.t
+
+(** [loopback t ~node msgs] delivers messages node-locally without
+    touching the wire (used for same-node protocol messages). *)
+val loopback : 'm t -> node:int -> 'm list -> unit
+
+(** [transfer t ~src ~dst ~wire_bytes] blocks the calling process while
+    occupying the links and traversing the wire, without delivering to
+    the receive mailbox — the transport of hardware-terminated traffic
+    such as one-sided RDMA verbs. *)
+val transfer : 'm t -> src:int -> dst:int -> wire_bytes:int -> unit
+
+(** Wire accounting: total frames and bytes transmitted. *)
+val frames_sent : 'm t -> int
+
+val bytes_sent : 'm t -> int
+
+(** [set_rate_override t rate] replaces the per-link byte rate (bytes per
+    nanosecond); used by experiments that change link counts. *)
+val set_rate_override : 'm t -> float option -> unit

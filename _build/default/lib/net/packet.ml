@@ -1,0 +1,1 @@
+type 'm t = { src : int; dst : int; wire_bytes : int; msgs : 'm list }

@@ -1,0 +1,9 @@
+(** A frame on the wire: one or more protocol messages sharing a single
+    Ethernet framing overhead. ['m] is the protocol message type. *)
+
+type 'm t = {
+  src : int;
+  dst : int;
+  wire_bytes : int;  (** Total bytes on the wire including framing. *)
+  msgs : 'm list;  (** Messages carried, oldest first. *)
+}

@@ -1,0 +1,1 @@
+lib/nicdev/rdma.ml: Array Fabric List Printf Process Resource Xenic_net Xenic_params Xenic_sim

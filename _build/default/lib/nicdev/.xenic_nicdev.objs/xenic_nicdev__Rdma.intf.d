@@ -1,0 +1,1 @@
+lib/nicdev/rdma.mli: Xenic_net Xenic_params

@@ -1,0 +1,1 @@
+lib/nicdev/smartnic.ml: Engine Process Resource Xenic_params Xenic_pcie Xenic_sim

@@ -1,0 +1,1 @@
+lib/nicdev/smartnic.mli: Xenic_params Xenic_pcie Xenic_sim

@@ -1,0 +1,100 @@
+open Xenic_sim
+open Xenic_net
+
+type verb = Read | Write | Cas
+
+type 'm t = {
+  fabric : 'm Fabric.t;
+  hw : Xenic_params.Hw.t;
+  units : Resource.t array;  (* per-node NIC processing unit *)
+  mutable verbs : int;
+}
+
+(* Wire header sizes for verbs: transport + RETH/AETH-style headers. *)
+let req_header_b = 28
+
+let resp_header_b = 16
+
+let cas_payload_b = 16
+
+let create fabric =
+  let hw = Fabric.hw fabric in
+  {
+    fabric;
+    hw;
+    units =
+      Array.init (Fabric.nodes fabric) (fun i ->
+          Resource.create (Fabric.engine fabric)
+            ~name:(Printf.sprintf "rdma%d" i)
+            ~servers:1);
+    verbs = 0;
+  }
+
+let hw t = t.hw
+
+let engine t = Fabric.engine t.fabric
+
+let request_bytes t verb ~bytes =
+  ignore t;
+  match verb with
+  | Read -> req_header_b
+  | Write -> req_header_b + bytes
+  | Cas -> req_header_b + cas_payload_b
+
+let response_bytes t verb ~bytes =
+  ignore t;
+  match verb with
+  | Read -> resp_header_b + bytes
+  | Write -> resp_header_b
+  | Cas -> resp_header_b + 8
+
+let target_pcie_ns t = function
+  | Read -> t.hw.rdma_target_read_pcie_ns
+  | Write -> t.hw.rdma_target_write_pcie_ns
+  | Cas ->
+      (* CAS is a PCIe read-modify-write on host memory. *)
+      t.hw.rdma_target_read_pcie_ns +. (0.5 *. t.hw.rdma_target_write_pcie_ns)
+
+let one_sided ?(pay_submit = true) t ~src ~dst verb ~bytes ~at_target =
+  t.verbs <- t.verbs + 1;
+  if pay_submit then Process.sleep (engine t) t.hw.rdma_submit_ns;
+  Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
+  Fabric.transfer t.fabric ~src ~dst
+    ~wire_bytes:(request_bytes t verb ~bytes + t.hw.eth_frame_overhead_b);
+  Resource.use t.units.(dst) t.hw.rdma_hw_op_ns;
+  Process.sleep (engine t) (target_pcie_ns t verb);
+  let result = at_target () in
+  Fabric.transfer t.fabric ~src:dst ~dst:src
+    ~wire_bytes:(response_bytes t verb ~bytes + t.hw.eth_frame_overhead_b);
+  Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
+  Process.sleep (engine t) t.hw.rdma_completion_poll_ns;
+  result
+
+let one_sided_many t ~src verbs =
+  match verbs with
+  | [] -> []
+  | (dst, verb, bytes, at_target) :: rest ->
+      let first () =
+        one_sided t ~src ~dst verb ~bytes ~at_target ~pay_submit:true
+      in
+      let others =
+        List.map
+          (fun (dst, verb, bytes, at_target) () ->
+            one_sided t ~src ~dst verb ~bytes ~at_target ~pay_submit:false)
+          rest
+      in
+      Process.parallel (engine t) (first :: others)
+
+let rpc_send ?(pay_submit = true) t ~src ~dst ~bytes msg =
+  t.verbs <- t.verbs + 1;
+  if pay_submit then Process.sleep (engine t) t.hw.rdma_submit_ns;
+  Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
+  Fabric.send t.fabric ~src ~dst ~payload_bytes:(req_header_b + bytes) [ msg ]
+
+let rpc_recv_cost t ~node =
+  (* Target NIC DMA-writes the receive buffer, then the polling host
+     thread picks it up. *)
+  Resource.use t.units.(node) t.hw.rdma_hw_op_ns;
+  Process.sleep (engine t) t.hw.rdma_target_write_pcie_ns
+
+let verbs_issued t = t.verbs

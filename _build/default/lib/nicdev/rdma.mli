@@ -1,0 +1,52 @@
+(** RDMA NIC model (Mellanox CX5): one-sided READ / WRITE / ATOMIC
+    verbs handled entirely by NIC hardware, and two-sided SEND/RECV for
+    RPC messaging.
+
+    A one-sided verb never consumes target CPU: the target NIC parses
+    the request, performs a PCIe access against host memory, and
+    responds. The simulation runs the caller-provided [at_target]
+    closure at the instant the target NIC performs the memory access —
+    the verb's linearization point — so reads, writes and
+    compare-and-swap take effect against the real data structures with
+    correct timing. *)
+
+type 'm t
+
+type verb = Read | Write | Cas
+
+val create : 'm Xenic_net.Fabric.t -> 'm t
+
+val hw : 'm t -> Xenic_params.Hw.t
+
+(** [one_sided t ~src ~dst verb ~bytes ~at_target] issues one verb and
+    blocks until completion, returning [at_target]'s result.
+    [pay_submit] (default true) charges the initiator doorbell cost;
+    doorbell batching amortizes it across a batch. *)
+val one_sided :
+  ?pay_submit:bool ->
+  'm t ->
+  src:int ->
+  dst:int ->
+  verb ->
+  bytes:int ->
+  at_target:(unit -> 'a) ->
+  'a
+
+(** [one_sided_many t ~src verbs] issues a batch behind one doorbell,
+    in parallel, and blocks until all complete. *)
+val one_sided_many :
+  'm t ->
+  src:int ->
+  (int * verb * int * (unit -> 'a)) list ->
+  'a list
+
+(** [rpc_send t ~src ~dst ~bytes msg] transmits a two-sided SEND caring
+    [msg]; the target's dispatch loop must call {!rpc_recv_cost} before
+    handling it (receive-buffer DMA + completion handling). *)
+val rpc_send : ?pay_submit:bool -> 'm t -> src:int -> dst:int -> bytes:int -> 'm -> unit
+
+(** Blocking: target-side receive cost for one two-sided message. *)
+val rpc_recv_cost : 'm t -> node:int -> unit
+
+(** Verbs issued, by kind, for accounting. *)
+val verbs_issued : 'm t -> int

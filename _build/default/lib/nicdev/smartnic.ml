@@ -1,0 +1,45 @@
+open Xenic_sim
+
+type t = {
+  engine : Engine.t;
+  hw : Xenic_params.Hw.t;
+  cores : Resource.t;
+  pkt_io_path : Resource.t;
+  dma : Xenic_pcie.Dma.t;
+}
+
+let create ?cores engine (hw : Xenic_params.Hw.t) =
+  let n_cores = match cores with Some n -> n | None -> hw.nic_cores in
+  {
+    engine;
+    hw;
+    cores = Resource.create engine ~name:"nic-cores" ~servers:n_cores;
+    pkt_io_path = Resource.create engine ~name:"nic-pkt-io" ~servers:1;
+    dma = Xenic_pcie.Dma.create engine hw;
+  }
+
+let engine t = t.engine
+
+let hw t = t.hw
+
+let cores t = t.cores
+
+let dma t = t.dma
+
+let pkt_io t = Resource.use t.pkt_io_path t.hw.nic_pkt_io_ns
+
+let op_cost ?(ops = 1) t ~bytes =
+  (float_of_int ops *. t.hw.nic_core_op_ns)
+  +. (float_of_int bytes *. t.hw.nic_core_byte_ns)
+
+let core_work ?ops t ~bytes = Resource.use t.cores (op_cost ?ops t ~bytes)
+
+let core_work_held ?ops t ~bytes = Process.sleep t.engine (op_cost ?ops t ~bytes)
+
+let mem_access t = Process.sleep t.engine t.hw.nic_mem_access_ns
+
+let host_msg t = Process.sleep t.engine t.hw.host_nic_msg_ns
+
+let scaled_exec_ns t host_ns = host_ns /. t.hw.nic_core_speed_ratio
+
+let core_utilization t = Resource.utilization t.cores

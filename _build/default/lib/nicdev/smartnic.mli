@@ -1,0 +1,47 @@
+(** On-path SmartNIC device model (LiquidIO 3): SoC cores on the packet
+    data path, a packet-I/O path with a serialized per-frame cost, a
+    PCIe DMA engine, and a host<->NIC message path over PCIe rings.
+
+    The protocol layer composes these resources into dispatch loops; the
+    model only prices the hardware. All costs come from
+    {!Xenic_params.Hw}. *)
+
+type t
+
+val create :
+  ?cores:int -> Xenic_sim.Engine.t -> Xenic_params.Hw.t -> t
+
+val engine : t -> Xenic_sim.Engine.t
+
+val hw : t -> Xenic_params.Hw.t
+
+(** The SoC core pool. Handlers acquire a core for their compute. *)
+val cores : t -> Xenic_sim.Resource.t
+
+val dma : t -> Xenic_pcie.Dma.t
+
+(** Blocking: pay the serialized packet RX/TX path cost for one frame. *)
+val pkt_io : t -> unit
+
+(** Blocking: occupy a core for a protocol operation touching [bytes]
+    of payload. [ops] scales the base per-op cost (default 1). *)
+val core_work : ?ops:int -> t -> bytes:int -> unit
+
+(** Blocking: hold an already-acquired core for the same duration; for
+    handlers that manage core acquisition themselves. *)
+val core_work_held : ?ops:int -> t -> bytes:int -> unit
+
+(** NIC-local DRAM access cost (caching-index hit). *)
+val mem_access : t -> unit
+
+(** Blocking: cross between host and NIC over the PCIe message rings
+    (one way). The cost a host-initiated operation pays that a
+    NIC-resident one avoids (Fig 2). *)
+val host_msg : t -> unit
+
+(** Compute time on a NIC core for work that costs [host_ns] on a host
+    core, scaled by the Table 1 per-thread speed ratio. *)
+val scaled_exec_ns : t -> float -> float
+
+(** Aggregate core utilization in [0, 1]. *)
+val core_utilization : t -> float

@@ -1,0 +1,1 @@
+lib/params/hw.ml: Xenic_sim

@@ -1,0 +1,1 @@
+lib/params/hw.mli:

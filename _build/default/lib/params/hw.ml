@@ -1,0 +1,97 @@
+type t = {
+  wire_latency_ns : float;
+  link_bandwidth_gbps : float;
+  eth_frame_overhead_b : int;
+  mtu_b : int;
+  agg_msg_header_b : int;
+  agg_window_ns : float;
+  agg_max_msgs : int;
+  nic_cores : int;
+  nic_core_op_ns : float;
+  nic_core_byte_ns : float;
+  nic_pkt_io_ns : float;
+  nic_mem_access_ns : float;
+  nic_core_speed_ratio : float;
+  dma_queues : int;
+  dma_vector_max : int;
+  dma_submit_ns : float;
+  dma_engine_elem_ns : float;
+  dma_read_completion_ns : float;
+  dma_write_completion_ns : float;
+  pcie_bandwidth_gbps : float;
+  host_nic_msg_ns : float;
+  host_threads : int;
+  host_rpc_ns : float;
+  host_op_ns : float;
+  host_byte_ns : float;
+  rdma_submit_ns : float;
+  rdma_hw_op_ns : float;
+  rdma_target_read_pcie_ns : float;
+  rdma_target_write_pcie_ns : float;
+  rdma_completion_poll_ns : float;
+  rdma_doorbell_batch : int;
+  rdma_bandwidth_gbps : float;
+}
+
+let testbed =
+  {
+    wire_latency_ns = 850.0;
+    link_bandwidth_gbps = 100.0;
+    eth_frame_overhead_b = 64;
+    mtu_b = 1500;
+    agg_msg_header_b = 44;
+    agg_window_ns = 400.0;
+    agg_max_msgs = 64;
+    nic_cores = 24;
+    (* 16 NIC threads echo 71.8 Mops/s => 16/71.8M = 223 ns/op. *)
+    nic_core_op_ns = 220.0;
+    nic_core_byte_ns = 0.06;
+    (* Unbatched remote ops plateau at 9.0-10.4 Mops/s (Fig 3) => ~95 ns
+       serialized per frame in the packet-I/O path. *)
+    nic_pkt_io_ns = 95.0;
+    nic_mem_access_ns = 80.0;
+    (* Table 1: per-thread multi-core Coremark 4530/14771 = 0.31. *)
+    nic_core_speed_ratio = 0.31;
+    dma_queues = 8;
+    dma_vector_max = 15;
+    dma_submit_ns = 190.0;
+    (* 8.7 Mops/s vectored max per queue (Fig 4a) => 115 ns/element. *)
+    dma_engine_elem_ns = 115.0;
+    dma_read_completion_ns = 1295.0;
+    dma_write_completion_ns = 570.0;
+    pcie_bandwidth_gbps = 63.0;
+    host_nic_msg_ns = 1400.0;
+    host_threads = 32;
+    (* 16 host threads echo 23.0 Mops/s => 16/23M = 696 ns/op. *)
+    host_rpc_ns = 700.0;
+    host_op_ns = 120.0;
+    host_byte_ns = 0.03;
+    rdma_submit_ns = 250.0;
+    (* 13.5-15 Mops/s small-write cap (Fig 3) => ~70 ns/verb. *)
+    rdma_hw_op_ns = 70.0;
+    rdma_target_read_pcie_ns = 900.0;
+    rdma_target_write_pcie_ns = 600.0;
+    rdma_completion_poll_ns = 200.0;
+    rdma_doorbell_batch = 64;
+    rdma_bandwidth_gbps = 100.0;
+  }
+
+let testbed_50g =
+  { testbed with link_bandwidth_gbps = 50.0; rdma_bandwidth_gbps = 56.0 }
+
+let link_rate t = Xenic_sim.Units.gbps t.link_bandwidth_gbps
+
+let pcie_rate t = Xenic_sim.Units.gbps t.pcie_bandwidth_gbps
+
+let rdma_rate t = Xenic_sim.Units.gbps t.rdma_bandwidth_gbps
+
+let table1_reference =
+  [
+    ("Coremark", `Multi, 4530.0, 14771.0, `Higher);
+    ("DPDK hash_perf", `Multi, 349.8, 108.1, `Lower);
+    ("DPDK readwrite_lf_perf", `Multi, 179.6, 52.5, `Lower);
+    ("Coremark", `Single, 14294.0, 29193.0, `Higher);
+    ("DPDK memcpy_perf", `Single, 325.8, 174.4, `Lower);
+    ("DPDK rand_perf", `Single, 7.5, 2.9, `Lower);
+    ("DPDK hash_perf", `Single, 186.5, 84.0, `Lower);
+  ]

@@ -1,0 +1,1 @@
+lib/pcie/dma.ml: Array Engine List Printf Process Resource Xenic_params Xenic_sim

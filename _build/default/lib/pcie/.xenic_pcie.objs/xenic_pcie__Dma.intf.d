@@ -1,0 +1,1 @@
+lib/pcie/dma.mli: Xenic_params Xenic_sim

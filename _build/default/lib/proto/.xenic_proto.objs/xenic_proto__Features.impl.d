@@ -1,0 +1,1 @@
+lib/proto/features.ml: Format

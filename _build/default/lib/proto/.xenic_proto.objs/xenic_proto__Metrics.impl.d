@@ -1,0 +1,1 @@
+lib/proto/metrics.ml: Counter Hashtbl Histogram List Option Types Xenic_stats

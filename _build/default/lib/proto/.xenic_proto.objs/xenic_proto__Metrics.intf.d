@@ -1,0 +1,1 @@
+lib/proto/metrics.mli: Types Xenic_stats

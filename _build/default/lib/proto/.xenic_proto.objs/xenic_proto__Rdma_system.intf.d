@@ -1,0 +1,1 @@
+lib/proto/rdma_system.mli: Config Keyspace Metrics Types Xenic_cluster Xenic_params Xenic_sim

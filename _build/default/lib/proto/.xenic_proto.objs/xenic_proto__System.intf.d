@@ -1,0 +1,1 @@
+lib/proto/system.mli: Config Keyspace Metrics Rdma_system Types Xenic_cluster Xenic_sim Xenic_system

@@ -1,0 +1,1 @@
+lib/proto/types.ml: Format Keyspace List Op Xenic_cluster

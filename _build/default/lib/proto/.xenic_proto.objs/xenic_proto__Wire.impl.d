@@ -1,0 +1,1 @@
+lib/proto/wire.ml: List Xenic_cluster

@@ -1,0 +1,1 @@
+lib/proto/xenic_system.mli: Config Features Keyspace Metrics Types Xenic_cluster Xenic_params Xenic_sim

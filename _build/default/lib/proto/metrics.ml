@@ -1,0 +1,70 @@
+open Xenic_stats
+
+type t = {
+  latencies : Histogram.t;
+  mutable committed : int;
+  mutable aborted : int;
+  by_class : (string, int) Hashtbl.t;
+  counters : Counter.t;
+}
+
+let create () =
+  {
+    latencies = Histogram.create ();
+    committed = 0;
+    aborted = 0;
+    by_class = Hashtbl.create 8;
+    counters = Counter.create ();
+  }
+
+let record t ~latency_ns outcome =
+  match outcome with
+  | Types.Committed ->
+      t.committed <- t.committed + 1;
+      Histogram.record t.latencies latency_ns
+  | Types.Aborted -> t.aborted <- t.aborted + 1
+
+let record_class t ~cls ~latency_ns outcome =
+  record t ~latency_ns outcome;
+  if outcome = Types.Committed then
+    Hashtbl.replace t.by_class cls
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_class cls))
+
+let committed t = t.committed
+
+let aborted t = t.aborted
+
+let committed_class t ~cls =
+  Option.value ~default:0 (Hashtbl.find_opt t.by_class cls)
+
+let latency_quantile t q = Histogram.quantile t.latencies q
+
+let median_latency t = Histogram.median t.latencies
+
+let p99_latency t = Histogram.p99 t.latencies
+
+let abort_rate t =
+  let total = t.committed + t.aborted in
+  if total = 0 then 0.0 else float_of_int t.aborted /. float_of_int total
+
+let counters t = t.counters
+
+let merge ~into src =
+  Histogram.merge ~into:into.latencies src.latencies;
+  into.committed <- into.committed + src.committed;
+  into.aborted <- into.aborted + src.aborted;
+  Hashtbl.iter
+    (fun cls n ->
+      Hashtbl.replace into.by_class cls
+        (n + Option.value ~default:0 (Hashtbl.find_opt into.by_class cls)))
+    src.by_class;
+  List.iter
+    (fun (name, v) -> Counter.addf into.counters name v)
+    (Counter.to_list src.counters)
+
+let clear t =
+  Histogram.clear t.latencies;
+  t.committed <- 0;
+  t.aborted <- 0;
+  Hashtbl.reset t.by_class;
+  Counter.reset t.counters

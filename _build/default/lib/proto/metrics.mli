@@ -1,0 +1,36 @@
+(** Per-run measurement collection: commit latencies, outcome counts,
+    and device/communication accounting, reported by the workload
+    driver and experiment harness. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one transaction attempt's latency (ns) and outcome. *)
+val record : t -> latency_ns:float -> Types.outcome -> unit
+
+(** Record with a transaction-class label (e.g. "new_order") so
+    benchmarks can report per-class rates. *)
+val record_class : t -> cls:string -> latency_ns:float -> Types.outcome -> unit
+
+val committed : t -> int
+
+val aborted : t -> int
+
+val committed_class : t -> cls:string -> int
+
+(** Latency quantile over committed transactions, ns. *)
+val latency_quantile : t -> float -> float
+
+val median_latency : t -> float
+
+val p99_latency : t -> float
+
+val abort_rate : t -> float
+
+val counters : t -> Xenic_stats.Counter.t
+
+(** Merge [src] into [into] (per-node metrics -> cluster metrics). *)
+val merge : into:t -> t -> unit
+
+val clear : t -> unit

@@ -1,0 +1,1018 @@
+open Xenic_sim
+open Xenic_cluster
+open Xenic_nicdev
+
+type flavor = Drtmh | Drtmh_nc | Fasst | Drtmr | Farm
+
+let flavor_name = function
+  | Drtmh -> "DrTM+H"
+  | Drtmh_nc -> "DrTM+H (NC)"
+  | Fasst -> "FaSST"
+  | Drtmr -> "DrTM+R"
+  | Farm -> "FaRM"
+
+type params = {
+  host_threads : int;
+  worker_threads : int;
+  buckets : int;
+  bucket_b : int;
+  log_capacity_b : int;
+  btree_op_ns : float;
+}
+
+let default_params =
+  {
+    host_threads = 24;
+    worker_threads = 4;
+    buckets = 4096;
+    bucket_b = 8;
+    log_capacity_b = 4 * 1024 * 1024;
+    btree_op_ns = 300.0;
+  }
+
+type msg = { bytes : int; deliver : unit -> unit }
+
+type log_record = { lr_ops : (Op.t * int) list }
+
+type shard_store = {
+  hash : bytes Xenic_store.Chained.t;  (* DrTM+H / FaSST / DrTM+R objects *)
+  hops : (int * bytes) Xenic_store.Hopscotch.t option;
+      (* FaRM objects, stored as (version, value) in an H=8 Hopscotch
+         table (§2.2.2) *)
+  ordered : bytes Xenic_store.Btree.t;
+}
+
+type node = {
+  id : int;
+  stores : shard_store option array;
+  locks : (Keyspace.t, int) Hashtbl.t;  (* key -> owner token *)
+  host : Resource.t;  (* app threads + RPC handlers *)
+  workers : Resource.t;
+  log : log_record Xenic_store.Hostlog.t;
+  mutable txn_seq : int;
+}
+
+type t = {
+  engine : Engine.t;
+  hw : Xenic_params.Hw.t;
+  cfg : Config.t;
+  flavor : flavor;
+  p : params;
+  fabric : msg Xenic_net.Fabric.t;
+  rdma : msg Rdma.t;
+  nodes : node array;
+  metrics : Metrics.t;
+}
+
+let engine t = t.engine
+
+let cfg t = t.cfg
+
+let flavor t = t.flavor
+
+let metrics t = t.metrics
+
+let counters t = Metrics.counters t.metrics
+
+let store t ~node ~shard =
+  match t.nodes.(node).stores.(shard) with
+  | Some s -> s
+  | None -> invalid_arg "Rdma_system.store: node does not hold shard"
+
+(* ------------------------------------------------------------------ *)
+(* Host-memory object operations, executed at their linearization point
+   (inside RPC handlers or one-sided at_target closures). *)
+
+let obj_read t ~node k =
+  let s = store t ~node ~shard:(Keyspace.shard k) in
+  if Keyspace.ordered k then
+    match Xenic_store.Btree.find s.ordered k with
+    | Some v -> Some (v, 0)
+    | None -> None
+  else
+    match s.hops with
+    | Some h -> (
+        match Xenic_store.Hopscotch.find h k with
+        | Some (seq, v) -> Some (v, seq)
+        | None -> None)
+    | None -> Xenic_store.Chained.find s.hash k
+
+let obj_apply t ~node (op, seq) =
+  let k = Op.key op in
+  let s = store t ~node ~shard:(Keyspace.shard k) in
+  if Keyspace.ordered k then
+    match op with
+    | Op.Put (_, v) -> Xenic_store.Btree.insert s.ordered k v
+    | Op.Delete _ -> ignore (Xenic_store.Btree.delete s.ordered k)
+  else
+    match s.hops with
+    | Some h -> (
+        match op with
+        | Op.Put (_, v) ->
+            let cur_seq =
+              match Xenic_store.Hopscotch.find h k with
+              | Some (s', _) -> s'
+              | None -> -1
+            in
+            if cur_seq < seq then Xenic_store.Hopscotch.insert h k (seq, v)
+        | Op.Delete _ -> ignore (Xenic_store.Hopscotch.delete h k))
+    | None -> (
+        match op with
+        | Op.Put (_, v) ->
+            let cur_seq =
+              match Xenic_store.Chained.find s.hash k with
+              | Some (_, s') -> s'
+              | None -> -1
+            in
+            if cur_seq < 0 then begin
+              Xenic_store.Chained.insert s.hash k v;
+              ignore (Xenic_store.Chained.update s.hash k v ~seq)
+            end
+            else if cur_seq < seq then
+              ignore (Xenic_store.Chained.update s.hash k v ~seq)
+        | Op.Delete _ -> ignore (Xenic_store.Chained.delete s.hash k))
+
+let try_lock t ~node k ~owner =
+  let locks = t.nodes.(node).locks in
+  match Hashtbl.find_opt locks k with
+  | Some o when o <> owner -> false
+  | _ ->
+      Hashtbl.replace locks k owner;
+      true
+
+let unlock t ~node k ~owner =
+  let locks = t.nodes.(node).locks in
+  match Hashtbl.find_opt locks k with
+  | Some o when o = owner -> Hashtbl.remove locks k
+  | _ -> ()
+
+let locked_by_other t ~node k ~owner =
+  match Hashtbl.find_opt t.nodes.(node).locks k with
+  | Some o -> o <> owner
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Two-sided RPC path *)
+
+(* Blocking RPC from a coordinator host thread. The handler runs on a
+   host thread at the target (after the NIC delivers the receive
+   buffer); the response comes back the same way. Local calls
+   short-circuit the network but still pay handler compute. *)
+let rpc t ~src ~dst ~req_bytes ~resp_bytes ~handler_ns (handler : unit -> 'r) : 'r
+    =
+  if src = dst then begin
+    Resource.use t.nodes.(dst).host handler_ns;
+    handler ()
+  end
+  else begin
+    Xenic_stats.Counter.incr (counters t) "rpcs";
+    Process.suspend (fun resume ->
+        Process.spawn t.engine (fun () ->
+            Rdma.rpc_send t.rdma ~src ~dst ~bytes:req_bytes
+              {
+                bytes = req_bytes;
+                deliver =
+                  (fun () ->
+                    Rdma.rpc_recv_cost t.rdma ~node:dst;
+                    Resource.acquire t.nodes.(dst).host;
+                    Process.sleep t.engine handler_ns;
+                    let r = handler () in
+                    Resource.release t.nodes.(dst).host;
+                    Rdma.rpc_send t.rdma ~src:dst ~dst:src
+                      ~bytes:(resp_bytes r)
+                      {
+                        bytes = resp_bytes r;
+                        deliver =
+                          (fun () ->
+                            (* Completion handling on the caller side. *)
+                            Process.sleep t.engine t.hw.rdma_completion_poll_ns;
+                            resume r);
+                      })
+              }))
+  end
+
+(* One-sided verb against a remote node's host memory. Local accesses
+   become plain host-memory operations. *)
+let one_sided t ~src ~dst verb ~bytes ~at_target =
+  if src = dst then begin
+    Process.sleep t.engine t.hw.host_op_ns;
+    at_target ()
+  end
+  else begin
+    Xenic_stats.Counter.incr (counters t) "verbs";
+    Rdma.one_sided t.rdma ~src ~dst verb ~bytes ~at_target
+  end
+
+let one_sided_many t ~src verbs =
+  let remote, local =
+    List.partition (fun (dst, _, _, _) -> dst <> src) verbs
+  in
+  let local_results =
+    List.map
+      (fun (_, _, _, at_target) ->
+        Process.sleep t.engine t.hw.host_op_ns;
+        at_target ())
+      local
+  in
+  Xenic_stats.Counter.add (counters t) "verbs" (List.length remote);
+  let remote_results =
+    if remote = [] then [] else Rdma.one_sided_many t.rdma ~src remote
+  in
+  local_results @ remote_results
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let dispatch_loop t node =
+  Process.spawn t.engine (fun () ->
+      let rx = Xenic_net.Fabric.rx t.fabric node.id in
+      let rec loop () =
+        let pkt = Mailbox.recv rx in
+        List.iter
+          (fun m -> Process.spawn t.engine m.deliver)
+          pkt.Xenic_net.Packet.msgs;
+        loop ()
+      in
+      loop ())
+
+let apply_cost t (op, _) =
+  if Keyspace.ordered (Op.key op) then t.p.btree_op_ns
+  else t.hw.host_op_ns +. (float_of_int (Op.bytes op) *. t.hw.host_byte_ns)
+
+let worker_loop t node =
+  Process.spawn t.engine (fun () ->
+      let rec loop () =
+        let record, bytes = Xenic_store.Hostlog.poll node.log in
+        (* Log application competes with RPC handling and coordinator
+           work for the same host threads (§5.2: FaSST handles RPCs on
+           the threads performing compute-intensive B+ tree work). *)
+        Resource.acquire node.host;
+        List.iter
+          (fun (op, seq) ->
+            Process.sleep t.engine (apply_cost t (op, seq));
+            obj_apply t ~node:node.id (op, seq))
+          record.lr_ops;
+        Resource.release node.host;
+        Xenic_store.Hostlog.ack node.log ~bytes;
+        loop ()
+      in
+      loop ())
+
+let create engine hw cfg flavor p =
+  let fabric = Xenic_net.Fabric.create engine hw ~nodes:cfg.Config.nodes in
+  Xenic_net.Fabric.set_rate_override fabric
+    (Some (Xenic_params.Hw.rdma_rate hw));
+  let rdma = Rdma.create fabric in
+  let nodes =
+    Array.init cfg.Config.nodes (fun id ->
+        {
+          id;
+          stores =
+            Array.init cfg.Config.nodes (fun shard ->
+                if Config.holds cfg ~shard ~node:id then
+                  Some
+                    {
+                      hash =
+                        Xenic_store.Chained.create ~buckets:p.buckets
+                          ~b:p.bucket_b;
+                      hops =
+                        (if flavor = Farm then
+                           Some
+                             (Xenic_store.Hopscotch.create
+                                ~capacity:(p.buckets * p.bucket_b * 2)
+                                ~h:8)
+                         else None);
+                      ordered = Xenic_store.Btree.create ();
+                    }
+                else None);
+          locks = Hashtbl.create 1024;
+          host =
+            Resource.create engine
+              ~name:(Printf.sprintf "host%d" id)
+              ~servers:p.host_threads;
+          workers =
+            Resource.create engine
+              ~name:(Printf.sprintf "rwrk%d" id)
+              ~servers:p.worker_threads;
+          log = Xenic_store.Hostlog.create engine ~capacity_b:p.log_capacity_b;
+          txn_seq = 0;
+        })
+  in
+  let t =
+    { engine; hw; cfg; flavor; p; fabric; rdma; nodes; metrics = Metrics.create () }
+  in
+  Array.iter
+    (fun node ->
+      dispatch_loop t node;
+      for _ = 1 to p.worker_threads do
+        worker_loop t node
+      done)
+    nodes;
+  t
+
+let load t k v =
+  List.iter
+    (fun n ->
+      let s = store t ~node:n ~shard:(Keyspace.shard k) in
+      if Keyspace.ordered k then Xenic_store.Btree.insert s.ordered k v
+      else
+        match s.hops with
+        | Some h -> Xenic_store.Hopscotch.insert h k (1, v)
+        | None -> Xenic_store.Chained.insert s.hash k v)
+    (Config.replicas t.cfg ~shard:(Keyspace.shard k))
+
+let seal _t = ()
+
+let peek t ~node k =
+  match obj_read t ~node k with Some (v, _) -> Some v | None -> None
+
+let peek_min t ~node ~lo ~hi =
+  let s = store t ~node ~shard:(Keyspace.shard lo) in
+  Xenic_store.Btree.min_in_range s.ordered ~lo ~hi
+
+let peek_max t ~node ~lo ~hi =
+  let s = store t ~node ~shard:(Keyspace.shard lo) in
+  Xenic_store.Btree.max_in_range s.ordered ~lo ~hi
+
+let peek_range t ~node ~lo ~hi =
+  let s = store t ~node ~shard:(Keyspace.shard lo) in
+  List.rev
+    (Xenic_store.Btree.fold_range s.ordered ~lo ~hi ~init:[] (fun acc k v ->
+         (k, v) :: acc))
+
+let host_utilization t =
+  Array.fold_left (fun acc n -> acc +. Resource.utilization n.host) 0.0 t.nodes
+  /. float_of_int (Array.length t.nodes)
+
+let quiesce t =
+  let rec wait () =
+    let pending =
+      Array.exists
+        (fun n ->
+          Xenic_store.Hostlog.used_b n.log > 0
+          || Xenic_store.Hostlog.appended n.log
+             > Xenic_store.Hostlog.applied n.log)
+        t.nodes
+    in
+    if pending then begin
+      Process.sleep t.engine 10_000.0;
+      wait ()
+    end
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
+(* Object wire sizes *)
+
+let value_slot_b v =
+  Xenic_store.Kv.slot_bytes
+    ~value_b:(match v with Some b -> Bytes.length b | None -> 0)
+
+(* One-sided execution read: with the address cache the coordinator
+   reads the object's exact location; without it (NC) it walks the
+   chained buckets, one READ of B slots per bucket. *)
+let one_sided_read t ~src k =
+  let shard = Keyspace.shard k in
+  let primary = Config.primary t.cfg ~shard in
+  let slot v = value_slot_b v in
+  match t.flavor with
+  | Farm ->
+      (* One READ of the H-slot neighborhood; overflow keys need a
+         second roundtrip for the chain (§2.2.2, Table 2). *)
+      let s = store t ~node:primary ~shard in
+      let h = Option.get s.hops in
+      let reads =
+        match Xenic_store.Hopscotch.lookup_cost h k with
+        | Some (_, rts) -> rts
+        | None -> 1
+      in
+      let result = ref None in
+      for hop = 1 to reads do
+        let at_target () =
+          if hop = reads then result := obj_read t ~node:primary k
+        in
+        one_sided t ~src ~dst:primary Rdma.Read
+          ~bytes:(8 * Xenic_store.Kv.slot_bytes ~value_b:64)
+          ~at_target
+      done;
+      Xenic_stats.Counter.add (counters t) "read_roundtrips" reads;
+      !result
+  | Drtmh_nc ->
+      let s = store t ~node:primary ~shard in
+      let depth =
+        match Xenic_store.Chained.lookup_cost s.hash k with
+        | Some (_, rts) -> rts
+        | None -> 1
+      in
+      let result = ref None in
+      for hop = 1 to depth do
+        let at_target () =
+          if hop = depth then result := obj_read t ~node:primary k
+        in
+        one_sided t ~src ~dst:primary Rdma.Read
+          ~bytes:(t.p.bucket_b * Xenic_store.Kv.slot_bytes ~value_b:64)
+          ~at_target
+      done;
+      Xenic_stats.Counter.add (counters t) "read_roundtrips" depth;
+      !result
+  | _ ->
+      let r =
+        one_sided t ~src ~dst:primary Rdma.Read
+          ~bytes:(slot (Option.map fst (obj_read t ~node:primary k)))
+          ~at_target:(fun () -> obj_read t ~node:primary k)
+      in
+      Xenic_stats.Counter.incr (counters t) "read_roundtrips";
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Phase implementations *)
+
+(* Lock the write set. DrTM+H and FaSST lock via (consolidated) RPCs;
+   DrTM+R CAS-locks each key one-sided. Returns lock versions+values or
+   `Fail; on failure all acquired locks are already released. *)
+let lock_phase t ~src ~owner (write_keys : Keyspace.t list) =
+  let by_shard = ref [] in
+  List.iter
+    (fun k ->
+      let s = Keyspace.shard k in
+      by_shard :=
+        (s, k :: (try List.assoc s !by_shard with Not_found -> []))
+        :: List.remove_assoc s !by_shard)
+    write_keys;
+  let release_shard (shard, keys) =
+    let primary = Config.primary t.cfg ~shard in
+    match t.flavor with
+    | Drtmr ->
+        ignore
+          (one_sided_many t ~src
+             (List.map
+                (fun k ->
+                  ( primary,
+                    Rdma.Write,
+                    16,
+                    fun () -> unlock t ~node:primary k ~owner ))
+                keys))
+    | _ ->
+        ignore
+          (rpc t ~src ~dst:primary
+             ~req_bytes:(Wire.abort_b ~n_locks:(List.length keys))
+             ~resp_bytes:(fun _ -> Wire.small_resp_b)
+             ~handler_ns:t.hw.host_rpc_ns
+             (fun () -> List.iter (fun k -> unlock t ~node:primary k ~owner) keys))
+  in
+  let lock_shard (shard, keys) () =
+    let primary = Config.primary t.cfg ~shard in
+    match t.flavor with
+    | Drtmr ->
+        (* One-sided CAS per key, then READ the locked values. *)
+        let cas_results =
+          one_sided_many t ~src
+            (List.map
+               (fun k ->
+                 ( primary,
+                   Rdma.Cas,
+                   16,
+                   fun () ->
+                     if try_lock t ~node:primary k ~owner then `Got k else `Held ))
+               keys)
+        in
+        let acquired =
+          List.filter_map (function `Got k -> Some k | `Held -> None) cas_results
+        in
+        if List.length acquired <> List.length keys then begin
+          if acquired <> [] then
+            ignore
+              (one_sided_many t ~src
+                 (List.map
+                    (fun k ->
+                      ( primary,
+                        Rdma.Write,
+                        16,
+                        fun () -> unlock t ~node:primary k ~owner ))
+                    acquired));
+          (shard, `Fail)
+        end
+        else begin
+          let reads =
+            one_sided_many t ~src
+              (List.map
+                 (fun k ->
+                   ( primary,
+                     Rdma.Read,
+                     value_slot_b (Option.map fst (obj_read t ~node:primary k)),
+                     fun () -> (k, obj_read t ~node:primary k) ))
+                 keys)
+          in
+          let entries =
+            List.map
+              (fun (k, r) ->
+                match r with
+                | Some (v, seq) -> (k, Some v, seq)
+                | None -> (k, None, 0))
+              reads
+          in
+          (shard, `Ok entries)
+        end
+    | _ ->
+        (* Lock RPC: acquires the shard's locks and returns versions
+           only — in DrTM+H the object values were already retrieved by
+           one-sided execution reads ("retrieve the value, then lock"). *)
+        let r =
+          rpc t ~src ~dst:primary
+            ~req_bytes:
+              (Wire.execute_req_b ~n_reads:0 ~n_locks:(List.length keys)
+                 ~state_bytes:0)
+            ~resp_bytes:(fun r ->
+              match r with
+              | `Fail -> Wire.small_resp_b
+              | `Ok entries -> Wire.small_resp_b + (8 * List.length entries))
+            ~handler_ns:
+              (t.hw.host_rpc_ns
+              +. (float_of_int (List.length keys) *. t.hw.host_op_ns))
+            (fun () ->
+              let rec go acc = function
+                | [] -> `Ok (List.rev acc)
+                | k :: rest ->
+                    if try_lock t ~node:primary k ~owner then
+                      let seq =
+                        match obj_read t ~node:primary k with
+                        | Some (_, s) -> s
+                        | None -> 0
+                      in
+                      go ((k, None, seq) :: acc) rest
+                    else begin
+                      List.iter
+                        (fun (k', _, _) -> unlock t ~node:primary k' ~owner)
+                        acc;
+                      `Fail
+                    end
+              in
+              go [] keys)
+        in
+        (shard, r)
+  in
+  let results = Process.parallel t.engine (List.map lock_shard !by_shard) in
+  if List.exists (fun (_, r) -> r = `Fail) results then begin
+    Xenic_stats.Counter.incr (counters t) "exec_lock_conflicts";
+    List.iter
+      (fun (shard, r) ->
+        match r with
+        | `Ok entries when entries <> [] ->
+            release_shard (shard, List.map (fun (k, _, _) -> k) entries)
+        | _ -> ())
+      results;
+    `Fail
+  end
+  else
+    `Ok
+      (List.concat_map
+         (fun (_, r) -> match r with `Ok entries -> entries | `Fail -> [])
+         results)
+
+(* Validation: DrTM+H/NC re-read version words one-sided; FaSST uses a
+   per-shard RPC. *)
+let validate_phase t ~src ~owner checks =
+  match t.flavor with
+  | Drtmr -> true (* all accesses are locked; no validation phase *)
+  | Fasst ->
+      let by_shard = Hashtbl.create 4 in
+      List.iter
+        (fun (k, seq) ->
+          let s = Keyspace.shard k in
+          Hashtbl.replace by_shard s
+            ((k, seq) :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
+        checks;
+      let shards = Hashtbl.fold (fun s cs acc -> (s, cs) :: acc) by_shard [] in
+      let results =
+        Process.parallel t.engine
+          (List.map
+             (fun (shard, cs) () ->
+               let primary = Config.primary t.cfg ~shard in
+               rpc t ~src ~dst:primary
+                 ~req_bytes:(Wire.validate_req_b ~n_checks:(List.length cs))
+                 ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                 ~handler_ns:
+                   (t.hw.host_rpc_ns
+                   +. (float_of_int (List.length cs) *. t.hw.host_op_ns))
+                 (fun () ->
+                   List.for_all
+                     (fun (k, expected) ->
+                       (not (locked_by_other t ~node:primary k ~owner))
+                       &&
+                       let current =
+                         match obj_read t ~node:primary k with
+                         | Some (_, s) -> s
+                         | None -> 0
+                       in
+                       current = expected)
+                     cs))
+             shards)
+      in
+      List.for_all Fun.id results
+  | Drtmh | Drtmh_nc | Farm ->
+      let results =
+        one_sided_many t ~src
+          (List.map
+             (fun (k, expected) ->
+               let primary = Config.primary t.cfg ~shard:(Keyspace.shard k) in
+               ( primary,
+                 Rdma.Read,
+                 Xenic_store.Kv.slot_header_b,
+                 fun () ->
+                   (not (locked_by_other t ~node:primary k ~owner))
+                   &&
+                   let current =
+                     match obj_read t ~node:primary k with
+                     | Some (_, s) -> s
+                     | None -> 0
+                   in
+                   current = expected ))
+             checks)
+      in
+      List.for_all Fun.id results
+
+(* LOG: replicate the write set to every backup. DrTM+H/NC/DrTM+R use
+   one-sided WRITEs into the backups' log regions; FaSST uses RPCs. *)
+let log_phase t ~src seq_ops_by_shard =
+  let targets =
+    List.concat_map
+      (fun (shard, seq_ops) ->
+        List.map (fun b -> (b, seq_ops)) (Config.backups t.cfg ~shard))
+      seq_ops_by_shard
+  in
+  match t.flavor with
+  | Fasst ->
+      ignore
+        (Process.parallel t.engine
+           (List.map
+              (fun (backup, seq_ops) () ->
+                let bytes = Wire.log_record_b ~ops:(List.map fst seq_ops) in
+                rpc t ~src ~dst:backup ~req_bytes:bytes
+                  ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                  ~handler_ns:t.hw.host_rpc_ns
+                  (fun () ->
+                    Xenic_store.Hostlog.append t.nodes.(backup).log ~bytes
+                      { lr_ops = seq_ops }))
+              targets))
+  | _ ->
+      ignore
+        (one_sided_many t ~src
+           (List.map
+              (fun (backup, seq_ops) ->
+                let bytes = Wire.log_record_b ~ops:(List.map fst seq_ops) in
+                ( backup,
+                  Rdma.Write,
+                  bytes,
+                  fun () ->
+                    Xenic_store.Hostlog.append t.nodes.(backup).log ~bytes
+                      { lr_ops = seq_ops } ))
+              targets))
+
+(* COMMIT: apply new values at primaries, bump versions, release locks.
+   DrTM+R writes value+version+lock in a single WRITE per key; the
+   others use a per-shard RPC. *)
+let commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard =
+  match t.flavor with
+  | Drtmr ->
+      ignore
+        (one_sided_many t ~src
+           (List.concat_map
+              (fun (shard, seq_ops) ->
+                let primary = Config.primary t.cfg ~shard in
+                List.map
+                  (fun (op, seq) ->
+                    ( primary,
+                      Rdma.Write,
+                      Op.bytes op + 16,
+                      fun () ->
+                        obj_apply t ~node:primary (op, seq);
+                        unlock t ~node:primary (Op.key op) ~owner ))
+                  seq_ops)
+              seq_ops_by_shard))
+  | _ ->
+      ignore
+        (Process.parallel t.engine
+           (List.map
+              (fun (shard, seq_ops) () ->
+                let primary = Config.primary t.cfg ~shard in
+                let locked =
+                  Option.value ~default:[] (List.assoc_opt shard locked_by_shard)
+                in
+                let bytes = Wire.write_ops_b ~ops:(List.map fst seq_ops) in
+                rpc t ~src ~dst:primary ~req_bytes:bytes
+                  ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                  ~handler_ns:
+                    (t.hw.host_rpc_ns
+                    +. float_of_int (List.length seq_ops) *. t.hw.host_op_ns)
+                  (fun () ->
+                    List.iter (fun (op, seq) -> obj_apply t ~node:primary (op, seq)) seq_ops;
+                    List.iter (fun k -> unlock t ~node:primary k ~owner) locked))
+              seq_ops_by_shard))
+
+(* ------------------------------------------------------------------ *)
+(* Transaction driver *)
+
+let seq_ops_of ~lock_versions ops =
+  List.map
+    (fun op ->
+      let k = Op.key op in
+      match List.assoc_opt k lock_versions with
+      | Some seq -> (op, seq + 1)
+      | None -> (op, 1))
+    ops
+
+let group_ops_by_shard seq_ops =
+  List.sort_uniq compare (List.map (fun (op, _) -> Keyspace.shard (Op.key op)) seq_ops)
+  |> List.map (fun s ->
+         (s, List.filter (fun (op, _) -> Keyspace.shard (Op.key op) = s) seq_ops))
+
+(* FaSST's consolidated execute: one RPC per shard locks that shard's
+   write-set keys AND reads its read-set keys (§2.2.2). *)
+let fasst_execute t ~src ~owner ~reads ~locks =
+  let shards =
+    List.sort_uniq compare (List.map Keyspace.shard (reads @ locks))
+  in
+  let one shard () =
+    let primary = Config.primary t.cfg ~shard in
+    let s_reads = List.filter (fun k -> Keyspace.shard k = shard) reads in
+    let s_locks = List.filter (fun k -> Keyspace.shard k = shard) locks in
+    let r =
+      rpc t ~src ~dst:primary
+        ~req_bytes:
+          (Wire.execute_req_b ~n_reads:(List.length s_reads)
+             ~n_locks:(List.length s_locks) ~state_bytes:0)
+        ~resp_bytes:(fun r ->
+          match r with
+          | `Fail -> Wire.small_resp_b
+          | `Ok (_, values) ->
+              Wire.execute_resp_b
+                ~value_bytes:
+                  (List.map
+                     (fun (_, v, _) ->
+                       match v with Some b -> Bytes.length b | None -> 0)
+                     values))
+        ~handler_ns:
+          (t.hw.host_rpc_ns
+          +. float_of_int (List.length s_reads + List.length s_locks)
+             *. t.hw.host_op_ns)
+        (fun () ->
+          let rec acquire acc = function
+            | [] -> Some (List.rev acc)
+            | k :: rest ->
+                if try_lock t ~node:primary k ~owner then
+                  let seq =
+                    match obj_read t ~node:primary k with
+                    | Some (_, s) -> s
+                    | None -> 0
+                  in
+                  acquire ((k, None, seq) :: acc) rest
+                else begin
+                  List.iter
+                    (fun (k', _, _) -> unlock t ~node:primary k' ~owner)
+                    acc;
+                  None
+                end
+          in
+          match acquire [] s_locks with
+          | None -> `Fail
+          | Some lockv ->
+              let values =
+                List.map
+                  (fun k ->
+                    match obj_read t ~node:primary k with
+                    | Some (v, seq) -> (k, Some v, seq)
+                    | None -> (k, None, 0))
+                  s_reads
+              in
+              `Ok (lockv, values))
+    in
+    (shard, r)
+  in
+  let results = Process.parallel t.engine (List.map one shards) in
+  if List.exists (fun (_, r) -> r = `Fail) results then begin
+    Xenic_stats.Counter.incr (counters t) "exec_lock_conflicts";
+    (* Release locks acquired at other shards. *)
+    List.iter
+      (fun (shard, r) ->
+        match r with
+        | `Ok (lockv, _) when lockv <> [] ->
+            let primary = Config.primary t.cfg ~shard in
+            ignore
+              (rpc t ~src ~dst:primary
+                 ~req_bytes:(Wire.abort_b ~n_locks:(List.length lockv))
+                 ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                 ~handler_ns:t.hw.host_rpc_ns
+                 (fun () ->
+                   List.iter
+                     (fun (k, _, _) -> unlock t ~node:primary k ~owner)
+                     lockv))
+        | _ -> ())
+      results;
+    `Fail
+  end
+  else
+    let lockv =
+      List.concat_map
+        (fun (_, r) -> match r with `Ok (lv, _) -> lv | `Fail -> [])
+        results
+    in
+    let values =
+      List.concat_map
+        (fun (_, r) -> match r with `Ok (_, vs) -> vs | `Fail -> [])
+        results
+    in
+    `Ok (lockv, values)
+
+let rec run_txn t ~node (txn : Types.t) =
+  let n = t.nodes.(node) in
+  n.txn_seq <- n.txn_seq + 1;
+  let owner = (node * 1_000_000_000) + n.txn_seq in
+  let src = node in
+  (* DrTM+R locks every accessed key; the others lock only writes. *)
+  let lock_keys =
+    match t.flavor with
+    | Drtmr -> List.sort_uniq compare (txn.write_set @ txn.read_set)
+    | _ -> txn.write_set
+  in
+  (* DrTM+H's execution phase retrieves every read-set object with
+     one-sided READs before locking; lock-time versions are then
+     cross-checked against the read versions. *)
+  let exec_reads =
+    match t.flavor with
+    | Drtmh | Drtmh_nc | Farm ->
+        Process.parallel t.engine
+          (List.map
+             (fun k () ->
+               match one_sided_read t ~src k with
+               | Some (v, seq) -> (k, Some v, seq)
+               | None -> (k, None, 0))
+             txn.read_set)
+    | Fasst | Drtmr -> []
+  in
+  let lock_result =
+    match t.flavor with
+    | Fasst ->
+        fasst_execute t ~src ~owner ~reads:txn.read_set ~locks:txn.write_set
+    | _ -> (
+        match lock_phase t ~src ~owner lock_keys with
+        | `Fail -> `Fail
+        | `Ok entries -> `Ok (entries, exec_reads))
+  in
+  match lock_result with
+  | `Fail -> Types.Aborted
+  | `Ok (locked_entries, read_results_pre) -> (
+      let abort_all () =
+        let by_shard = group_ops_by_shard [] in
+        ignore by_shard;
+        let by_shard = Hashtbl.create 4 in
+        List.iter
+          (fun (k, _, _) ->
+            let s = Keyspace.shard k in
+            Hashtbl.replace by_shard s
+              (k :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
+          locked_entries;
+        Hashtbl.iter
+          (fun shard keys ->
+            let primary = Config.primary t.cfg ~shard in
+            match t.flavor with
+            | Drtmr ->
+                ignore
+                  (one_sided_many t ~src
+                     (List.map
+                        (fun k ->
+                          ( primary,
+                            Rdma.Write,
+                            16,
+                            fun () -> unlock t ~node:primary k ~owner ))
+                        keys))
+            | _ ->
+                ignore
+                  (rpc t ~src ~dst:primary
+                     ~req_bytes:(Wire.abort_b ~n_locks:(List.length keys))
+                     ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                     ~handler_ns:t.hw.host_rpc_ns
+                     (fun () ->
+                       List.iter (fun k -> unlock t ~node:primary k ~owner) keys)))
+          by_shard
+      in
+      let read_results = read_results_pre in
+      (* Lock-time versions must match the execution-read versions for
+         keys both read and written, or the value in hand is stale. *)
+      let lock_matches_read =
+        List.for_all
+          (fun (k, _, lock_seq) ->
+            match List.find_opt (fun (k', _, _) -> k' = k) read_results with
+            | Some (_, _, read_seq) -> read_seq = lock_seq
+            | None -> true)
+          locked_entries
+      in
+      if not lock_matches_read then begin
+        Xenic_stats.Counter.incr (counters t) "lock_version_conflicts";
+        abort_all ();
+        Types.Aborted
+      end
+      else
+      let values = read_results @ locked_entries in
+      let view k =
+        match List.find_opt (fun (k', _, _) -> k' = k) values with
+        | Some (_, v, _) -> v
+        | None -> None
+      in
+      (* Execution at the coordinator host. A multi-shot More releases
+         the locks and replays the transaction with the extended
+         read/write sets (an extra protocol round, as an RPC system
+         would issue). *)
+      Resource.use n.host txn.host_exec_ns;
+      match txn.exec view with
+      | Types.More { read; lock } ->
+          abort_all ();
+          if List.length txn.read_set > 256 then Types.Aborted
+          else
+            run_txn t ~node
+              {
+                txn with
+                Types.read_set = List.sort_uniq compare (txn.read_set @ read);
+                write_set = List.sort_uniq compare (txn.write_set @ lock);
+              }
+      | Types.Done ops ->
+      (* Validate read-only keys. *)
+      let checks =
+        List.filter_map
+          (fun k ->
+            match List.find_opt (fun (k', _, _) -> k' = k) read_results with
+            | Some (_, _, seq) -> Some (k, seq)
+            | None -> None)
+          (Types.validate_set txn)
+      in
+      let valid = checks = [] || validate_phase t ~src ~owner checks in
+      if not valid then begin
+        Xenic_stats.Counter.incr (counters t) "validate_conflicts";
+        abort_all ();
+        Types.Aborted
+      end
+      else if ops = [] && lock_keys = [] then Types.Committed
+      else if ops = [] then begin
+        (* Locked but nothing to write (e.g. DrTM+R read-only): release. *)
+        abort_all ();
+        Types.Committed
+      end
+      else begin
+        let lock_versions = List.map (fun (k, _, seq) -> (k, seq)) locked_entries in
+        let seq_ops = seq_ops_of ~lock_versions ops in
+        let seq_ops_by_shard = group_ops_by_shard seq_ops in
+        log_phase t ~src seq_ops_by_shard;
+        let locked_by_shard =
+          List.map
+            (fun (shard, _) ->
+              ( shard,
+                List.filter_map
+                  (fun (k, _, _) ->
+                    if Keyspace.shard k = shard then Some k else None)
+                  locked_entries ))
+            seq_ops_by_shard
+        in
+        commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard;
+        (* Release locks on keys that were locked but not written
+           (DrTM+R read-set locks). *)
+        let written = List.map (fun (op, _) -> Op.key op) seq_ops in
+        let residual =
+          List.filter_map
+            (fun (k, _, _) -> if List.mem k written then None else Some k)
+            locked_entries
+        in
+        if residual <> [] then begin
+          let by_shard = Hashtbl.create 4 in
+          List.iter
+            (fun k ->
+              let s = Keyspace.shard k in
+              Hashtbl.replace by_shard s
+                (k :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
+            residual;
+          Hashtbl.iter
+            (fun shard keys ->
+              let primary = Config.primary t.cfg ~shard in
+              match t.flavor with
+              | Drtmr ->
+                  ignore
+                    (one_sided_many t ~src
+                       (List.map
+                          (fun k ->
+                            ( primary,
+                              Rdma.Write,
+                              16,
+                              fun () -> unlock t ~node:primary k ~owner ))
+                          keys))
+              | _ ->
+                  ignore
+                    (rpc t ~src ~dst:primary
+                       ~req_bytes:(Wire.abort_b ~n_locks:(List.length keys))
+                       ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                       ~handler_ns:t.hw.host_rpc_ns
+                       (fun () ->
+                         List.iter
+                           (fun k -> unlock t ~node:primary k ~owner)
+                           keys)))
+            by_shard
+        end;
+        Types.Committed
+      end)

@@ -1,0 +1,79 @@
+(** The RDMA-based comparison systems of §5.1, reimplemented on the CX5
+    model over a DrTM+H-style chained hash store:
+
+    - {b DrTM+H}: the hybrid. One-sided READs for execution and
+      validation (exact-address reads via the coordinator's remote
+      address cache), RPCs for locking and commit, one-sided WRITEs for
+      logging.
+    - {b DrTM+H (NC)}: remote address cache disabled — execution reads
+      traverse the chained buckets with one one-sided READ per bucket.
+    - {b FaSST}: two-sided RPCs for everything, consolidating each
+      shard's reads and locks into one RPC.
+    - {b DrTM+R}: one-sided only — CAS locks every accessed key (reads
+      included, so no validation phase), one-sided reads, WRITE-based
+      logging, commit+unlock in one WRITE per key.
+    - {b FaRM} (extra; the paper describes it in §2.2.2 but does not
+      plot it in Fig 8): objects live in a Hopscotch table; execution
+      and validation reads are one-sided READs of the full H=8
+      neighborhood (a second roundtrip on overflow); locking and commit
+      use its WRITE-based message-log RPCs; logging is one-sided.
+
+    All four share host thread pools (coordinator work and RPC handling
+    compete for the same cores, as in FaSST) and FaRM-style background
+    log application at backups. *)
+
+open Xenic_cluster
+
+type flavor = Drtmh | Drtmh_nc | Fasst | Drtmr | Farm
+
+val flavor_name : flavor -> string
+
+type params = {
+  host_threads : int;  (** Host threads per node (app + RPC handling). *)
+  worker_threads : int;  (** Background log-apply threads. *)
+  buckets : int;  (** Chained-table main buckets per shard copy. *)
+  bucket_b : int;  (** Slots per bucket (B in Table 2). *)
+  log_capacity_b : int;
+  btree_op_ns : float;
+}
+
+val default_params : params
+
+type t
+
+val create :
+  Xenic_sim.Engine.t ->
+  Xenic_params.Hw.t ->
+  Config.t ->
+  flavor ->
+  params ->
+  t
+
+val engine : t -> Xenic_sim.Engine.t
+
+val cfg : t -> Config.t
+
+val flavor : t -> flavor
+
+val metrics : t -> Metrics.t
+
+val load : t -> Keyspace.t -> bytes -> unit
+
+val seal : t -> unit
+
+val run_txn : t -> node:int -> Types.t -> Types.outcome
+
+val peek : t -> node:int -> Keyspace.t -> bytes option
+
+val peek_min :
+  t -> node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) option
+
+val peek_max :
+  t -> node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) option
+
+val peek_range :
+  t -> node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) list
+
+val host_utilization : t -> float
+
+val quiesce : t -> unit

@@ -1,0 +1,58 @@
+open Xenic_cluster
+
+type t = {
+  name : string;
+  cfg : Config.t;
+  engine : Xenic_sim.Engine.t;
+  metrics : Metrics.t;
+  load : Keyspace.t -> bytes -> unit;
+  seal : unit -> unit;
+  run_txn : node:int -> Types.t -> Types.outcome;
+  peek : node:int -> Keyspace.t -> bytes option;
+  peek_min : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) option;
+  peek_max : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) option;
+  peek_range : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) list;
+  quiesce : unit -> unit;
+  nic_util : unit -> float;
+  host_util : unit -> float;
+}
+
+let of_xenic x =
+  {
+    name = "Xenic";
+    cfg = Xenic_system.config x;
+    engine = Xenic_system.engine x;
+    metrics = Xenic_system.metrics x;
+    load = (fun k v -> Xenic_system.load x k v);
+    seal = (fun () -> Xenic_system.seal x);
+    run_txn = (fun ~node txn -> Xenic_system.run_txn x ~node txn);
+    peek = (fun ~node k -> Xenic_system.peek x ~node k);
+    peek_min = (fun ~node ~lo ~hi -> Xenic_system.peek_min x ~node ~lo ~hi);
+    peek_max = (fun ~node ~lo ~hi -> Xenic_system.peek_max x ~node ~lo ~hi);
+    peek_range = (fun ~node ~lo ~hi -> Xenic_system.peek_range x ~node ~lo ~hi);
+    quiesce = (fun () -> Xenic_system.quiesce x);
+    nic_util = (fun () -> Xenic_system.nic_core_utilization x);
+    host_util =
+      (fun () ->
+        (Xenic_system.host_app_utilization x
+        +. Xenic_system.host_worker_utilization x)
+        /. 2.0);
+  }
+
+let of_rdma r =
+  {
+    name = Rdma_system.flavor_name (Rdma_system.flavor r);
+    cfg = Rdma_system.cfg r;
+    engine = Rdma_system.engine r;
+    metrics = Rdma_system.metrics r;
+    load = (fun k v -> Rdma_system.load r k v);
+    seal = (fun () -> Rdma_system.seal r);
+    run_txn = (fun ~node txn -> Rdma_system.run_txn r ~node txn);
+    peek = (fun ~node k -> Rdma_system.peek r ~node k);
+    peek_min = (fun ~node ~lo ~hi -> Rdma_system.peek_min r ~node ~lo ~hi);
+    peek_max = (fun ~node ~lo ~hi -> Rdma_system.peek_max r ~node ~lo ~hi);
+    peek_range = (fun ~node ~lo ~hi -> Rdma_system.peek_range r ~node ~lo ~hi);
+    quiesce = (fun () -> Rdma_system.quiesce r);
+    nic_util = (fun () -> 0.0);
+    host_util = (fun () -> Rdma_system.host_utilization r);
+  }

@@ -1,0 +1,25 @@
+(** Uniform handle over a transaction system (Xenic or an RDMA
+    baseline), so workloads and experiments are system-agnostic. *)
+
+open Xenic_cluster
+
+type t = {
+  name : string;
+  cfg : Config.t;
+  engine : Xenic_sim.Engine.t;
+  metrics : Metrics.t;
+  load : Keyspace.t -> bytes -> unit;
+  seal : unit -> unit;
+  run_txn : node:int -> Types.t -> Types.outcome;
+  peek : node:int -> Keyspace.t -> bytes option;
+  peek_min : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) option;
+  peek_max : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) option;
+  peek_range : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) list;
+  quiesce : unit -> unit;
+  nic_util : unit -> float;  (** SmartNIC core utilization (0 for RDMA). *)
+  host_util : unit -> float;
+}
+
+val of_xenic : Xenic_system.t -> t
+
+val of_rdma : Rdma_system.t -> t

@@ -1,0 +1,1289 @@
+open Xenic_sim
+open Xenic_cluster
+open Xenic_nicdev
+
+type msg = { bytes : int; deliver : unit -> unit }
+
+type params = {
+  features : Features.t;
+  app_threads : int;
+  worker_threads : int;
+  nic_threads : int;
+  cache_capacity : int;
+  segments : int;
+  seg_size : int;
+  d_max : int option;
+  log_capacity_b : int;
+  btree_op_ns : float;
+}
+
+let default_params =
+  {
+    features = Features.full;
+    app_threads = 4;
+    worker_threads = 3;
+    nic_threads = 16;
+    cache_capacity = 4096;
+    segments = 256;
+    seg_size = 64;
+    d_max = Some 8;
+    log_capacity_b = 4 * 1024 * 1024;
+    btree_op_ns = 300.0;
+  }
+
+type log_kind = Lrec_log | Lrec_commit
+
+type log_record = {
+  lr_kind : log_kind;
+  lr_shard : int;
+  lr_ops : (Op.t * int) list;  (* op, new version *)
+  mutable lr_stamp : int;
+      (* log-append order, for ordered-table write ordering; assigned
+         by the append (delivery to workers is deferred, so the stamp
+         is always set before a worker reads it) *)
+}
+
+type node = {
+  id : int;
+  nic : Smartnic.t;
+  agg : msg Xenic_net.Aggregator.t;
+  storage : Storage.t;
+  indexes : bytes Xenic_store.Nic_index.t option array;
+      (* caching index per shard this node is CURRENTLY primary of;
+         initially just its own shard, extended by promotion *)
+  log : log_record Xenic_store.Hostlog.t;  (* backup LOG records *)
+  commit_log : log_record Xenic_store.Hostlog.t;
+      (* primary COMMIT records, drained separately so hot-row
+         freshness does not queue behind bulky backup records *)
+  app : Resource.t;
+  workers : Resource.t;
+  mutable txn_seq : int;
+}
+
+type t = {
+  engine : Engine.t;
+  hw : Xenic_params.Hw.t;
+  cfg : Config.t;
+  p : params;
+  fabric : msg Xenic_net.Fabric.t;
+  nodes : node array;
+  metrics : Metrics.t;
+  primaries : int array;  (* shard -> current primary node *)
+  alive : bool array;
+}
+
+(* Current primary routing (reconfiguration-aware, §4.2.1). *)
+let primary_of t ~shard = t.primaries.(shard)
+
+(* Live backups of [shard]: its replicas minus the current primary and
+   any dead nodes. *)
+let backups_of t ~shard =
+  List.filter
+    (fun n -> n <> t.primaries.(shard) && t.alive.(n))
+    (Config.replicas t.cfg ~shard)
+
+(* The caching index a node serves for [k]'s shard. *)
+let idx_for _t node k =
+  match node.indexes.(Keyspace.shard k) with
+  | Some idx -> idx
+  | None ->
+      invalid_arg
+        (Printf.sprintf "node %d is not primary of shard %d" node.id
+           (Keyspace.shard k))
+
+let engine t = t.engine
+
+let config t = t.cfg
+
+let metrics t = t.metrics
+
+let counters t = Metrics.counters t.metrics
+
+(* Temporary debugging hook: trace every protocol event touching a key. *)
+let debug_key : int option ref = ref None
+
+let dbg t key f =
+  if !debug_key = Some key then
+    Printf.printf "[%10.0f] %s\n%!" (Engine.now t.engine) (f ())
+
+(* ------------------------------------------------------------------ *)
+(* Messaging *)
+
+let send t ~src ~dst m =
+  if src = dst then Process.spawn t.engine m.deliver
+  else begin
+    Xenic_stats.Counter.incr (counters t) "msgs";
+    Xenic_stats.Counter.add (counters t) "msg_bytes" m.bytes;
+    Xenic_net.Aggregator.push t.nodes.(src).agg ~dst ~bytes:m.bytes m
+  end
+
+(* Request/response between NICs: the caller (a coordinator process)
+   blocks until the response message arrives back and is dispatched. *)
+let request t ~src ~dst ~req_bytes ~resp_bytes (handler : unit -> 'r) : 'r =
+  let nic = t.nodes.(src).nic in
+  Smartnic.core_work nic ~bytes:0;
+  Process.suspend (fun resume ->
+      send t ~src ~dst
+        {
+          bytes = req_bytes;
+          deliver =
+            (fun () ->
+              let r = handler () in
+              send t ~src:dst ~dst:src
+                {
+                  bytes = resp_bytes r;
+                  deliver =
+                    (fun () ->
+                      Smartnic.core_work nic ~bytes:0;
+                      resume r);
+                });
+        })
+
+(* One-way message with a handler at the destination NIC. *)
+let notify t ~src ~dst ~bytes (handler : unit -> unit) =
+  send t ~src ~dst { bytes; deliver = handler }
+
+(* ------------------------------------------------------------------ *)
+(* NIC-side helpers *)
+
+let with_core node f =
+  Resource.acquire (Smartnic.cores node.nic);
+  let finally () = Resource.release (Smartnic.cores node.nic) in
+  match f () with
+  | r ->
+      finally ();
+      r
+  | exception e ->
+      finally ();
+      raise e
+
+(* DMA access from a handler holding a NIC core. With async DMA the
+   core is released while the transfer is in flight (§4.3.1); without
+   it the core blocks for the whole unvectored transfer. *)
+let dma_io t node kind ~bytes =
+  let dma = Smartnic.dma node.nic in
+  let cores = Smartnic.cores node.nic in
+  (match kind with
+  | `Read -> Xenic_stats.Counter.incr (counters t) "dma_reads"
+  | `Write -> Xenic_stats.Counter.incr (counters t) "dma_writes");
+  if t.p.features.async_dma then begin
+    Resource.release cores;
+    (match kind with
+    | `Read -> Xenic_pcie.Dma.read dma ~bytes
+    | `Write -> Xenic_pcie.Dma.write dma ~bytes);
+    Resource.acquire cores
+  end
+  else
+    match kind with
+    | `Read -> Xenic_pcie.Dma.read dma ~bytes
+    | `Write -> Xenic_pcie.Dma.write dma ~bytes
+
+(* Caching-index I/O charged to this node's NIC (core held by caller). *)
+let index_io t node =
+  {
+    Xenic_store.Nic_index.nic_mem =
+      (fun () -> Smartnic.mem_access node.nic);
+    dma_read = (fun ~slots:_ ~bytes -> dma_io t node `Read ~bytes);
+  }
+
+let owner_token (id : Types.txn_id) = (id.coord * 1_000_000_000) + id.seq
+
+(* ------------------------------------------------------------------ *)
+(* Server-side handlers (run at the primary's NIC) *)
+
+(* EXECUTE: lock the shard's write-set keys, read its read-set keys.
+   Returns lock versions and read results, or `Fail on any conflict. *)
+let execute_handler t node ~owner ~locks ~reads () =
+  with_core node (fun () ->
+      Smartnic.core_work_held node.nic
+        ~ops:(List.length locks + List.length reads)
+        ~bytes:0;
+      let idx =
+        match locks @ reads with
+        | [] -> invalid_arg "execute_handler: empty request"
+        | k :: _ -> idx_for t node k
+      in
+      let io = index_io t node in
+      let rec acquire acc = function
+        | [] -> `Ok (List.rev acc)
+        | k :: rest -> (
+            match Xenic_store.Nic_index.try_lock idx io k ~owner with
+            | `Acquired seq ->
+                dbg t k (fun () ->
+                    Printf.sprintf "exec-lock n%d owner=%d ver=%d" node.id owner seq);
+                acquire ((k, seq) :: acc) rest
+            | `Locked ->
+                List.iter
+                  (fun (k', _) -> Xenic_store.Nic_index.unlock idx k' ~owner)
+                  acc;
+                `Fail)
+      in
+      match acquire [] locks with
+      | `Fail ->
+          Xenic_stats.Counter.incr (counters t) "exec_lock_conflicts";
+          `Fail
+      | `Ok lock_versions -> (
+          let rec read_all acc = function
+            | [] -> `Ok (List.rev acc)
+            | k :: rest -> (
+                match Xenic_store.Nic_index.lock_owner idx k with
+                | Some o when o <> owner ->
+                    Xenic_stats.Counter.incr (counters t) "exec_read_locked";
+                    `Fail
+                | _ ->
+                    let r = Xenic_store.Nic_index.read idx io k in
+                    let v, seq =
+                      match r with Some (v, s) -> (Some v, s) | None -> (None, 0)
+                    in
+                    dbg t k (fun () ->
+                        Printf.sprintf "exec-read n%d owner=%d ver=%d val=%Ld"
+                          node.id owner seq
+                          (match v with Some b -> Bytes.get_int64_le b 0 | None -> -1L));
+                    read_all ((k, v, seq) :: acc) rest)
+          in
+          match read_all [] reads with
+          | `Ok values -> `Ok (lock_versions, values)
+          | `Fail ->
+              List.iter
+                (fun (k, _) -> Xenic_store.Nic_index.unlock idx k ~owner)
+                lock_versions;
+              `Fail))
+
+(* VALIDATE: version check for read-only keys. *)
+let validate_handler t node ~owner ~checks () =
+  with_core node (fun () ->
+      Smartnic.core_work_held node.nic ~ops:(List.length checks) ~bytes:0;
+      let idx =
+        match checks with
+        | [] -> invalid_arg "validate_handler: empty request"
+        | (k, _) :: _ -> idx_for t node k
+      in
+      let io = index_io t node in
+      let ok =
+        List.for_all
+          (fun (k, expected) ->
+            let lock_ok =
+              match Xenic_store.Nic_index.lock_owner idx k with
+              | Some o when o <> owner -> false
+              | _ -> true
+            in
+            let current =
+              Option.value ~default:0 (Xenic_store.Nic_index.version idx io k)
+            in
+            let ok = lock_ok && current = expected in
+            if (not ok) && Sys.getenv_opt "XENIC_DEBUG_VALIDATE" <> None then
+              Printf.printf "VALIDATE-FAIL key=%x tbl=%d lock_ok=%b cur=%d exp=%d\n%!"
+                k (Keyspace.table k) lock_ok current expected;
+            ok)
+          checks
+      in
+      if not ok then Xenic_stats.Counter.incr (counters t) "validate_conflicts";
+      ok)
+
+(* LOG: append the write set to a backup's host-memory log via DMA. *)
+let log_handler t node ~shard ~seq_ops () =
+  with_core node (fun () ->
+      Smartnic.core_work_held node.nic ~ops:1 ~bytes:0;
+      let ops = List.map fst seq_ops in
+      let bytes = Wire.log_record_b ~ops in
+      dma_io t node `Write ~bytes;
+      let record =
+        { lr_kind = Lrec_log; lr_shard = shard; lr_ops = seq_ops; lr_stamp = 0 }
+      in
+      record.lr_stamp <- Xenic_store.Hostlog.append node.log ~bytes record)
+
+(* COMMIT: append the commit record, install new values and versions in
+   the caching index (pinned until the host applies), release locks. *)
+let commit_handler t node ~owner ~shard ~seq_ops ~locked () =
+  with_core node (fun () ->
+      Smartnic.core_work_held node.nic ~ops:(List.length seq_ops) ~bytes:0;
+      let ops = List.map fst seq_ops in
+      let bytes = Wire.log_record_b ~ops in
+      dma_io t node `Write ~bytes;
+      let record =
+        {
+          lr_kind = Lrec_commit;
+          lr_shard = shard;
+          lr_ops = seq_ops;
+          lr_stamp = 0;
+        }
+      in
+      record.lr_stamp <-
+        Xenic_store.Hostlog.append node.commit_log ~bytes record;
+      let idx =
+        match seq_ops with
+        | [] -> invalid_arg "commit_handler: empty request"
+        | (op, _) :: _ -> idx_for t node (Op.key op)
+      in
+      List.iter
+        (fun (op, _seq) ->
+          let k = Op.key op in
+          if not (Keyspace.ordered k) then begin
+            Smartnic.mem_access node.nic;
+            match op with
+            | Op.Put (_, v) ->
+                let newseq = Xenic_store.Nic_index.apply_commit idx k v in
+                dbg t k (fun () ->
+                    Printf.sprintf "commit-apply n%d owner=%d newver=%d val=%Ld"
+                      node.id owner newseq (Bytes.get_int64_le v 0))
+            | Op.Delete _ -> Xenic_store.Nic_index.apply_delete idx k
+          end)
+        seq_ops;
+      List.iter
+        (fun k ->
+          dbg t k (fun () ->
+              Printf.sprintf "commit-unlock n%d owner=%d" node.id owner);
+          Xenic_store.Nic_index.unlock idx k ~owner)
+        locked)
+
+(* ABORT: release locks acquired during EXECUTE. *)
+let abort_handler t node ~owner ~locked () =
+  ignore t;
+  with_core node (fun () ->
+      Smartnic.core_work_held node.nic ~ops:(List.length locked) ~bytes:0;
+      List.iter
+        (fun k -> Xenic_store.Nic_index.unlock (idx_for t node k) k ~owner)
+        locked)
+
+(* ------------------------------------------------------------------ *)
+(* Host-side Robinhood workers (§4.2 step 7) *)
+
+let apply_cost t _node (op, _) =
+  if Keyspace.ordered (Op.key op) then t.p.btree_op_ns
+  else t.hw.host_op_ns +. (float_of_int (Op.bytes op) *. t.hw.host_byte_ns)
+
+let worker_loop t node source =
+  Process.spawn t.engine (fun () ->
+      let rec loop () =
+        let record, bytes = Xenic_store.Hostlog.poll source in
+        Resource.acquire node.workers;
+        List.iter
+          (fun (op, seq) ->
+            Process.sleep t.engine (apply_cost t node (op, seq));
+            let seq =
+              if Keyspace.ordered (Op.key op) then record.lr_stamp else seq
+            in
+            dbg t (Op.key op) (fun () ->
+                Printf.sprintf "worker-apply n%d kind=%s seq=%d val=%Ld" node.id
+                  (match record.lr_kind with Lrec_log -> "log" | Lrec_commit -> "commit")
+                  seq
+                  (match op with Op.Put (_, v) -> Bytes.get_int64_le v 0 | _ -> -1L));
+            Storage.apply node.storage op ~seq)
+          record.lr_ops;
+        Resource.release node.workers;
+        Xenic_store.Hostlog.ack source ~bytes;
+        (* The host piggybacks a log ack to the NIC so it can unpin
+           committed cache entries (§4.2 step 7). *)
+        (if record.lr_kind = Lrec_commit then
+           match node.indexes.(record.lr_shard) with
+           | Some idx ->
+               List.iter
+                 (fun (op, _) ->
+                   let k = Op.key op in
+                   if not (Keyspace.ordered k) then
+                     Xenic_store.Nic_index.host_applied idx k)
+                 record.lr_ops
+           | None -> ());
+        loop ()
+      in
+      loop ())
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let dispatch_loop t node =
+  Process.spawn t.engine (fun () ->
+      let rx = Xenic_net.Fabric.rx t.fabric node.id in
+      let rec loop () =
+        let pkt = Mailbox.recv rx in
+        Smartnic.pkt_io node.nic;
+        List.iter (fun m -> Process.spawn t.engine m.deliver) pkt.Xenic_net.Packet.msgs;
+        loop ()
+      in
+      loop ())
+
+let create engine hw cfg p =
+  let fabric = Xenic_net.Fabric.create engine hw ~nodes:cfg.Config.nodes in
+  let nodes =
+    Array.init cfg.Config.nodes (fun id ->
+        let storage =
+          Storage.create cfg ~node:id ~segments:p.segments ~seg_size:p.seg_size
+            ~d_max:p.d_max
+        in
+        let own = Storage.shard_store storage ~shard:id in
+        let nic = Smartnic.create ~cores:p.nic_threads engine hw in
+        Xenic_pcie.Dma.set_vectored (Smartnic.dma nic) p.features.async_dma;
+        let indexes = Array.make cfg.Config.nodes None in
+        indexes.(id) <-
+          Some
+            (Xenic_store.Nic_index.create ~host:own.Storage.hash
+               ~cache_capacity:
+                 (if p.features.caching then p.cache_capacity else 0)
+               ());
+        {
+          id;
+          nic;
+          agg =
+            Xenic_net.Aggregator.create fabric ~src:id
+              ~enabled:p.features.eth_aggregation;
+          storage;
+          indexes;
+          log = Xenic_store.Hostlog.create engine ~capacity_b:p.log_capacity_b;
+          commit_log =
+            Xenic_store.Hostlog.create engine ~capacity_b:p.log_capacity_b;
+          app = Resource.create engine ~name:(Printf.sprintf "app%d" id)
+              ~servers:p.app_threads;
+          workers =
+            Resource.create engine ~name:(Printf.sprintf "wrk%d" id)
+              ~servers:p.worker_threads;
+          txn_seq = 0;
+        })
+  in
+  let t =
+    {
+      engine;
+      hw;
+      cfg;
+      p;
+      fabric;
+      nodes;
+      metrics = Metrics.create ();
+      primaries = Array.init cfg.Config.nodes (fun s -> s);
+      alive = Array.make cfg.Config.nodes true;
+    }
+  in
+  Array.iter
+    (fun node ->
+      dispatch_loop t node;
+      for _ = 1 to p.worker_threads do
+        worker_loop t node node.log;
+        worker_loop t node node.commit_log
+      done)
+    nodes;
+  t
+
+let load t k v =
+  List.iter
+    (fun n -> Storage.load t.nodes.(n).storage k v)
+    (Config.replicas t.cfg ~shard:(Keyspace.shard k))
+
+let seal t =
+  Array.iter
+    (fun node ->
+      Array.iter
+        (function
+          | Some idx ->
+              Xenic_store.Nic_index.sync_hints idx;
+              if t.p.features.caching then Xenic_store.Nic_index.prewarm idx
+          | None -> ())
+        node.indexes)
+    t.nodes
+
+let peek t ~node k =
+  match Storage.read t.nodes.(node).storage k with
+  | Some (v, _) -> Some v
+  | None -> None
+
+let peek_min t ~node ~lo ~hi = Storage.ordered_min t.nodes.(node).storage ~lo ~hi
+
+let peek_max t ~node ~lo ~hi = Storage.ordered_max t.nodes.(node).storage ~lo ~hi
+
+let peek_range t ~node ~lo ~hi =
+  Storage.ordered_range t.nodes.(node).storage ~lo ~hi
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator logic *)
+
+let group_by_shard keys =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      let s = Keyspace.shard k in
+      Hashtbl.replace tbl s (k :: Option.value ~default:[] (Hashtbl.find_opt tbl s)))
+    keys;
+  Hashtbl.fold (fun s ks acc -> (s, List.rev ks) :: acc) tbl []
+  |> List.sort compare
+
+let view_of values : Types.view =
+ fun k ->
+  match List.find_opt (fun (k', _, _) -> k' = k) values with
+  | Some (_, v, _) -> v
+  | None -> None
+
+(* Version assignment for LOG/COMMIT records: locked keys get their
+   lock-time version + 1; fresh keys (uniqueness guaranteed by a held
+   lock) start at version 1. *)
+let seq_ops_of ~lock_versions ops =
+  List.map
+    (fun op ->
+      let k = Op.key op in
+      match List.assoc_opt k lock_versions with
+      | Some seq -> (op, seq + 1)
+      | None -> (op, 1))
+    ops
+
+(* Send LOG to every backup of every written shard; await all
+   responses. [reply_node] receives the responses (the coordinator NIC,
+   or under multi-hop the original coordinator rather than the
+   executing primary). *)
+let log_phase t ~src ~seq_ops_by_shard =
+  let requests =
+    List.concat_map
+      (fun (shard, seq_ops) ->
+        List.map
+          (fun backup -> (shard, backup, seq_ops))
+          (backups_of t ~shard))
+      seq_ops_by_shard
+  in
+  let ops_bytes seq_ops = Wire.write_ops_b ~ops:(List.map fst seq_ops) in
+  ignore
+    (Process.parallel t.engine
+       (List.map
+          (fun (shard, backup, seq_ops) () ->
+            request t ~src ~dst:backup ~req_bytes:(ops_bytes seq_ops)
+              ~resp_bytes:(fun () -> Wire.small_resp_b)
+              (log_handler t t.nodes.(backup) ~shard ~seq_ops))
+          requests))
+
+(* Asynchronous COMMIT to each written shard's primary (fire and
+   forget with a small ack frame for wire accounting). *)
+let commit_phase t ~src ~owner ~locks_by_shard ~seq_ops_by_shard =
+  List.iter
+    (fun (shard, seq_ops) ->
+      let primary = primary_of t ~shard in
+      let locked =
+        Option.value ~default:[] (List.assoc_opt shard locks_by_shard)
+      in
+      let bytes = Wire.write_ops_b ~ops:(List.map fst seq_ops) in
+      notify t ~src ~dst:primary ~bytes (fun () ->
+          commit_handler t t.nodes.(primary) ~owner ~shard ~seq_ops ~locked ();
+          notify t ~src:primary ~dst:src ~bytes:Wire.small_resp_b (fun () ->
+              Smartnic.core_work t.nodes.(src).nic ~bytes:0)))
+    seq_ops_by_shard
+
+let abort_everywhere t ~src ~owner ~locks_by_shard =
+  List.iter
+    (fun (shard, locked) ->
+      if locked <> [] then
+        let primary = primary_of t ~shard in
+        notify t ~src ~dst:primary
+          ~bytes:(Wire.abort_b ~n_locks:(List.length locked))
+          (abort_handler t t.nodes.(primary) ~owner ~locked))
+    locks_by_shard
+
+(* -- Standard distributed commit (§4.2), coordinator-side NIC ------- *)
+
+let execute_phase t ~src ~owner ~reads_by_shard ~locks_by_shard =
+  let shards =
+    List.sort_uniq compare (List.map fst reads_by_shard @ List.map fst locks_by_shard)
+  in
+  let one shard () =
+    let reads = Option.value ~default:[] (List.assoc_opt shard reads_by_shard) in
+    let locks = Option.value ~default:[] (List.assoc_opt shard locks_by_shard) in
+    let primary = primary_of t ~shard in
+    if t.p.features.smart_ops then
+      let r =
+        request t ~src ~dst:primary
+          ~req_bytes:
+            (Wire.execute_req_b ~n_reads:(List.length reads)
+               ~n_locks:(List.length locks) ~state_bytes:0)
+          ~resp_bytes:(fun r ->
+            match r with
+            | `Fail -> Wire.small_resp_b
+            | `Ok (_, values) ->
+                Wire.execute_resp_b
+                  ~value_bytes:
+                    (List.map
+                       (fun (_, v, _) ->
+                         match v with Some b -> Bytes.length b | None -> 0)
+                       values))
+          (execute_handler t t.nodes.(primary) ~owner ~locks ~reads)
+      in
+      (shard, r)
+    else begin
+      (* DrTM+H-restricted operation set: one request per lock, one per
+         read (§5.7 baseline). *)
+      let lock_results =
+        Process.parallel t.engine
+          (List.map
+             (fun k () ->
+               request t ~src ~dst:primary ~req_bytes:Wire.lock_req_b
+                 ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                 (execute_handler t t.nodes.(primary) ~owner ~locks:[ k ]
+                    ~reads:[]))
+             locks)
+      in
+      let failed =
+        List.exists (function `Fail -> true | `Ok _ -> false) lock_results
+      in
+      if failed then begin
+        (* Release the locks this shard did acquire. *)
+        let acquired =
+          List.concat_map
+            (function `Ok (lv, _) -> List.map fst lv | `Fail -> [])
+            lock_results
+        in
+        if acquired <> [] then
+          notify t ~src ~dst:primary
+            ~bytes:(Wire.abort_b ~n_locks:(List.length acquired))
+            (abort_handler t t.nodes.(primary) ~owner ~locked:acquired);
+        (shard, `Fail)
+      end
+      else begin
+        let lock_versions =
+          List.concat_map
+            (function `Ok (lv, _) -> lv | `Fail -> [])
+            lock_results
+        in
+        let read_results =
+          Process.parallel t.engine
+            (List.map
+               (fun k () ->
+                 request t ~src ~dst:primary ~req_bytes:Wire.read_req_b
+                   ~resp_bytes:(fun r ->
+                     match r with
+                     | `Fail -> Wire.small_resp_b
+                     | `Ok (_, values) ->
+                         Wire.execute_resp_b
+                           ~value_bytes:
+                             (List.map
+                                (fun (_, v, _) ->
+                                  match v with
+                                  | Some b -> Bytes.length b
+                                  | None -> 0)
+                                values))
+                   (execute_handler t t.nodes.(primary) ~owner ~locks:[]
+                      ~reads:[ k ]))
+               reads)
+        in
+        if List.exists (function `Fail -> true | _ -> false) read_results
+        then begin
+          if lock_versions <> [] then
+            notify t ~src ~dst:primary
+              ~bytes:(Wire.abort_b ~n_locks:(List.length lock_versions))
+              (abort_handler t t.nodes.(primary) ~owner
+                 ~locked:(List.map fst lock_versions));
+          (shard, `Fail)
+        end
+        else
+          let values =
+            List.concat_map
+              (function `Ok (_, vs) -> vs | `Fail -> [])
+              read_results
+          in
+          (shard, `Ok (lock_versions, values))
+      end
+    end
+  in
+  Process.parallel t.engine (List.map one shards)
+
+let validate_phase t ~src ~owner ~checks_by_shard =
+  let one (shard, checks) () =
+    let primary = primary_of t ~shard in
+    if t.p.features.smart_ops then
+      request t ~src ~dst:primary
+        ~req_bytes:(Wire.validate_req_b ~n_checks:(List.length checks))
+        ~resp_bytes:(fun _ -> Wire.small_resp_b)
+        (validate_handler t t.nodes.(primary) ~owner ~checks)
+    else
+      List.for_all
+        (fun ok -> ok)
+        (Process.parallel t.engine
+           (List.map
+              (fun check () ->
+                request t ~src ~dst:primary
+                  ~req_bytes:(Wire.validate_req_b ~n_checks:1)
+                  ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                  (validate_handler t t.nodes.(primary) ~owner ~checks:[ check ]))
+              checks))
+  in
+  List.for_all (fun ok -> ok) (Process.parallel t.engine (List.map one checks_by_shard))
+
+(* Run the transaction's execution function at the right place. The
+   caller is on the coordinator NIC. *)
+let run_exec t node (txn : Types.t) view =
+  if t.p.features.nic_exec && txn.ship_exec then begin
+    Resource.acquire (Smartnic.cores node.nic);
+    Process.sleep t.engine (Smartnic.scaled_exec_ns node.nic txn.host_exec_ns);
+    let ops = txn.exec view in
+    Resource.release (Smartnic.cores node.nic);
+    ops
+  end
+  else begin
+    (* NIC -> host -> NIC crossing, host-side execution. *)
+    Smartnic.host_msg node.nic;
+    Resource.acquire node.app;
+    Process.sleep t.engine txn.host_exec_ns;
+    let ops = txn.exec view in
+    Resource.release node.app;
+    Smartnic.host_msg node.nic;
+    ops
+  end
+
+let group_by_shard_checks checks =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (k, seq) ->
+      let s = Keyspace.shard k in
+      Hashtbl.replace tbl s
+        ((k, seq) :: Option.value ~default:[] (Hashtbl.find_opt tbl s)))
+    checks;
+  Hashtbl.fold (fun s cs acc -> (s, List.rev cs) :: acc) tbl [] |> List.sort compare
+
+let profile = Sys.getenv_opt "XENIC_PROFILE" <> None
+
+let distributed_txn t node (txn : Types.t) id =
+  let owner = owner_token id in
+  let src = node.id in
+  let t0 = Engine.now t.engine in
+  let mark name t_prev =
+    let now = Engine.now t.engine in
+    if profile then Printf.printf "phase %-10s %7.0fns\n%!" name (now -. t_prev);
+    now
+  in
+  let reads_by_shard = group_by_shard txn.read_set in
+  let locks_by_shard_keys = group_by_shard txn.write_set in
+  let results =
+    execute_phase t ~src ~owner ~reads_by_shard
+      ~locks_by_shard:locks_by_shard_keys
+  in
+  let t1 = mark "execute" t0 in
+  let failed = List.exists (fun (_, r) -> r = `Fail) results in
+  let acquired =
+    List.filter_map
+      (fun (shard, r) ->
+        match r with
+        | `Ok (lv, _) when lv <> [] -> Some (shard, List.map fst lv)
+        | _ -> None)
+      results
+  in
+  if failed then begin
+    abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+    Types.Aborted
+  end
+  else begin
+    let lock_versions =
+      List.concat_map
+        (fun (_, r) -> match r with `Ok (lv, _) -> lv | `Fail -> [])
+        results
+    in
+    let values =
+      List.concat_map
+        (fun (_, r) -> match r with `Ok (_, vs) -> vs | `Fail -> [])
+        results
+    in
+    let merge_acquired acquired extra =
+      List.fold_left
+        (fun acc (shard, ks) ->
+          let prev = Option.value ~default:[] (List.assoc_opt shard acc) in
+          (shard, ks @ prev) :: List.remove_assoc shard acc)
+        acquired extra
+    in
+    (* Multi-shot execution (§4.2 step 3): each round may request more
+       keys; the coordinator issues further EXECUTE requests and
+       re-invokes the function over the extended view. *)
+    let max_rounds = 8 in
+    let rec rounds ~values ~lock_versions ~acquired ~locked_keys ~round =
+      match run_exec t node txn (view_of values) with
+      | Types.More _ when round >= max_rounds ->
+          Xenic_stats.Counter.incr (counters t) "multishot_overflow";
+          abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+          Types.Aborted
+      | Types.More { read; lock } -> (
+          Xenic_stats.Counter.incr (counters t) "multishot_rounds";
+          let read = List.filter (fun k -> not (List.mem k locked_keys)) read in
+          let lock = List.filter (fun k -> not (List.mem k locked_keys)) lock in
+          let extra =
+            execute_phase t ~src ~owner ~reads_by_shard:(group_by_shard read)
+              ~locks_by_shard:(group_by_shard lock)
+          in
+          let extra_acquired =
+            List.filter_map
+              (fun (shard, r) ->
+                match r with
+                | `Ok (lv, _) when lv <> [] -> Some (shard, List.map fst lv)
+                | _ -> None)
+              extra
+          in
+          let acquired = merge_acquired acquired extra_acquired in
+          if List.exists (fun (_, r) -> r = `Fail) extra then begin
+            abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+            Types.Aborted
+          end
+          else
+            let extra_lv =
+              List.concat_map
+                (fun (_, r) -> match r with `Ok (lv, _) -> lv | `Fail -> [])
+                extra
+            in
+            let extra_vals =
+              List.concat_map
+                (fun (_, r) -> match r with `Ok (_, vs) -> vs | `Fail -> [])
+                extra
+            in
+            rounds
+              ~values:(values @ extra_vals)
+              ~lock_versions:(lock_versions @ extra_lv)
+              ~acquired
+              ~locked_keys:(locked_keys @ lock)
+              ~round:(round + 1))
+      | Types.Done ops ->
+          let t2 = mark "exec-fn" t1 in
+          (* Validate keys read but never locked, against their
+             execute-time versions. *)
+          let checks =
+            List.filter_map
+              (fun (k, _, seq) ->
+                if List.mem k locked_keys then None else Some (k, seq))
+              values
+          in
+          let valid =
+            checks = []
+            || validate_phase t ~src ~owner
+                 ~checks_by_shard:(group_by_shard_checks checks)
+          in
+          let t3 = mark "validate" t2 in
+          if not valid then begin
+            abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+            Types.Aborted
+          end
+          else if ops = [] && locked_keys = [] then Types.Committed
+          else if ops = [] then begin
+            (* Locked but nothing written: release and commit. *)
+            abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+            Types.Committed
+          end
+          else begin
+            let seq_ops = seq_ops_of ~lock_versions ops in
+            let seq_ops_by_shard =
+              group_by_shard (List.map (fun (op, _) -> Op.key op) seq_ops)
+              |> List.map (fun (shard, keys) ->
+                     ( shard,
+                       List.filter
+                         (fun (op, _) -> List.mem (Op.key op) keys)
+                         seq_ops ))
+            in
+            log_phase t ~src ~seq_ops_by_shard;
+            ignore (mark "log" t3);
+            commit_phase t ~src ~owner ~locks_by_shard:acquired
+              ~seq_ops_by_shard;
+            (* Release any locked keys that were not written. *)
+            let written = List.map (fun (op, _) -> Op.key op) seq_ops in
+            let residual =
+              List.filter_map
+                (fun (shard, ks) ->
+                  match List.filter (fun k -> not (List.mem k written)) ks with
+                  | [] -> None
+                  | ks -> Some (shard, ks))
+                acquired
+            in
+            if residual <> [] then
+              abort_everywhere t ~src ~owner ~locks_by_shard:residual;
+            Types.Committed
+          end
+    in
+    rounds ~values ~lock_versions ~acquired ~locked_keys:txn.write_set ~round:1
+  end
+
+(* -- Multi-hop OCC (§4.2.3) ----------------------------------------- *)
+
+(* Eligibility: a single execution round (always true in this model), a
+   read set covered by the write set (all accesses locked during
+   EXECUTE, so no VALIDATE phase is needed), and at most two shards
+   with one of them local — or a single remote shard. *)
+let multihop_eligible t node (txn : Types.t) =
+  t.p.features.multihop
+  && List.for_all (fun k -> List.mem k txn.write_set) txn.read_set
+  && txn.write_set <> []
+  &&
+  let locals, remotes =
+    List.partition
+      (fun s -> primary_of t ~shard:s = node.id)
+      (Types.shards txn)
+  in
+  (* One remote shard, and at most one shard served by the coordinator
+     itself (so P1 commits a single-shard record). *)
+  List.length remotes = 1 && List.length locals <= 1
+
+(* The coordinator P1 locks+reads its local keys at its own NIC, ships
+   execution to the remote primary P2; P2 locks+reads its keys, runs
+   the function, LOGs all write sets with responses routed to P1, and
+   sends P1 the local shard's new values. P1 commits locally and sends
+   P2 its COMMIT. One network message delay shorter than the
+   request/response pattern (Fig 7). *)
+let multihop_txn t node (txn : Types.t) id =
+  let owner = owner_token id in
+  let src = node.id in
+  let is_local k = primary_of t ~shard:(Keyspace.shard k) = src in
+  let local_keys, remote_keys = List.partition is_local txn.write_set in
+  let local_reads, remote_reads = List.partition is_local txn.read_set in
+  let remote_shard =
+    match List.sort_uniq compare (List.map Keyspace.shard remote_keys) with
+    | [ s ] -> s
+    | _ -> invalid_arg "multihop_txn: not eligible"
+  in
+  let local_shard =
+    match List.sort_uniq compare (List.map Keyspace.shard local_keys) with
+    | [ s ] -> Some s
+    | [] -> None
+    | _ -> invalid_arg "multihop_txn: not eligible"
+  in
+  let p2 = primary_of t ~shard:remote_shard in
+  (* Lock and read the local keys at our own NIC index. *)
+  let local_result =
+    if local_keys = [] then `Ok ([], [])
+    else execute_handler t node ~owner ~locks:local_keys ~reads:local_reads ()
+  in
+  match local_result with
+  | `Fail -> Types.Aborted
+  | `Ok (local_lockv, local_values) -> (
+      (* Expected completions at P1: one LOG response per backup of
+         each written shard, plus P2's ExecDone. *)
+      let result =
+        Process.suspend (fun resume ->
+            let ship_bytes =
+              Wire.execute_req_b ~n_reads:(List.length remote_keys)
+                ~n_locks:(List.length remote_keys)
+                ~state_bytes:
+                  (txn.state_bytes
+                  + List.fold_left
+                      (fun acc (_, v, _) ->
+                        acc + match v with Some b -> Bytes.length b | None -> 0)
+                      0 local_values)
+            in
+            notify t ~src ~dst:p2 ~bytes:ship_bytes (fun () ->
+                let p2_node = t.nodes.(p2) in
+                match
+                  execute_handler t p2_node ~owner ~locks:remote_keys
+                    ~reads:remote_reads ()
+                with
+                | `Fail ->
+                    notify t ~src:p2 ~dst:src ~bytes:Wire.small_resp_b
+                      (fun () -> resume `Fail)
+                | `Ok (remote_lockv, remote_values) ->
+                    (* Execute at the remote primary NIC; multi-hop is
+                       limited to single-round execution (§4.2.3), so a
+                       More escalates back to the coordinator. *)
+                    Resource.acquire (Smartnic.cores p2_node.nic);
+                    Process.sleep t.engine
+                      (Smartnic.scaled_exec_ns p2_node.nic txn.host_exec_ns);
+                    let exec_result =
+                      txn.exec (view_of (local_values @ remote_values))
+                    in
+                    Resource.release (Smartnic.cores p2_node.nic);
+                    match exec_result with
+                    | Types.More _ ->
+                        List.iter
+                          (fun (k, _) ->
+                            Xenic_store.Nic_index.unlock (idx_for t p2_node k) k ~owner)
+                          remote_lockv;
+                        notify t ~src:p2 ~dst:src ~bytes:Wire.small_resp_b
+                          (fun () -> resume `Multishot)
+                    | Types.Done ops ->
+                    let lock_versions = local_lockv @ remote_lockv in
+                    let seq_ops = seq_ops_of ~lock_versions ops in
+                    let by_shard =
+                      List.sort_uniq compare
+                        (List.map (fun (op, _) -> Keyspace.shard (Op.key op)) seq_ops)
+                      |> List.map (fun s ->
+                             ( s,
+                               List.filter
+                                 (fun (op, _) -> Keyspace.shard (Op.key op) = s)
+                                 seq_ops ))
+                    in
+                    let backups =
+                      List.concat_map
+                        (fun (shard, seq_ops) ->
+                          List.map
+                            (fun b -> (shard, b, seq_ops))
+                            (backups_of t ~shard))
+                        by_shard
+                    in
+                    let expected = ref (List.length backups) in
+                    let p1_seq_ops =
+                      List.filter
+                        (fun (op, _) ->
+                          primary_of t ~shard:(Keyspace.shard (Op.key op)) = src)
+                        seq_ops
+                    in
+                    let p2_seq_ops =
+                      List.filter
+                        (fun (op, _) -> Keyspace.shard (Op.key op) = remote_shard)
+                        seq_ops
+                    in
+                    let done_msg = ref false in
+                    let maybe_finish () =
+                      if !expected = 0 && !done_msg then
+                        resume (`Ok (p1_seq_ops, p2_seq_ops))
+                    in
+                    (* LOG from P2 to every backup; responses go to P1. *)
+                    List.iter
+                      (fun (shard, backup, seq_ops) ->
+                        let bytes =
+                          Wire.write_ops_b ~ops:(List.map fst seq_ops)
+                        in
+                        notify t ~src:p2 ~dst:backup ~bytes (fun () ->
+                            log_handler t t.nodes.(backup) ~shard ~seq_ops ();
+                            notify t ~src:backup ~dst:src
+                              ~bytes:Wire.small_resp_b (fun () ->
+                                Smartnic.core_work node.nic ~bytes:0;
+                                decr expected;
+                                maybe_finish ())))
+                      backups;
+                    (* ExecDone to P1 with the local shard's writes. *)
+                    let done_bytes =
+                      Wire.write_ops_b ~ops:(List.map fst p1_seq_ops)
+                    in
+                    notify t ~src:p2 ~dst:src ~bytes:done_bytes (fun () ->
+                        Smartnic.core_work node.nic ~bytes:0;
+                        done_msg := true;
+                        maybe_finish ())))
+      in
+      match result with
+      | `Fail | `Multishot ->
+          if local_lockv <> [] then
+            abort_handler t node ~owner ~locked:(List.map fst local_lockv) ();
+          if result = `Multishot then begin
+            (* Single-round restriction: replay through the standard
+               distributed path, which supports multi-shot execution. *)
+            Xenic_stats.Counter.incr (counters t) "multihop_escalations";
+            distributed_txn t node txn id
+          end
+          else Types.Aborted
+      | `Ok (p1_seq_ops, p2_seq_ops) ->
+          (* Committed. Apply the local commit at our own NIC and send
+             COMMIT to P2 asynchronously. *)
+          (match (p1_seq_ops, local_shard) with
+          | (_ :: _ as seq_ops), Some shard ->
+              commit_handler t node ~owner ~shard ~seq_ops ~locked:local_keys ()
+          | [], _ when local_keys <> [] ->
+              abort_handler t node ~owner ~locked:local_keys ()
+          | _ -> ());
+          if p2_seq_ops <> [] then
+            notify t ~src ~dst:p2
+              ~bytes:(Wire.write_ops_b ~ops:(List.map fst p2_seq_ops))
+              (fun () ->
+                commit_handler t t.nodes.(p2) ~owner ~shard:remote_shard
+                  ~seq_ops:p2_seq_ops ~locked:remote_keys ())
+          else if remote_keys <> [] then
+            notify t ~src ~dst:p2
+              ~bytes:(Wire.abort_b ~n_locks:(List.length remote_keys))
+              (abort_handler t t.nodes.(p2) ~owner ~locked:remote_keys);
+          Types.Committed)
+
+(* -- Local fast path (§4.2.4) --------------------------------------- *)
+
+(* Local transactions execute optimistically on the host against the
+   host-side structures; write transactions then lock/validate at the
+   local NIC index before replicating. *)
+let local_txn t node ~shard (txn : Types.t) id =
+  let owner = owner_token id in
+  let src = node.id in
+  Resource.acquire node.app;
+  let values =
+    List.map
+      (fun k ->
+        Process.sleep t.engine t.hw.host_op_ns;
+        match Storage.read node.storage k with
+        | Some (v, seq) ->
+            dbg t k (fun () ->
+                Printf.sprintf "local-host-read n%d owner=%d ver=%d val=%Ld"
+                  node.id owner seq (Bytes.get_int64_le v 0));
+            (k, Some v, seq)
+        | None -> (k, None, 0))
+      txn.read_set
+  in
+  Process.sleep t.engine txn.host_exec_ns;
+  let exec_result = txn.exec (view_of values) in
+  Resource.release node.app;
+  match exec_result with
+  | Types.More _ ->
+      (* Multi-shot transactions leave the fast path; no locks are held
+         yet, so simply replay through the distributed protocol. *)
+      Xenic_stats.Counter.incr (counters t) "multihop_escalations";
+      Smartnic.host_msg node.nic;
+      let outcome = distributed_txn t node txn id in
+      Smartnic.host_msg node.nic;
+      outcome
+  | Types.Done ops ->
+  if ops = [] && txn.write_set = [] then begin
+    (* Read-only local transaction: re-check versions at the host. *)
+    let ok =
+      List.for_all
+        (fun (k, _, seq) ->
+          match Storage.read node.storage k with
+          | Some (_, seq') -> seq' = seq
+          | None -> seq = 0)
+        values
+    in
+    if ok then Types.Committed
+    else begin
+      Xenic_stats.Counter.incr (counters t) "validate_conflicts_local_ro";
+      Types.Aborted
+    end
+  end
+  else begin
+    (* Ship the transaction state to the local NIC (one PCIe crossing). *)
+    Smartnic.host_msg node.nic;
+    let lock_result =
+      with_core node (fun () ->
+          Smartnic.core_work_held node.nic ~ops:(List.length txn.write_set) ~bytes:0;
+          let idx =
+            match txn.write_set with
+            | [] -> invalid_arg "local_txn: no writes"
+            | k :: _ -> idx_for t node k
+          in
+          let io = index_io t node in
+          let rec acquire acc = function
+            | [] -> `Ok (List.rev acc)
+            | k :: rest -> (
+                match Xenic_store.Nic_index.try_lock idx io k ~owner with
+                | `Acquired seq ->
+                    dbg t k (fun () ->
+                        Printf.sprintf "local-lock n%d owner=%d ver=%d" node.id owner seq);
+                    acquire ((k, seq) :: acc) rest
+                | `Locked ->
+                    List.iter
+                      (fun (k', _) -> Xenic_store.Nic_index.unlock idx k' ~owner)
+                      acc;
+                    `Fail)
+          in
+          match acquire [] txn.write_set with
+          | `Fail -> `Fail
+          | `Ok lockv ->
+              (* Validate the host-read versions against the NIC's
+                 authoritative metadata. *)
+              let ok =
+                List.for_all
+                  (fun (k, _, host_seq) ->
+                    if Keyspace.ordered k then true
+                    else
+                      match Xenic_store.Nic_index.lock_owner idx k with
+                      | Some o when o <> owner -> false
+                      | _ ->
+                          let current =
+                            Option.value ~default:0
+                              (Xenic_store.Nic_index.version idx io k)
+                          in
+                          if current <> host_seq
+                             && Sys.getenv_opt "XENIC_DEBUG_VALIDATE" <> None
+                          then
+                            Printf.printf
+                              "LOCAL-VALIDATE-FAIL tbl=%d cur=%d host=%d\n%!"
+                              (Keyspace.table k) current host_seq;
+                          current = host_seq)
+                  values
+              in
+              if ok then `Ok lockv
+              else begin
+                List.iter
+                  (fun (k, _) -> Xenic_store.Nic_index.unlock idx k ~owner)
+                  lockv;
+                Xenic_stats.Counter.incr (counters t) "validate_conflicts_local_w";
+                `Fail
+              end)
+    in
+    match lock_result with
+    | `Fail ->
+        Smartnic.host_msg node.nic;
+        Types.Aborted
+    | `Ok lock_versions ->
+        let seq_ops = seq_ops_of ~lock_versions ops in
+        log_phase t ~src ~seq_ops_by_shard:[ (shard, seq_ops) ];
+        (* Committed: report to the host; apply the commit at our own
+           NIC asynchronously. *)
+        Process.spawn t.engine (fun () ->
+            commit_handler t node ~owner ~shard ~seq_ops
+              ~locked:txn.write_set ());
+        Smartnic.host_msg node.nic;
+        Types.Committed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+let run_txn t ~node (txn : Types.t) =
+  let n = t.nodes.(node) in
+  n.txn_seq <- n.txn_seq + 1;
+  let id = { Types.coord = node; seq = n.txn_seq } in
+  if not t.alive.(node) then invalid_arg "run_txn: coordinator is dead";
+  match Types.single_shard txn with
+  | Some s when primary_of t ~shard:s = node ->
+      Xenic_stats.Counter.incr (counters t) "txns_local";
+      local_txn t n ~shard:s txn id
+  | _ ->
+      if multihop_eligible t n txn then begin
+        Xenic_stats.Counter.incr (counters t) "txns_multihop";
+        multihop_txn t n txn id
+      end
+      else begin
+        Xenic_stats.Counter.incr (counters t) "txns_distributed";
+        (* Host -> coordinator NIC crossing, protocol on the NIC, and
+           the Committed/Aborted report back to the host. *)
+        Smartnic.host_msg n.nic;
+        let outcome = distributed_txn t n txn id in
+        Smartnic.host_msg n.nic;
+        outcome
+      end
+
+let quiesce t =
+  (* Wait until all logs are drained and async commits applied. *)
+  let rec wait () =
+    let pending =
+      Array.exists
+        (fun n ->
+          Xenic_store.Hostlog.used_b n.log > 0
+          || Xenic_store.Hostlog.appended n.log > Xenic_store.Hostlog.applied n.log
+          || Xenic_store.Hostlog.used_b n.commit_log > 0
+          || Xenic_store.Hostlog.appended n.commit_log
+             > Xenic_store.Hostlog.applied n.commit_log)
+        t.nodes
+    in
+    if pending then begin
+      Process.sleep t.engine 10_000.0;
+      wait ()
+    end
+  in
+  wait ()
+
+(* -- Reconfiguration (§4.2.1) --------------------------------------- *)
+
+let fail_node t ~node = t.alive.(node) <- false
+
+let promote t ~shard =
+  match
+    List.find_opt (fun n -> t.alive.(n)) (Config.replicas t.cfg ~shard)
+  with
+  | None -> invalid_arg "promote: no live replica"
+  | Some new_primary ->
+      let node = t.nodes.(new_primary) in
+      (* Rebuild the caching index over the promoted replica. Lock
+         state lived only at the failed primary's NIC (§4.2.1), so the
+         fresh index starts lock-free; hints resync from the replica's
+         host table. *)
+      let store = Storage.shard_store node.storage ~shard in
+      let idx =
+        Xenic_store.Nic_index.create ~host:store.Storage.hash
+          ~cache_capacity:
+            (if t.p.features.caching then t.p.cache_capacity else 0)
+          ()
+      in
+      Xenic_store.Nic_index.sync_hints idx;
+      if t.p.features.caching then Xenic_store.Nic_index.prewarm idx;
+      node.indexes.(shard) <- Some idx;
+      t.primaries.(shard) <- new_primary;
+      new_primary
+
+let current_primary t ~shard = t.primaries.(shard)
+
+let nic_core_utilization t =
+  Array.fold_left (fun acc n -> acc +. Smartnic.core_utilization n.nic) 0.0 t.nodes
+  /. float_of_int (Array.length t.nodes)
+
+let host_app_utilization t =
+  Array.fold_left (fun acc n -> acc +. Resource.utilization n.app) 0.0 t.nodes
+  /. float_of_int (Array.length t.nodes)
+
+let host_worker_utilization t =
+  Array.fold_left (fun acc n -> acc +. Resource.utilization n.workers) 0.0 t.nodes
+  /. float_of_int (Array.length t.nodes)

@@ -1,0 +1,109 @@
+(** The Xenic transaction system (§4): coordinator-side and server-side
+    SmartNIC protocol logic over the co-designed data store.
+
+    Each node runs: a host application (transaction initiation,
+    optional host-side execution, Robinhood worker threads draining the
+    host-memory log) and an on-path SmartNIC (dispatch loop over
+    aggregated frames, per-shard caching index with lock/version
+    metadata, DMA engine, per-destination gather lists).
+
+    The distributed commit follows §4.2: aggregated EXECUTE (lock
+    write-set + read read-set per shard), optional NIC-side execution
+    via function shipping, VALIDATE for read-only keys, LOG to backups,
+    Committed report, asynchronous COMMIT to primaries. Local
+    transactions take the §4.2.4 fast path; eligible 1–2-shard
+    read-modify-write transactions use the §4.2.3 multi-hop pattern.
+    {!Features} flags expose the §5.7 ablation ladder. *)
+
+open Xenic_cluster
+
+type params = {
+  features : Features.t;
+  app_threads : int;  (** Host application threads per node. *)
+  worker_threads : int;  (** Host Robinhood worker threads per node. *)
+  nic_threads : int;  (** SmartNIC cores used. *)
+  cache_capacity : int;  (** NIC index cache entries per node. *)
+  segments : int;  (** Host Robinhood table segments per shard copy. *)
+  seg_size : int;
+  d_max : int option;
+  log_capacity_b : int;
+  btree_op_ns : float;  (** Host cost of one ordered-table operation. *)
+}
+
+val default_params : params
+
+type t
+
+(** Debug hook: print a trace of every protocol event touching this
+    key (development aid; [None] disables). *)
+val debug_key : int option ref
+
+val create :
+  Xenic_sim.Engine.t -> Xenic_params.Hw.t -> Config.t -> params -> t
+
+val engine : t -> Xenic_sim.Engine.t
+
+val config : t -> Config.t
+
+val metrics : t -> Metrics.t
+
+(** Load one object into every replica (bulk loading, bypassing the
+    protocol) and then {!seal} to sync NIC index hints. *)
+val load : t -> Keyspace.t -> bytes -> unit
+
+val seal : t -> unit
+
+(** [run_txn t ~node txn] executes one transaction coordinated at
+    [node]. Blocking process call; returns at the Committed/Aborted
+    report to the host application. *)
+val run_txn : t -> node:int -> Types.t -> Types.outcome
+
+(** Direct read of a node's replica (for checking invariants after a
+    run; not a protocol operation). *)
+val peek : t -> node:int -> Keyspace.t -> bytes option
+
+(** Ordered-table range reads against a node's replica: the local-scan
+    primitive used by TPC-C's local transactions (serialized by their
+    companion hash-row locks) and by tests. *)
+val peek_min :
+  t -> node:int -> lo:Xenic_cluster.Keyspace.t -> hi:Xenic_cluster.Keyspace.t ->
+  (Xenic_cluster.Keyspace.t * bytes) option
+
+val peek_max :
+  t -> node:int -> lo:Xenic_cluster.Keyspace.t -> hi:Xenic_cluster.Keyspace.t ->
+  (Xenic_cluster.Keyspace.t * bytes) option
+
+val peek_range :
+  t -> node:int -> lo:Xenic_cluster.Keyspace.t -> hi:Xenic_cluster.Keyspace.t ->
+  (Xenic_cluster.Keyspace.t * bytes) list
+
+(** {2 Reconfiguration (§4.2.1)}
+
+    Planned failover: when the membership service declares a node dead,
+    each shard it was primary of is promoted onto a live backup. The
+    new primary rebuilds its caching index over its replica — lock
+    state lives only in the (dead) primary's NIC, so the rebuilt index
+    starts lock-free, and hints resynchronize from the host table.
+    Coordinators route by the current primary map. In-flight-crash
+    request timeouts are out of scope; promote between load phases. *)
+
+(** Mark a node dead: it stops being chosen as a backup for LOG
+    replication and cannot coordinate. *)
+val fail_node : t -> node:int -> unit
+
+(** Promote the first live replica of [shard] to primary; returns the
+    new primary's node id. *)
+val promote : t -> shard:int -> int
+
+val current_primary : t -> shard:int -> int
+
+(** Resource-accounting views for Table 3 / §5.6. *)
+val nic_core_utilization : t -> float
+
+val host_app_utilization : t -> float
+
+val host_worker_utilization : t -> float
+
+(** Drain in-flight asynchronous work (commit application). Call after
+    load generation stops, before checking invariants. *)
+val quiesce : t -> unit

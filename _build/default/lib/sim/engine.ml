@@ -1,0 +1,41 @@
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : (unit -> unit) Heap.t;
+  mutable events_run : int;
+}
+
+let create () = { now = 0.0; seq = 0; heap = Heap.create (); events_run = 0 }
+
+let now t = t.now
+
+let at t time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %.1f is before now %.1f" time t.now);
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time ~seq:t.seq f
+
+let after t delay f = at t (t.now +. delay) f
+
+let run ?(until = infinity) t =
+  let start = t.events_run in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.heap with
+    | None -> continue := false
+    | Some time when time > until -> continue := false
+    | Some _ -> (
+        match Heap.pop_min t.heap with
+        | None -> continue := false
+        | Some (time, _, f) ->
+            t.now <- time;
+            t.events_run <- t.events_run + 1;
+            f ())
+  done;
+  if until <> infinity && until > t.now then t.now <- until;
+  t.events_run - start
+
+let events_run t = t.events_run
+
+let idle t = Heap.is_empty t.heap

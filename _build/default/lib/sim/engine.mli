@@ -1,0 +1,31 @@
+(** Deterministic discrete-event simulation engine.
+
+    Time is a [float] count of {e nanoseconds} since simulation start.
+    Events scheduled for the same instant run in scheduling order. The
+    engine is single-domain; determinism follows from the total event
+    order and from components drawing randomness from their own
+    {!Rng.t} streams. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time in nanoseconds. *)
+val now : t -> float
+
+(** [at t time f] schedules [f] to run at absolute [time]. Scheduling in
+    the past raises [Invalid_argument]. *)
+val at : t -> float -> (unit -> unit) -> unit
+
+(** [after t delay f] schedules [f] to run [delay] ns from now. *)
+val after : t -> float -> (unit -> unit) -> unit
+
+(** [run ?until t] executes events in order until the queue is empty or
+    the next event is past [until]. Returns the number of events run. *)
+val run : ?until:float -> t -> int
+
+(** Total events executed so far. *)
+val events_run : t -> int
+
+(** True if no events remain. *)
+val idle : t -> bool

@@ -1,0 +1,71 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let initial_capacity = 256
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty h = h.size = 0
+
+let length h = h.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  if Array.length h.data = 0 then h.data <- Array.make initial_capacity entry
+  else begin
+    let data = Array.make (2 * Array.length h.data) entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let push h ~time ~seq value =
+  let entry = { time; seq; value } in
+  if h.size = Array.length h.data then grow h entry;
+  let data = h.data in
+  (* Sift up from the new leaf. *)
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  data.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before entry data.(parent) then begin
+      data.(!i) <- data.(parent);
+      data.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let data = h.data in
+    let min = data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      let last = data.(h.size) in
+      data.(0) <- last;
+      (* Sift down the displaced leaf. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && before data.(l) data.(!smallest) then smallest := l;
+        if r < h.size && before data.(r) data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = data.(!i) in
+          data.(!i) <- data.(!smallest);
+          data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (min.time, min.seq, min.value)
+  end
+
+let peek_time h = if h.size = 0 then None else Some h.data.(0).time

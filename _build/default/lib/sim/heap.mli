@@ -1,0 +1,23 @@
+(** Binary min-heap specialized for simulation events.
+
+    Events are ordered by [(time, seq)]: earliest time first, and for equal
+    times, insertion order. The sequence number makes the event order — and
+    therefore the whole simulation — fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+(** [push h ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum element as
+    [(time, seq, v)], or [None] if the heap is empty. *)
+val pop_min : 'a t -> (float * int * 'a) option
+
+(** [peek_time h] is the time of the minimum element without removing it. *)
+val peek_time : 'a t -> float option

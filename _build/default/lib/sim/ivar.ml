@@ -1,0 +1,24 @@
+type 'a state = Empty of ('a -> unit) list | Filled of 'a
+
+type 'a t = { engine : Engine.t; mutable state : 'a state }
+
+let create engine = { engine; state = Empty [] }
+
+let fill t v =
+  match t.state with
+  | Filled _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+      t.state <- Filled v;
+      List.iter
+        (fun resume -> Engine.after t.engine 0.0 (fun () -> resume v))
+        (List.rev waiters)
+
+let is_filled t = match t.state with Filled _ -> true | Empty _ -> false
+
+let read t =
+  match t.state with
+  | Filled v -> v
+  | Empty waiters ->
+      Process.suspend (fun resume -> t.state <- Empty (resume :: waiters))
+
+let peek t = match t.state with Filled v -> Some v | Empty _ -> None

@@ -1,0 +1,21 @@
+(** Write-once synchronization variable.
+
+    Processes block in {!read} until {!fill} supplies the value; used for
+    request/response joins (e.g. awaiting all EXECUTE responses). *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+(** [fill t v] sets the value, waking all readers. Raises
+    [Invalid_argument] if already filled. *)
+val fill : 'a t -> 'a -> unit
+
+val is_filled : 'a t -> bool
+
+(** Block until filled, then return the value. Returns immediately if
+    already filled. *)
+val read : 'a t -> 'a
+
+(** The value if filled. *)
+val peek : 'a t -> 'a option

@@ -1,0 +1,31 @@
+type 'a t = {
+  engine : Engine.t;
+  items : 'a Queue.t;
+  waiters : ('a -> unit) Queue.t;
+}
+
+let create engine = { engine; items = Queue.create (); waiters = Queue.create () }
+
+let length t = Queue.length t.items
+
+let send t v =
+  match Queue.take_opt t.waiters with
+  | Some resume -> Engine.after t.engine 0.0 (fun () -> resume v)
+  | None -> Queue.add v t.items
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None -> Process.suspend (fun resume -> Queue.add resume t.waiters)
+
+let recv_opt t = Queue.take_opt t.items
+
+let recv_burst t ~max =
+  let rec take n acc =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.items with
+      | None -> List.rev acc
+      | Some v -> take (n - 1) (v :: acc)
+  in
+  take max []

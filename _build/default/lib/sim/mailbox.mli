@@ -1,0 +1,26 @@
+(** Unbounded FIFO message queue with blocking receive.
+
+    The primitive communication channel between simulation processes and
+    device models. Sends never block; a receive on an empty mailbox parks
+    the calling process until a message arrives. Wakeups are scheduled as
+    zero-delay events so delivery order stays deterministic. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+(** Number of queued messages. *)
+val length : 'a t -> int
+
+(** Enqueue a message, waking one waiting receiver if any. *)
+val send : 'a t -> 'a -> unit
+
+(** Dequeue the oldest message, blocking until one is available. *)
+val recv : 'a t -> 'a
+
+(** Dequeue without blocking. *)
+val recv_opt : 'a t -> 'a option
+
+(** [recv_burst t ~max] dequeues up to [max] immediately-available
+    messages (possibly zero), never blocking. *)
+val recv_burst : 'a t -> max:int -> 'a list

@@ -1,0 +1,57 @@
+open Effect
+open Effect.Deep
+
+exception Not_in_process
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let spawn _engine f =
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun exn -> raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  register (fun v -> continue k v))
+          | _ -> None);
+    }
+  in
+  match_with f () handler
+
+let suspend register =
+  try perform (Suspend register)
+  with Effect.Unhandled _ -> raise Not_in_process
+
+let sleep engine delay =
+  suspend (fun resume -> Engine.after engine delay (fun () -> resume ()))
+
+let yield engine = sleep engine 0.0
+
+let spawn_at engine ~delay f =
+  Engine.after engine delay (fun () -> spawn engine f)
+
+let parallel engine thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ ->
+      let n = List.length thunks in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let waiter = ref None in
+      List.iteri
+        (fun i f ->
+          spawn engine (fun () ->
+              let r = f () in
+              results.(i) <- Some r;
+              decr remaining;
+              if !remaining = 0 then
+                match !waiter with Some resume -> resume () | None -> ()))
+        thunks;
+      if !remaining > 0 then suspend (fun resume -> waiter := Some resume);
+      Array.to_list results
+      |> List.map (function Some r -> r | None -> assert false)

@@ -1,0 +1,62 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  servers : int;
+  mutable busy : int;
+  waiters : (unit -> unit) Queue.t;
+  mutable busy_time : float;
+  mutable last_change : float;
+}
+
+let create engine ~name ~servers =
+  if servers <= 0 then invalid_arg "Resource.create: servers must be positive";
+  {
+    engine;
+    name;
+    servers;
+    busy = 0;
+    waiters = Queue.create ();
+    busy_time = 0.0;
+    last_change = 0.0;
+  }
+
+let name t = t.name
+
+let servers t = t.servers
+
+let queue_length t = Queue.length t.waiters
+
+let account t =
+  let now = Engine.now t.engine in
+  t.busy_time <- t.busy_time +. (float_of_int t.busy *. (now -. t.last_change));
+  t.last_change <- now
+
+let acquire t =
+  if t.busy < t.servers then begin
+    account t;
+    t.busy <- t.busy + 1
+  end
+  else Process.suspend (fun resume -> Queue.add (fun () -> resume ()) t.waiters)
+
+let release t =
+  match Queue.take_opt t.waiters with
+  | Some resume ->
+      (* Hand the unit directly to the next waiter: busy count unchanged. *)
+      Engine.after t.engine 0.0 resume
+  | None ->
+      account t;
+      t.busy <- t.busy - 1
+
+let use t duration =
+  acquire t;
+  Process.sleep t.engine duration;
+  release t
+
+let busy_time t =
+  account t;
+  t.busy_time
+
+let utilization t =
+  let now = Engine.now t.engine in
+  if now <= 0.0 then 0.0
+  else busy_time t /. (float_of_int t.servers *. now)

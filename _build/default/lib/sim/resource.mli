@@ -1,0 +1,34 @@
+(** FCFS multi-server resource: the queueing building block for CPU
+    cores, DMA engine queues, link serialization, and RDMA processing
+    units.
+
+    A resource has [servers] identical units. {!acquire} grants a unit or
+    parks the caller in FIFO order; {!use} wraps acquire/hold/release.
+    Busy-time is integrated so experiments can report utilization. *)
+
+type t
+
+val create : Engine.t -> name:string -> servers:int -> t
+
+val name : t -> string
+
+val servers : t -> int
+
+(** Currently queued acquirers. *)
+val queue_length : t -> int
+
+(** Block until a server unit is available, then take it. *)
+val acquire : t -> unit
+
+(** Return a unit, waking the oldest waiter if any. *)
+val release : t -> unit
+
+(** [use t duration] acquires a unit, holds it for [duration] ns of
+    simulated service, and releases it. *)
+val use : t -> float -> unit
+
+(** Fraction of capacity busy since creation (integrated), in [0, 1]. *)
+val utilization : t -> float
+
+(** Total busy server-nanoseconds accumulated. *)
+val busy_time : t -> float

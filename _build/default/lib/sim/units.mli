@@ -1,0 +1,23 @@
+(** Time and rate units. The simulator's base time unit is the
+    nanosecond; these helpers keep calibration constants readable. *)
+
+val ns : float -> float
+
+val us : float -> float
+
+val ms : float -> float
+
+val sec : float -> float
+
+(** [gbps bw] converts a bandwidth in gigabits per second to bytes per
+    nanosecond, the fabric's native rate unit. *)
+val gbps : float -> float
+
+(** [mops rate] converts millions of operations per second to a per-op
+    service time in nanoseconds. *)
+val mops_to_ns_per_op : float -> float
+
+(** Pretty-printers for reports. *)
+val pp_time : Format.formatter -> float -> unit
+
+val pp_rate_mops : Format.formatter -> float -> unit

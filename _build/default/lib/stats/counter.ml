@@ -1,0 +1,27 @@
+type t = (string, float ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add t name r;
+      r
+
+let addf t name v =
+  let r = cell t name in
+  r := !r +. v
+
+let add t name v = addf t name (float_of_int v)
+
+let incr t name = add t name 1
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0.0
+
+let reset t = Hashtbl.reset t
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

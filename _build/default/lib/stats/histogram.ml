@@ -1,0 +1,122 @@
+(* Buckets: values are bucketed by octave (power of two) with
+   [sub_buckets] linear sub-buckets per octave, giving a bounded relative
+   error of 1/sub_buckets. Values below [sub_buckets] land in dedicated
+   unit-width buckets, so small integer values are exact. *)
+
+let sub_bits = 5
+
+let sub_buckets = 1 lsl sub_bits
+
+let octaves = 57
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let n_buckets = sub_buckets * (octaves + 1)
+
+let create () =
+  {
+    counts = Array.make n_buckets 0;
+    count = 0;
+    total = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let bucket_of_value v =
+  let v = if v < 0.0 then 0 else int_of_float v in
+  if v < sub_buckets then v
+  else begin
+    (* Octave index: position of the highest set bit above sub_bits. *)
+    let octave = ref 0 in
+    let x = ref (v lsr sub_bits) in
+    while !x > 0 do
+      incr octave;
+      x := !x lsr 1
+    done;
+    let shift = !octave - 1 in
+    let sub = (v lsr shift) - sub_buckets in
+    (sub_buckets * !octave) + sub
+  end
+
+let value_of_bucket i =
+  if i < sub_buckets then float_of_int i
+  else begin
+    let octave = i / sub_buckets in
+    let sub = i mod sub_buckets in
+    let shift = octave - 1 in
+    (* Midpoint of the bucket's value range. *)
+    let lo = (sub_buckets + sub) lsl shift in
+    let width = 1 lsl shift in
+    float_of_int lo +. (float_of_int width /. 2.0)
+  end
+
+let record_n t v n =
+  if n > 0 then begin
+    let i = bucket_of_value v in
+    let i = if i >= n_buckets then n_buckets - 1 else i in
+    t.counts.(i) <- t.counts.(i) + n;
+    t.count <- t.count + n;
+    t.total <- t.total +. (v *. float_of_int n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v = record_n t v 1
+
+let count t = t.count
+
+let total t = t.total
+
+let mean t = if t.count = 0 then nan else t.total /. float_of_int t.count
+
+let min_value t = if t.count = 0 then nan else t.min_v
+
+let max_value t = if t.count = 0 then nan else t.max_v
+
+let quantile t q =
+  if t.count = 0 then nan
+  else begin
+    let rank = q *. float_of_int t.count in
+    let rank = if rank < 1.0 then 1.0 else rank in
+    let seen = ref 0 in
+    let result = ref t.max_v in
+    (try
+       for i = 0 to n_buckets - 1 do
+         seen := !seen + t.counts.(i);
+         if float_of_int !seen >= rank then begin
+           result := value_of_bucket i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* Clamp to observed extrema: bucket midpoints can overshoot. *)
+    if !result < t.min_v then t.min_v
+    else if !result > t.max_v then t.max_v
+    else !result
+  end
+
+let median t = quantile t 0.5
+
+let p99 t = quantile t 0.99
+
+let clear t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.count <- 0;
+  t.total <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+let merge ~into src =
+  for i = 0 to n_buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.count <- into.count + src.count;
+  into.total <- into.total +. src.total;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v

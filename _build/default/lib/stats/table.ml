@@ -1,0 +1,45 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let cellf ?(decimals = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+        row)
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad i cell =
+    let w = widths.(i) in
+    cell ^ String.make (w - String.length cell) ' '
+  in
+  let emit_row row =
+    Buffer.add_string buf "  ";
+    Buffer.add_string buf (String.concat "  " (List.mapi pad row));
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.columns;
+  Buffer.add_string buf "  ";
+  Buffer.add_string buf
+    (String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

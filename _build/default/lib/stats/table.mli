@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the bench harness, so every
+    reproduced paper table/figure prints as aligned rows. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+
+(** Convenience: formats floats with [%.*f]. *)
+val cellf : ?decimals:int -> float -> string
+
+val render : t -> string
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/store/chained.ml: Array Kv Option

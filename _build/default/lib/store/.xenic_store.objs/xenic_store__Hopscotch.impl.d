@@ -1,0 +1,1 @@
+lib/store/hopscotch.ml: Array Hashtbl Kv List Option

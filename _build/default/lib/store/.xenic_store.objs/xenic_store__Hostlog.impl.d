@@ -1,0 +1,1 @@
+lib/store/hostlog.ml: Engine Process Queue Xenic_sim

@@ -1,0 +1,1 @@
+lib/store/hostlog.mli: Xenic_sim

@@ -1,0 +1,1 @@
+lib/store/kv.ml: Format Int Int64

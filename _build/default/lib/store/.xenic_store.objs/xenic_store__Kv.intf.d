@@ -1,0 +1,1 @@
+lib/store/kv.mli: Format

@@ -1,0 +1,1 @@
+lib/store/nic_index.ml: Array Hashtbl Kv Queue Robinhood

@@ -1,0 +1,1 @@
+lib/store/nic_index.mli: Kv Robinhood

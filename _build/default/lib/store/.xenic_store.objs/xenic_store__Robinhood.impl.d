@@ -1,0 +1,1 @@
+lib/store/robinhood.ml: Array Kv List Option

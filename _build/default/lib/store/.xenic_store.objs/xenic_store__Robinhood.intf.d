@@ -1,0 +1,1 @@
+lib/store/robinhood.mli: Kv

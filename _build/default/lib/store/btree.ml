@@ -1,0 +1,220 @@
+(* Order: max children per internal node / max entries per leaf. *)
+let order = 32
+
+type 'v leaf = {
+  mutable lkeys : int array;
+  mutable lvals : 'v array;
+  mutable next : 'v leaf option;
+}
+
+type 'v node = Leaf of 'v leaf | Internal of 'v internal
+
+and 'v internal = {
+  (* seps.(i) is the smallest key reachable under children.(i+1). *)
+  mutable seps : int array;
+  mutable children : 'v node array;
+}
+
+type 'v t = { mutable root : 'v node; mutable size : int }
+
+let create () =
+  { root = Leaf { lkeys = [||]; lvals = [||]; next = None }; size = 0 }
+
+let size t = t.size
+
+(* Index of the child covering [k]. *)
+let child_index seps k =
+  let n = Array.length seps in
+  let rec go i = if i < n && k >= seps.(i) then go (i + 1) else i in
+  go 0
+
+(* Position of k in a sorted key array, or the insertion point. *)
+let search keys k =
+  let n = Array.length keys in
+  let rec go lo hi =
+    if lo >= hi then (lo, false)
+    else
+      let mid = (lo + hi) / 2 in
+      if keys.(mid) = k then (mid, true)
+      else if keys.(mid) < k then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 n
+
+let rec find_leaf node k =
+  match node with
+  | Leaf l -> l
+  | Internal i -> find_leaf i.children.(child_index i.seps k) k
+
+let find t k =
+  let l = find_leaf t.root k in
+  let i, exact = search l.lkeys k in
+  if exact then Some l.lvals.(i) else None
+
+let mem t k = Option.is_some (find t k)
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let array_remove a i =
+  let n = Array.length a in
+  let b = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) b i (n - 1 - i);
+  b
+
+(* Insertion returns an optional split: (separator, right sibling). *)
+let rec insert_node node k v =
+  match node with
+  | Leaf l ->
+      let i, exact = search l.lkeys k in
+      if exact then begin
+        l.lvals.(i) <- v;
+        `Replaced
+      end
+      else begin
+        l.lkeys <- array_insert l.lkeys i k;
+        l.lvals <- array_insert l.lvals i v;
+        if Array.length l.lkeys > order then begin
+          let mid = Array.length l.lkeys / 2 in
+          let right =
+            {
+              lkeys = Array.sub l.lkeys mid (Array.length l.lkeys - mid);
+              lvals = Array.sub l.lvals mid (Array.length l.lvals - mid);
+              next = l.next;
+            }
+          in
+          l.lkeys <- Array.sub l.lkeys 0 mid;
+          l.lvals <- Array.sub l.lvals 0 mid;
+          l.next <- Some right;
+          `Split (right.lkeys.(0), Leaf right)
+        end
+        else `Inserted
+      end
+  | Internal node_i -> (
+      let ci = child_index node_i.seps k in
+      match insert_node node_i.children.(ci) k v with
+      | (`Inserted | `Replaced) as r -> r
+      | `Split (sep, right) ->
+          node_i.seps <- array_insert node_i.seps ci sep;
+          node_i.children <- array_insert node_i.children (ci + 1) right;
+          if Array.length node_i.children > order then begin
+            let midc = Array.length node_i.children / 2 in
+            let sep_up = node_i.seps.(midc - 1) in
+            let right_int =
+              {
+                seps =
+                  Array.sub node_i.seps midc (Array.length node_i.seps - midc);
+                children =
+                  Array.sub node_i.children midc
+                    (Array.length node_i.children - midc);
+              }
+            in
+            node_i.seps <- Array.sub node_i.seps 0 (midc - 1);
+            node_i.children <- Array.sub node_i.children 0 midc;
+            `Split (sep_up, Internal right_int)
+          end
+          else `Inserted)
+
+let insert t k v =
+  match insert_node t.root k v with
+  | `Replaced -> ()
+  | `Inserted -> t.size <- t.size + 1
+  | `Split (sep, right) ->
+      t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] };
+      t.size <- t.size + 1
+
+let delete t k =
+  let l = find_leaf t.root k in
+  let i, exact = search l.lkeys k in
+  if exact then begin
+    l.lkeys <- array_remove l.lkeys i;
+    l.lvals <- array_remove l.lvals i;
+    t.size <- t.size - 1;
+    true
+  end
+  else false
+
+let iter_range t ~lo ~hi f =
+  if lo <= hi then begin
+    let l = find_leaf t.root lo in
+    let rec walk (l : 'v leaf) =
+      let n = Array.length l.lkeys in
+      let stop = ref false in
+      for i = 0 to n - 1 do
+        let k = l.lkeys.(i) in
+        if k > hi then stop := true
+        else if k >= lo then f k l.lvals.(i)
+      done;
+      if not !stop then match l.next with Some nl -> walk nl | None -> ()
+    in
+    walk l
+  end
+
+let fold_range t ~lo ~hi ~init f =
+  let acc = ref init in
+  iter_range t ~lo ~hi (fun k v -> acc := f !acc k v);
+  !acc
+
+let min_in_range t ~lo ~hi =
+  let result = ref None in
+  (try
+     iter_range t ~lo ~hi (fun k v ->
+         result := Some (k, v);
+         raise Exit)
+   with Exit -> ());
+  !result
+
+let max_in_range t ~lo ~hi =
+  fold_range t ~lo ~hi ~init:None (fun _ k v -> Some (k, v))
+
+let check_invariants t =
+  let fail msg = failwith ("Btree.check_invariants: " ^ msg) in
+  let check_sorted a =
+    for i = 0 to Array.length a - 2 do
+      if a.(i) >= a.(i + 1) then fail "keys not strictly sorted"
+    done
+  in
+  (* Verify key ranges and collect leaves in tree order. *)
+  let leaves = ref [] in
+  let rec go node lo hi =
+    match node with
+    | Leaf l ->
+        check_sorted l.lkeys;
+        Array.iter
+          (fun k -> if k < lo || k > hi then fail "leaf key outside range")
+          l.lkeys;
+        leaves := l :: !leaves
+    | Internal i ->
+        check_sorted i.seps;
+        if Array.length i.children <> Array.length i.seps + 1 then
+          fail "child/separator count mismatch";
+        Array.iteri
+          (fun ci child ->
+            let clo = if ci = 0 then lo else i.seps.(ci - 1) in
+            let chi =
+              if ci = Array.length i.seps then hi else i.seps.(ci) - 1
+            in
+            go child clo chi)
+          i.children
+  in
+  go t.root min_int max_int;
+  (* Leaf chain must visit exactly the leaves in tree order. *)
+  let ordered = List.rev !leaves in
+  let rec check_chain = function
+    | a :: (b :: _ as rest) ->
+        (match a.next with
+        | Some n when n == b -> ()
+        | _ -> fail "broken leaf chain");
+        check_chain rest
+    | [ last ] -> if last.next <> None then fail "dangling leaf chain"
+    | [] -> ()
+  in
+  check_chain ordered;
+  let counted =
+    List.fold_left (fun acc l -> acc + Array.length l.lkeys) 0 ordered
+  in
+  if counted <> t.size then fail "size mismatch"

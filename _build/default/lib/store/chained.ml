@@ -1,0 +1,119 @@
+type 'v cell = { c_key : int; mutable c_seq : int; mutable c_value : 'v }
+
+type 'v bucket = {
+  mutable cells : 'v cell option array;
+  mutable next : 'v bucket option;
+}
+
+type 'v t = {
+  main : 'v bucket array;
+  b : int;
+  mutable size : int;
+  mutable allocated : int;
+}
+
+let new_bucket b = { cells = Array.make b None; next = None }
+
+let create ~buckets ~b =
+  if buckets <= 0 || b <= 0 then invalid_arg "Chained.create";
+  {
+    main = Array.init buckets (fun _ -> new_bucket b);
+    b;
+    size = 0;
+    allocated = buckets;
+  }
+
+let capacity t = Array.length t.main * t.b
+
+let size t = t.size
+
+let b t = t.b
+
+let home t k = Kv.Key.hash k mod Array.length t.main
+
+let rec find_cell bucket k =
+  let found = ref None in
+  Array.iter
+    (fun c ->
+      match c with
+      | Some cell when cell.c_key = k -> found := Some cell
+      | _ -> ())
+    bucket.cells;
+  match !found with
+  | Some c -> Some c
+  | None -> ( match bucket.next with Some nb -> find_cell nb k | None -> None)
+
+let find t k =
+  match find_cell t.main.(home t k) k with
+  | Some c -> Some (c.c_value, c.c_seq)
+  | None -> None
+
+let mem t k = Option.is_some (find t k)
+
+let update t k v ~seq =
+  match find_cell t.main.(home t k) k with
+  | Some c ->
+      c.c_value <- v;
+      c.c_seq <- seq;
+      true
+  | None -> false
+
+let insert t k v =
+  match find_cell t.main.(home t k) k with
+  | Some c ->
+      c.c_value <- v;
+      c.c_seq <- c.c_seq + 1
+  | None ->
+      let cell = Some { c_key = k; c_seq = 1; c_value = v } in
+      let rec place bucket =
+        let free = ref (-1) in
+        Array.iteri
+          (fun i c -> if c = None && !free < 0 then free := i)
+          bucket.cells;
+        if !free >= 0 then bucket.cells.(!free) <- cell
+        else
+          match bucket.next with
+          | Some nb -> place nb
+          | None ->
+              let nb = new_bucket t.b in
+              t.allocated <- t.allocated + 1;
+              nb.cells.(0) <- cell;
+              bucket.next <- Some nb
+      in
+      place t.main.(home t k);
+      t.size <- t.size + 1
+
+let delete t k =
+  let rec remove bucket =
+    let removed = ref false in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Some cell when cell.c_key = k ->
+            bucket.cells.(i) <- None;
+            removed := true
+        | _ -> ())
+      bucket.cells;
+    if !removed then true
+    else match bucket.next with Some nb -> remove nb | None -> false
+  in
+  if remove t.main.(home t k) then begin
+    t.size <- t.size - 1;
+    true
+  end
+  else false
+
+let lookup_cost t k =
+  let rec go bucket depth =
+    let found = ref false in
+    Array.iter
+      (fun c ->
+        match c with Some cell when cell.c_key = k -> found := true | _ -> ())
+      bucket.cells;
+    if !found then Some (depth * t.b, depth)
+    else
+      match bucket.next with Some nb -> go nb (depth + 1) | None -> None
+  in
+  go t.main.(home t k) 1
+
+let buckets_allocated t = t.allocated

@@ -1,0 +1,57 @@
+open Xenic_sim
+
+type 'r t = {
+  engine : Engine.t;
+  records : ('r * int) Queue.t;
+  capacity_b : int;
+  mutable used_b : int;
+  mutable appended : int;
+  mutable applied : int;
+  readers : (('r * int) -> unit) Queue.t;
+  space_waiters : (unit -> unit) Queue.t;
+}
+
+let create engine ~capacity_b =
+  {
+    engine;
+    records = Queue.create ();
+    capacity_b;
+    used_b = 0;
+    appended = 0;
+    applied = 0;
+    readers = Queue.create ();
+    space_waiters = Queue.create ();
+  }
+
+let rec append t ~bytes r =
+  if t.used_b + bytes > t.capacity_b && t.used_b > 0 then begin
+    Process.suspend (fun resume ->
+        Queue.add (fun () -> resume ()) t.space_waiters);
+    append t ~bytes r
+  end
+  else begin
+    t.used_b <- t.used_b + bytes;
+    t.appended <- t.appended + 1;
+    (match Queue.take_opt t.readers with
+    | Some resume -> Engine.after t.engine 0.0 (fun () -> resume (r, bytes))
+    | None -> Queue.add (r, bytes) t.records);
+    t.appended
+  end
+
+let poll t =
+  match Queue.take_opt t.records with
+  | Some rb -> rb
+  | None -> Process.suspend (fun resume -> Queue.add resume t.readers)
+
+let ack t ~bytes =
+  t.used_b <- max 0 (t.used_b - bytes);
+  t.applied <- t.applied + 1;
+  match Queue.take_opt t.space_waiters with
+  | Some resume -> Engine.after t.engine 0.0 resume
+  | None -> ()
+
+let used_b t = t.used_b
+
+let appended t = t.appended
+
+let applied t = t.applied

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Engine List Metrics Process Rng System Types Xenic_cluster Xenic_proto Xenic_sim

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Xenic_proto Xenic_sim

@@ -1,0 +1,1 @@
+lib/workload/retwis.mli: Driver Xenic_proto

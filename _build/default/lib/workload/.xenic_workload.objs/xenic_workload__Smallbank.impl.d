@@ -1,0 +1,1 @@
+lib/workload/smallbank.ml: Bytes Config Driver Int64 Keyspace List Op Rng System Types Xenic_cluster Xenic_proto Xenic_sim

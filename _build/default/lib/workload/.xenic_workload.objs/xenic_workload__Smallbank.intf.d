@@ -1,0 +1,1 @@
+lib/workload/smallbank.mli: Driver Xenic_proto

@@ -1,0 +1,1 @@
+lib/workload/tpcc_schema.ml: Array Bytes Int64 String

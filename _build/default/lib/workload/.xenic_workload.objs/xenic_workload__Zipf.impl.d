@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Float Xenic_sim

@@ -1,0 +1,103 @@
+open Xenic_sim
+open Xenic_proto
+
+type spec = {
+  name : string;
+  generate : Rng.t -> node:int -> string * Types.t;
+}
+
+type result = {
+  tput_per_server : float;
+  median_latency_us : float;
+  p99_latency_us : float;
+  abort_rate : float;
+  committed : int;
+  aborted : int;
+  duration_ns : float;
+  metrics : Metrics.t;
+}
+
+type state = {
+  mutable committed : int;
+  mutable window_started : float;
+  mutable window_committed : int;
+  mutable last_commit : float;
+  warmup : int;
+  target : int;
+}
+
+let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
+    ?coordinators (sys : System.t) spec ~concurrency ~target =
+  let engine = sys.System.engine in
+  let metrics = Metrics.create () in
+  let warmup = int_of_float (float_of_int target *. warmup_frac) in
+  let st =
+    {
+      committed = 0;
+      window_started = 0.0;
+      window_committed = 0;
+      last_commit = 0.0;
+      warmup;
+      target;
+    }
+  in
+  let root = Rng.create ~seed in
+  let nodes = sys.System.cfg.Xenic_cluster.Config.nodes in
+  let coordinators =
+    match coordinators with
+    | Some cs -> cs
+    | None -> List.init nodes (fun n -> n)
+  in
+  List.iter (fun node ->
+    for _slot = 1 to concurrency do
+      let rng = Rng.split root in
+      Process.spawn engine (fun () ->
+          let rec loop () =
+            if st.committed < st.target then begin
+              let cls, txn = spec.generate rng ~node in
+              let t0 = Engine.now engine in
+              let outcome = sys.System.run_txn ~node txn in
+              let latency = Engine.now engine -. t0 in
+              (match outcome with
+              | Types.Committed ->
+                  st.committed <- st.committed + 1;
+                  st.last_commit <- Engine.now engine;
+                  if st.committed = st.warmup then
+                    st.window_started <- Engine.now engine
+                  else if st.committed > st.warmup then begin
+                    st.window_committed <- st.window_committed + 1;
+                    Metrics.record_class metrics ~cls ~latency_ns:latency
+                      Types.Committed
+                  end
+              | Types.Aborted ->
+                  if st.committed > st.warmup then
+                    Metrics.record_class metrics ~cls ~latency_ns:latency
+                      Types.Aborted;
+                  (* Brief backoff so a retry does not land in the same
+                     conflict/staleness window. *)
+                  if abort_backoff_ns > 0.0 then
+                    Process.sleep engine abort_backoff_ns);
+              loop ()
+            end
+          in
+          loop ())
+    done) coordinators;
+  ignore (Engine.run engine);
+  Process.spawn engine (fun () -> sys.System.quiesce ());
+  ignore (Engine.run engine);
+  let duration = st.last_commit -. st.window_started in
+  let duration = if duration <= 0.0 then 1.0 else duration in
+  {
+    tput_per_server =
+      float_of_int st.window_committed /. (duration /. 1e9)
+      /. float_of_int (List.length coordinators);
+    median_latency_us = Metrics.median_latency metrics /. 1_000.0;
+    p99_latency_us = Metrics.p99_latency metrics /. 1_000.0;
+    abort_rate = Metrics.abort_rate metrics;
+    committed = Metrics.committed metrics;
+    aborted = Metrics.aborted metrics;
+    duration_ns = duration;
+    metrics;
+  }
+
+let class_committed result ~cls = Metrics.committed_class result.metrics ~cls

@@ -1,0 +1,43 @@
+(** Closed-loop benchmark driver.
+
+    Each node runs [concurrency] transaction slots; each slot generates
+    a transaction, submits it, records the outcome, and repeats until
+    the cluster-wide committed-transaction target is reached. The first
+    [warmup_frac] of commits are excluded from the measurement window.
+    Per-server throughput is committed transactions divided by window
+    duration and node count — the y/x axes of Fig 8. *)
+
+type spec = {
+  name : string;
+  generate : Xenic_sim.Rng.t -> node:int -> string * Xenic_proto.Types.t;
+      (** Produce a transaction and its class label for one attempt. *)
+}
+
+type result = {
+  tput_per_server : float;  (** Committed txns per second per server. *)
+  median_latency_us : float;
+  p99_latency_us : float;
+  abort_rate : float;
+  committed : int;
+  aborted : int;
+  duration_ns : float;  (** Measurement window length. *)
+  metrics : Xenic_proto.Metrics.t;
+}
+
+(** [run sys spec ~concurrency ~target] drives the system until
+    [target] transactions have committed. [seed] defaults to 1;
+    aborted attempts back off [abort_backoff_ns] (default 3us) before
+    retrying. *)
+val run :
+  ?seed:int64 ->
+  ?warmup_frac:float ->
+  ?abort_backoff_ns:float ->
+  ?coordinators:int list ->
+  Xenic_proto.System.t ->
+  spec ->
+  concurrency:int ->
+  target:int ->
+  result
+
+(** Committed count for one transaction class within [result]. *)
+val class_committed : result -> cls:string -> int

@@ -1,0 +1,461 @@
+(* TPC-C record types with hand-written binary codecs. Field layouts
+   are fixed-width so record sizes on the wire match the spec's nominal
+   sizes (warehouse ~95B, stock ~330B, customer ~650B: the paper's
+   "range of object sizes up to 660B"). *)
+
+(* -- Codec primitives ----------------------------------------------- *)
+
+module Codec = struct
+  type writer = { buf : Bytes.t; mutable w_off : int }
+
+  type reader = { src : Bytes.t; mutable r_off : int }
+
+  let writer size = { buf = Bytes.make size '\000'; w_off = 0 }
+
+  let finish w = w.buf
+
+  let reader src = { src; r_off = 0 }
+
+  let put_int w v =
+    Bytes.set_int64_le w.buf w.w_off (Int64.of_int v);
+    w.w_off <- w.w_off + 8
+
+  let get_int r =
+    let v = Int64.to_int (Bytes.get_int64_le r.src r.r_off) in
+    r.r_off <- r.r_off + 8;
+    v
+
+  let put_float w v =
+    Bytes.set_int64_le w.buf w.w_off (Int64.bits_of_float v);
+    w.w_off <- w.w_off + 8
+
+  let get_float r =
+    let v = Int64.float_of_bits (Bytes.get_int64_le r.src r.r_off) in
+    r.r_off <- r.r_off + 8;
+    v
+
+  (* Fixed-width, zero-padded string field. *)
+  let put_str w n s =
+    let len = min n (String.length s) in
+    Bytes.blit_string s 0 w.buf w.w_off len;
+    w.w_off <- w.w_off + n
+
+  let get_str r n =
+    let raw = Bytes.sub_string r.src r.r_off n in
+    r.r_off <- r.r_off + n;
+    match String.index_opt raw '\000' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+end
+
+open Codec
+
+(* -- Warehouse ------------------------------------------------------ *)
+
+module Warehouse = struct
+  type t = {
+    w_id : int;
+    w_name : string;  (* 10 *)
+    w_street_1 : string;  (* 20 *)
+    w_street_2 : string;  (* 20 *)
+    w_city : string;  (* 20 *)
+    w_state : string;  (* 2 *)
+    w_zip : string;  (* 9 *)
+    w_tax : float;
+    w_ytd : float;
+  }
+
+  let size = 8 + 10 + 20 + 20 + 20 + 2 + 9 + 8 + 8
+
+  let encode t =
+    let w = writer size in
+    put_int w t.w_id;
+    put_str w 10 t.w_name;
+    put_str w 20 t.w_street_1;
+    put_str w 20 t.w_street_2;
+    put_str w 20 t.w_city;
+    put_str w 2 t.w_state;
+    put_str w 9 t.w_zip;
+    put_float w t.w_tax;
+    put_float w t.w_ytd;
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let w_id = get_int r in
+    let w_name = get_str r 10 in
+    let w_street_1 = get_str r 20 in
+    let w_street_2 = get_str r 20 in
+    let w_city = get_str r 20 in
+    let w_state = get_str r 2 in
+    let w_zip = get_str r 9 in
+    let w_tax = get_float r in
+    let w_ytd = get_float r in
+    { w_id; w_name; w_street_1; w_street_2; w_city; w_state; w_zip; w_tax; w_ytd }
+end
+
+(* -- District ------------------------------------------------------- *)
+
+module District = struct
+  type t = {
+    d_id : int;
+    d_w_id : int;
+    d_name : string;  (* 10 *)
+    d_street_1 : string;  (* 20 *)
+    d_street_2 : string;  (* 20 *)
+    d_city : string;  (* 20 *)
+    d_state : string;  (* 2 *)
+    d_zip : string;  (* 9 *)
+    d_tax : float;
+    d_ytd : float;
+    d_next_o_id : int;
+  }
+
+  let size = 16 + 10 + 20 + 20 + 20 + 2 + 9 + 8 + 8 + 8
+
+  let encode t =
+    let w = writer size in
+    put_int w t.d_id;
+    put_int w t.d_w_id;
+    put_str w 10 t.d_name;
+    put_str w 20 t.d_street_1;
+    put_str w 20 t.d_street_2;
+    put_str w 20 t.d_city;
+    put_str w 2 t.d_state;
+    put_str w 9 t.d_zip;
+    put_float w t.d_tax;
+    put_float w t.d_ytd;
+    put_int w t.d_next_o_id;
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let d_id = get_int r in
+    let d_w_id = get_int r in
+    let d_name = get_str r 10 in
+    let d_street_1 = get_str r 20 in
+    let d_street_2 = get_str r 20 in
+    let d_city = get_str r 20 in
+    let d_state = get_str r 2 in
+    let d_zip = get_str r 9 in
+    let d_tax = get_float r in
+    let d_ytd = get_float r in
+    let d_next_o_id = get_int r in
+    {
+      d_id; d_w_id; d_name; d_street_1; d_street_2; d_city; d_state; d_zip;
+      d_tax; d_ytd; d_next_o_id;
+    }
+end
+
+(* -- Customer ------------------------------------------------------- *)
+
+module Customer = struct
+  type t = {
+    c_id : int;
+    c_d_id : int;
+    c_w_id : int;
+    c_first : string;  (* 16 *)
+    c_middle : string;  (* 2 *)
+    c_last : string;  (* 16 *)
+    c_street_1 : string;  (* 20 *)
+    c_street_2 : string;  (* 20 *)
+    c_city : string;  (* 20 *)
+    c_state : string;  (* 2 *)
+    c_zip : string;  (* 9 *)
+    c_phone : string;  (* 16 *)
+    c_since : int;
+    c_credit : string;  (* 2 *)
+    c_credit_lim : float;
+    c_discount : float;
+    c_balance : float;
+    c_ytd_payment : float;
+    c_payment_cnt : int;
+    c_delivery_cnt : int;
+    c_data : string;  (* 450 *)
+  }
+
+  let size =
+    24 + 16 + 2 + 16 + 20 + 20 + 20 + 2 + 9 + 16 + 8 + 2 + (8 * 4) + 16 + 450
+
+  let encode t =
+    let w = writer size in
+    put_int w t.c_id;
+    put_int w t.c_d_id;
+    put_int w t.c_w_id;
+    put_str w 16 t.c_first;
+    put_str w 2 t.c_middle;
+    put_str w 16 t.c_last;
+    put_str w 20 t.c_street_1;
+    put_str w 20 t.c_street_2;
+    put_str w 20 t.c_city;
+    put_str w 2 t.c_state;
+    put_str w 9 t.c_zip;
+    put_str w 16 t.c_phone;
+    put_int w t.c_since;
+    put_str w 2 t.c_credit;
+    put_float w t.c_credit_lim;
+    put_float w t.c_discount;
+    put_float w t.c_balance;
+    put_float w t.c_ytd_payment;
+    put_int w t.c_payment_cnt;
+    put_int w t.c_delivery_cnt;
+    put_str w 450 t.c_data;
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let c_id = get_int r in
+    let c_d_id = get_int r in
+    let c_w_id = get_int r in
+    let c_first = get_str r 16 in
+    let c_middle = get_str r 2 in
+    let c_last = get_str r 16 in
+    let c_street_1 = get_str r 20 in
+    let c_street_2 = get_str r 20 in
+    let c_city = get_str r 20 in
+    let c_state = get_str r 2 in
+    let c_zip = get_str r 9 in
+    let c_phone = get_str r 16 in
+    let c_since = get_int r in
+    let c_credit = get_str r 2 in
+    let c_credit_lim = get_float r in
+    let c_discount = get_float r in
+    let c_balance = get_float r in
+    let c_ytd_payment = get_float r in
+    let c_payment_cnt = get_int r in
+    let c_delivery_cnt = get_int r in
+    let c_data = get_str r 450 in
+    {
+      c_id; c_d_id; c_w_id; c_first; c_middle; c_last; c_street_1; c_street_2;
+      c_city; c_state; c_zip; c_phone; c_since; c_credit; c_credit_lim;
+      c_discount; c_balance; c_ytd_payment; c_payment_cnt; c_delivery_cnt;
+      c_data;
+    }
+end
+
+(* -- Stock ---------------------------------------------------------- *)
+
+module Stock = struct
+  type t = {
+    s_i_id : int;
+    s_w_id : int;
+    s_quantity : int;
+    s_dist : string array;  (* 10 x 24 *)
+    s_ytd : int;
+    s_order_cnt : int;
+    s_remote_cnt : int;
+    s_data : string;  (* 50 *)
+  }
+
+  let size = 24 + (10 * 24) + 24 + 50
+
+  let encode t =
+    let w = writer size in
+    put_int w t.s_i_id;
+    put_int w t.s_w_id;
+    put_int w t.s_quantity;
+    Array.iter (fun d -> put_str w 24 d) t.s_dist;
+    put_int w t.s_ytd;
+    put_int w t.s_order_cnt;
+    put_int w t.s_remote_cnt;
+    put_str w 50 t.s_data;
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let s_i_id = get_int r in
+    let s_w_id = get_int r in
+    let s_quantity = get_int r in
+    let s_dist = Array.init 10 (fun _ -> get_str r 24) in
+    let s_ytd = get_int r in
+    let s_order_cnt = get_int r in
+    let s_remote_cnt = get_int r in
+    let s_data = get_str r 50 in
+    { s_i_id; s_w_id; s_quantity; s_dist; s_ytd; s_order_cnt; s_remote_cnt; s_data }
+end
+
+(* -- Item (read-only, replicated at every node) --------------------- *)
+
+module Item = struct
+  type t = {
+    i_id : int;
+    i_im_id : int;
+    i_name : string;  (* 24 *)
+    i_price : float;
+    i_data : string;  (* 50 *)
+  }
+
+  let size = 16 + 24 + 8 + 50
+
+  let encode t =
+    let w = writer size in
+    put_int w t.i_id;
+    put_int w t.i_im_id;
+    put_str w 24 t.i_name;
+    put_float w t.i_price;
+    put_str w 50 t.i_data;
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let i_id = get_int r in
+    let i_im_id = get_int r in
+    let i_name = get_str r 24 in
+    let i_price = get_float r in
+    let i_data = get_str r 50 in
+    { i_id; i_im_id; i_name; i_price; i_data }
+end
+
+(* -- Order ---------------------------------------------------------- *)
+
+module Order = struct
+  type t = {
+    o_id : int;
+    o_d_id : int;
+    o_w_id : int;
+    o_c_id : int;
+    o_entry_d : int;
+    o_carrier_id : int;  (* -1 = not delivered *)
+    o_ol_cnt : int;
+    o_all_local : bool;
+  }
+
+  let size = 7 * 8 + 8
+
+  let encode t =
+    let w = writer size in
+    put_int w t.o_id;
+    put_int w t.o_d_id;
+    put_int w t.o_w_id;
+    put_int w t.o_c_id;
+    put_int w t.o_entry_d;
+    put_int w t.o_carrier_id;
+    put_int w t.o_ol_cnt;
+    put_int w (if t.o_all_local then 1 else 0);
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let o_id = get_int r in
+    let o_d_id = get_int r in
+    let o_w_id = get_int r in
+    let o_c_id = get_int r in
+    let o_entry_d = get_int r in
+    let o_carrier_id = get_int r in
+    let o_ol_cnt = get_int r in
+    let o_all_local = get_int r = 1 in
+    { o_id; o_d_id; o_w_id; o_c_id; o_entry_d; o_carrier_id; o_ol_cnt; o_all_local }
+end
+
+(* -- New-Order ------------------------------------------------------ *)
+
+module New_order = struct
+  type t = { no_o_id : int; no_d_id : int; no_w_id : int }
+
+  let size = 24
+
+  let encode t =
+    let w = writer size in
+    put_int w t.no_o_id;
+    put_int w t.no_d_id;
+    put_int w t.no_w_id;
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let no_o_id = get_int r in
+    let no_d_id = get_int r in
+    let no_w_id = get_int r in
+    { no_o_id; no_d_id; no_w_id }
+end
+
+(* -- Order-Line ----------------------------------------------------- *)
+
+module Order_line = struct
+  type t = {
+    ol_o_id : int;
+    ol_d_id : int;
+    ol_w_id : int;
+    ol_number : int;
+    ol_i_id : int;
+    ol_supply_w_id : int;
+    ol_delivery_d : int;  (* -1 = not delivered *)
+    ol_quantity : int;
+    ol_amount : float;
+    ol_dist_info : string;  (* 24 *)
+  }
+
+  let size = (8 * 8) + 8 + 24
+
+  let encode t =
+    let w = writer size in
+    put_int w t.ol_o_id;
+    put_int w t.ol_d_id;
+    put_int w t.ol_w_id;
+    put_int w t.ol_number;
+    put_int w t.ol_i_id;
+    put_int w t.ol_supply_w_id;
+    put_int w t.ol_delivery_d;
+    put_int w t.ol_quantity;
+    put_float w t.ol_amount;
+    put_str w 24 t.ol_dist_info;
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let ol_o_id = get_int r in
+    let ol_d_id = get_int r in
+    let ol_w_id = get_int r in
+    let ol_number = get_int r in
+    let ol_i_id = get_int r in
+    let ol_supply_w_id = get_int r in
+    let ol_delivery_d = get_int r in
+    let ol_quantity = get_int r in
+    let ol_amount = get_float r in
+    let ol_dist_info = get_str r 24 in
+    {
+      ol_o_id; ol_d_id; ol_w_id; ol_number; ol_i_id; ol_supply_w_id;
+      ol_delivery_d; ol_quantity; ol_amount; ol_dist_info;
+    }
+end
+
+(* -- History -------------------------------------------------------- *)
+
+module History = struct
+  type t = {
+    h_c_id : int;
+    h_c_d_id : int;
+    h_c_w_id : int;
+    h_d_id : int;
+    h_w_id : int;
+    h_date : int;
+    h_amount : float;
+    h_data : string;  (* 24 *)
+  }
+
+  let size = (6 * 8) + 8 + 24
+
+  let encode t =
+    let w = writer size in
+    put_int w t.h_c_id;
+    put_int w t.h_c_d_id;
+    put_int w t.h_c_w_id;
+    put_int w t.h_d_id;
+    put_int w t.h_w_id;
+    put_int w t.h_date;
+    put_float w t.h_amount;
+    put_str w 24 t.h_data;
+    finish w
+
+  let decode b =
+    let r = reader b in
+    let h_c_id = get_int r in
+    let h_c_d_id = get_int r in
+    let h_c_w_id = get_int r in
+    let h_d_id = get_int r in
+    let h_w_id = get_int r in
+    let h_date = get_int r in
+    let h_amount = get_float r in
+    let h_data = get_str r 24 in
+    { h_c_id; h_c_d_id; h_c_w_id; h_d_id; h_w_id; h_date; h_amount; h_data }
+end

@@ -1,0 +1,46 @@
+type t = {
+  n : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n";
+  if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta";
+  if theta = 0.0 then { n; theta; zetan = 0.0; alpha = 0.0; eta = 0.0 }
+  else
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { n; theta; zetan; alpha; eta }
+
+let sample t rng =
+  if t.theta = 0.0 then Xenic_sim.Rng.int rng t.n
+  else begin
+    let u = Xenic_sim.Rng.float rng in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+    else
+      let v =
+        float_of_int t.n
+        *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+      in
+      let k = int_of_float v in
+      if k >= t.n then t.n - 1 else if k < 0 then 0 else k
+  end
+
+let n t = t.n

@@ -1,0 +1,12 @@
+(** Zipf-distributed key sampling (Gray et al.'s method), used by the
+    Retwis benchmark (α = 0.5). *)
+
+type t
+
+(** [create ~n ~theta] prepares a sampler over [0, n). [theta] in
+    (0, 1); [theta = 0] degenerates to uniform. *)
+val create : n:int -> theta:float -> t
+
+val sample : t -> Xenic_sim.Rng.t -> int
+
+val n : t -> int

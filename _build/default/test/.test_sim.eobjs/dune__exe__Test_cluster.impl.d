@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Bytes Config Keyspace List Membership Op QCheck QCheck_alcotest Storage Xenic_cluster Xenic_sim

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Engine Fun List Printf Process Rdma Smartnic Units Xenic_net Xenic_nicdev Xenic_params Xenic_sim

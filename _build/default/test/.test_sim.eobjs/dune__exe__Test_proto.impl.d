@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Features Keyspace List Metrics Op Types Wire Xenic_cluster Xenic_proto

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Heap Int64 Ivar List Mailbox Printf Process QCheck QCheck_alcotest Resource Rng Xenic_net Xenic_params Xenic_pcie Xenic_sim

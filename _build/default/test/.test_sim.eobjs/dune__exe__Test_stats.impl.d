@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Counter Float Gen Histogram List Printf QCheck QCheck_alcotest String Table Xenic_stats

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Btree Bytes Chained Gen Hashtbl Hopscotch Hostlog Int Kv List Map Nic_index Printf QCheck QCheck_alcotest Robinhood Xenic_sim Xenic_store

@@ -1,0 +1,122 @@
+(* Tests for cluster topology, key encoding, storage, and membership. *)
+
+open Xenic_cluster
+
+let test_config_replicas () =
+  let cfg = Config.make ~nodes:6 ~replication:3 in
+  Alcotest.(check int) "primary" 2 (Config.primary cfg ~shard:2);
+  Alcotest.(check (list int)) "backups" [ 3; 4 ] (Config.backups cfg ~shard:2);
+  Alcotest.(check (list int)) "wrap" [ 0; 1 ] (Config.backups cfg ~shard:5);
+  Alcotest.(check bool) "holds primary" true (Config.holds cfg ~shard:2 ~node:2);
+  Alcotest.(check bool) "holds backup" true (Config.holds cfg ~shard:2 ~node:4);
+  Alcotest.(check bool) "not holds" false (Config.holds cfg ~shard:2 ~node:5);
+  Alcotest.(check (list int)) "backup shards" [ 3; 4 ]
+    (List.sort compare (Config.backup_shards cfg ~node:5))
+
+let test_config_invalid () =
+  Alcotest.check_raises "replication too big"
+    (Invalid_argument "Config.make: replication must be in [1, nodes]")
+    (fun () -> ignore (Config.make ~nodes:2 ~replication:3))
+
+let test_keyspace_roundtrip () =
+  List.iter
+    (fun (shard, table, ordered, id) ->
+      let k = Keyspace.make ~shard ~table ~ordered ~id in
+      Alcotest.(check int) "shard" shard (Keyspace.shard k);
+      Alcotest.(check int) "table" table (Keyspace.table k);
+      Alcotest.(check bool) "ordered" ordered (Keyspace.ordered k);
+      Alcotest.(check int) "id" id (Keyspace.id k))
+    [
+      (0, 0, false, 0);
+      (5, 3, true, 123456);
+      (255, 255, false, Keyspace.max_id);
+      (17, 9, true, 1);
+    ]
+
+let test_keyspace_roundtrip_qcheck =
+  QCheck.Test.make ~name:"keyspace roundtrip" ~count:500
+    QCheck.(
+      quad (int_bound Keyspace.max_shard) (int_bound Keyspace.max_table) bool
+        (int_bound 1_000_000_000))
+    (fun (shard, table, ordered, id) ->
+      let k = Keyspace.make ~shard ~table ~ordered ~id in
+      Keyspace.shard k = shard
+      && Keyspace.table k = table
+      && Keyspace.ordered k = ordered
+      && Keyspace.id k = id)
+
+let test_keyspace_ordering_preserved () =
+  (* Within one (shard, table), key order must follow id order so B+
+     tree range scans work on encoded keys. *)
+  let k i = Keyspace.make ~shard:3 ~table:6 ~ordered:true ~id:i in
+  Alcotest.(check bool) "monotone" true (k 1 < k 2 && k 2 < k 100_000)
+
+let test_storage_apply_read () =
+  let cfg = Config.make ~nodes:3 ~replication:2 in
+  let st = Storage.create cfg ~node:0 ~segments:8 ~seg_size:64 ~d_max:(Some 8) in
+  Alcotest.(check bool) "holds own shard" true (Storage.holds st ~shard:0);
+  Alcotest.(check bool) "holds backup shard" true (Storage.holds st ~shard:2);
+  Alcotest.(check bool) "not shard 1" false (Storage.holds st ~shard:1);
+  let k = Keyspace.make ~shard:0 ~table:0 ~ordered:false ~id:7 in
+  Storage.apply st (Op.Put (k, Bytes.of_string "hello")) ~seq:3;
+  (match Storage.read st k with
+  | Some (v, 3) -> Alcotest.(check bytes) "value" (Bytes.of_string "hello") v
+  | _ -> Alcotest.fail "read failed");
+  (* Idempotent replay with an older version must not regress. *)
+  Storage.apply st (Op.Put (k, Bytes.of_string "stale")) ~seq:2;
+  (match Storage.read st k with
+  | Some (v, 3) -> Alcotest.(check bytes) "not regressed" (Bytes.of_string "hello") v
+  | _ -> Alcotest.fail "read failed");
+  Storage.apply st (Op.Delete k) ~seq:4;
+  Alcotest.(check (option (pair bytes int))) "deleted" None (Storage.read st k)
+
+let test_storage_ordered () =
+  let cfg = Config.make ~nodes:2 ~replication:1 in
+  let st = Storage.create cfg ~node:0 ~segments:8 ~seg_size:64 ~d_max:(Some 8) in
+  let k i = Keyspace.make ~shard:0 ~table:5 ~ordered:true ~id:i in
+  List.iter
+    (fun i -> Storage.apply st (Op.Put (k i, Bytes.make 4 'x')) ~seq:1)
+    [ 3; 1; 2 ];
+  match Storage.read st (k 2) with
+  | Some (_, 0) -> ()
+  | _ -> Alcotest.fail "ordered read"
+
+let test_membership_failure_detection () =
+  let engine = Xenic_sim.Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:2 in
+  let m = Membership.create engine cfg ~lease_ns:100_000.0 in
+  let events = ref [] in
+  Membership.on_reconfigure m (fun ~epoch ~dead -> events := (epoch, dead) :: !events);
+  Membership.start m;
+  Xenic_sim.Engine.after engine 500_000.0 (fun () -> Membership.fail_node m ~node:2);
+  ignore (Xenic_sim.Engine.run ~until:2_000_000.0 engine);
+  Alcotest.(check bool) "node 2 dead" false (Membership.is_alive m 2);
+  Alcotest.(check bool) "others alive" true
+    (List.for_all (Membership.is_alive m) [ 0; 1; 3 ]);
+  match !events with
+  | [ (1, [ 2 ]) ] -> ()
+  | _ -> Alcotest.failf "unexpected events (%d)" (List.length !events)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "xenic_cluster"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "replicas" `Quick test_config_replicas;
+          Alcotest.test_case "invalid" `Quick test_config_invalid;
+        ] );
+      ( "keyspace",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_keyspace_roundtrip;
+          Alcotest.test_case "ordering" `Quick test_keyspace_ordering_preserved;
+          qt test_keyspace_roundtrip_qcheck;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "apply/read" `Quick test_storage_apply_read;
+          Alcotest.test_case "ordered tables" `Quick test_storage_ordered;
+        ] );
+      ( "membership",
+        [ Alcotest.test_case "failure detection" `Quick test_membership_failure_detection ] );
+    ]

@@ -1,0 +1,61 @@
+(* Unit tests for protocol building blocks: types, wire sizes, metrics,
+   features. *)
+
+open Xenic_cluster
+open Xenic_proto
+
+let k ~shard ~id = Keyspace.make ~shard ~table:0 ~ordered:false ~id
+
+let test_txn_sets () =
+  let a = k ~shard:0 ~id:1 and b = k ~shard:1 ~id:2 and c = k ~shard:0 ~id:3 in
+  let txn = Types.make ~read_set:[ a; b ] ~write_set:[ b; c ] (fun _ -> []) in
+  Alcotest.(check (list int)) "validate set = reads - writes" [ a ]
+    (Types.validate_set txn);
+  Alcotest.(check (list int)) "shards" [ 0; 1 ] (Types.shards txn);
+  Alcotest.(check (option int)) "not single shard" None (Types.single_shard txn);
+  let local = Types.make ~read_set:[ a ] ~write_set:[ c ] (fun _ -> []) in
+  Alcotest.(check (option int)) "single shard" (Some 0) (Types.single_shard local)
+
+let test_wire_sizes () =
+  Alcotest.(check bool) "execute grows with keys" true
+    (Wire.execute_req_b ~n_reads:4 ~n_locks:2 ~state_bytes:0
+    > Wire.execute_req_b ~n_reads:1 ~n_locks:0 ~state_bytes:0);
+  let ops = [ Op.Put (k ~shard:0 ~id:1, Bytes.create 64) ] in
+  Alcotest.(check bool) "log record bigger than ops" true
+    (Wire.log_record_b ~ops > Wire.write_ops_b ~ops);
+  Alcotest.(check int) "put op bytes" (8 + 8 + 64) (Op.bytes (List.hd ops));
+  Alcotest.(check bool) "resp includes values" true
+    (Wire.execute_resp_b ~value_bytes:[ 64; 64 ] > Wire.execute_resp_b ~value_bytes:[ 0 ])
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.record m ~latency_ns:1000.0 Types.Committed;
+  Metrics.record m ~latency_ns:2000.0 Types.Committed;
+  Metrics.record m ~latency_ns:9999.0 Types.Aborted;
+  Alcotest.(check int) "committed" 2 (Metrics.committed m);
+  Alcotest.(check int) "aborted" 1 (Metrics.aborted m);
+  Alcotest.(check bool) "abort rate" true (abs_float (Metrics.abort_rate m -. (1.0 /. 3.0)) < 1e-9);
+  Metrics.record_class m ~cls:"x" ~latency_ns:500.0 Types.Committed;
+  Alcotest.(check int) "class count" 1 (Metrics.committed_class m ~cls:"x");
+  let m2 = Metrics.create () in
+  Metrics.record m2 ~latency_ns:3000.0 Types.Committed;
+  Metrics.merge ~into:m m2;
+  Alcotest.(check int) "merged" 4 (Metrics.committed m)
+
+let test_features_ladders () =
+  Alcotest.(check int) "fig9a steps" 4 (List.length Features.fig9a_steps);
+  Alcotest.(check int) "fig9b steps" 4 (List.length Features.fig9b_steps);
+  let first = snd (List.hd Features.fig9a_steps) in
+  Alcotest.(check bool) "baseline disables smart ops" false first.Features.smart_ops;
+  let last = snd (List.nth Features.fig9a_steps 3) in
+  Alcotest.(check bool) "last step enables async dma" true last.Features.async_dma
+
+let () =
+  Alcotest.run "xenic_proto"
+    [
+      ( "types",
+        [ Alcotest.test_case "sets" `Quick test_txn_sets ] );
+      ("wire", [ Alcotest.test_case "sizes" `Quick test_wire_sizes ]);
+      ("metrics", [ Alcotest.test_case "basics" `Quick test_metrics ]);
+      ("features", [ Alcotest.test_case "ladders" `Quick test_features_ladders ]);
+    ]

@@ -1,0 +1,484 @@
+(* Tests for the discrete-event simulation substrate: engine ordering,
+   processes, mailboxes, resources, and the network/PCIe device models. *)
+
+open Xenic_sim
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  let values = [ (5.0, 1); (1.0, 2); (3.0, 3); (1.0, 4); (2.0, 5) ] in
+  List.iter (fun (time, seq) -> Heap.push h ~time ~seq (time, seq)) values;
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | Some (_, _, v) ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "time then seq order"
+    [ (1.0, 2); (1.0, 4); (2.0, 5); (3.0, 3); (5.0, 1) ]
+    (List.rev !popped)
+
+let test_heap_random_qcheck =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i time -> Heap.push h ~time ~seq:i time) times;
+      let rec drain last =
+        match Heap.pop_min h with
+        | None -> true
+        | Some (t, _, _) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_event_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.after eng 10.0 (fun () -> log := "b" :: !log);
+  Engine.after eng 5.0 (fun () -> log := "a" :: !log);
+  Engine.after eng 10.0 (fun () -> log := "c" :: !log);
+  ignore (Engine.run eng);
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "final time" 10.0 (Engine.now eng)
+
+let test_engine_until () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  for i = 1 to 10 do
+    Engine.after eng (float_of_int i) (fun () -> incr hits)
+  done;
+  ignore (Engine.run ~until:5.0 eng);
+  Alcotest.(check int) "events up to t=5" 5 !hits;
+  ignore (Engine.run eng);
+  Alcotest.(check int) "all events" 10 !hits
+
+let test_engine_no_past () =
+  let eng = Engine.create () in
+  Engine.after eng 5.0 (fun () ->
+      Alcotest.check_raises "past scheduling rejected"
+        (Invalid_argument "Engine.at: time 1.0 is before now 5.0") (fun () ->
+          Engine.at eng 1.0 (fun () -> ())));
+  ignore (Engine.run eng)
+
+(* ------------------------------------------------------------------ *)
+(* Processes *)
+
+let test_process_sleep () =
+  let eng = Engine.create () in
+  let trace = ref [] in
+  Process.spawn eng (fun () ->
+      trace := (Engine.now eng, "start") :: !trace;
+      Process.sleep eng 100.0;
+      trace := (Engine.now eng, "mid") :: !trace;
+      Process.sleep eng 50.0;
+      trace := (Engine.now eng, "end") :: !trace);
+  ignore (Engine.run eng);
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "timeline"
+    [ (0.0, "start"); (100.0, "mid"); (150.0, "end") ]
+    (List.rev !trace)
+
+let test_process_parallel () =
+  let eng = Engine.create () in
+  let result = ref [] in
+  Process.spawn eng (fun () ->
+      let rs =
+        Process.parallel eng
+          [
+            (fun () ->
+              Process.sleep eng 30.0;
+              1);
+            (fun () ->
+              Process.sleep eng 10.0;
+              2);
+            (fun () ->
+              Process.sleep eng 20.0;
+              3);
+          ]
+      in
+      result := [ (Engine.now eng, rs) ]);
+  ignore (Engine.run eng);
+  Alcotest.(check (list (pair (float 0.0) (list int))))
+    "joined at max, ordered results"
+    [ (30.0, [ 1; 2; 3 ]) ]
+    !result
+
+let test_suspend_outside_process () =
+  Alcotest.check_raises "not in process" Process.Not_in_process (fun () ->
+      ignore (Process.suspend (fun _ -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let received = ref [] in
+  Process.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        received := Mailbox.recv mb :: !received
+      done);
+  Process.spawn eng (fun () ->
+      Process.sleep eng 10.0;
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3);
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !received)
+
+let test_mailbox_burst () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  List.iter (Mailbox.send mb) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "burst of 3" [ 1; 2; 3 ] (Mailbox.recv_burst mb ~max:3);
+  Alcotest.(check (list int)) "rest" [ 4; 5 ] (Mailbox.recv_burst mb ~max:10);
+  Alcotest.(check (list int)) "empty" [] (Mailbox.recv_burst mb ~max:10)
+
+(* ------------------------------------------------------------------ *)
+(* Ivar *)
+
+let test_ivar () =
+  let eng = Engine.create () in
+  let iv = Ivar.create eng in
+  let seen = ref [] in
+  for i = 1 to 3 do
+    Process.spawn eng (fun () ->
+        let v = Ivar.read iv in
+        seen := (i, v, Engine.now eng) :: !seen)
+  done;
+  Process.spawn eng (fun () ->
+      Process.sleep eng 42.0;
+      Ivar.fill iv "done");
+  ignore (Engine.run eng);
+  Alcotest.(check int) "all woke" 3 (List.length !seen);
+  List.iter
+    (fun (_, v, t) ->
+      Alcotest.(check string) "value" "done" v;
+      check_float "time" 42.0 t)
+    !seen;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Ivar.fill iv "again")
+
+(* ------------------------------------------------------------------ *)
+(* Resource *)
+
+let test_resource_serialization () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~name:"cpu" ~servers:1 in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Process.spawn eng (fun () ->
+        Resource.use r 10.0;
+        finish := (i, Engine.now eng) :: !finish)
+  done;
+  ignore (Engine.run eng);
+  Alcotest.(check (list (pair int (float 1e-6))))
+    "fifo serialization"
+    [ (1, 10.0); (2, 20.0); (3, 30.0) ]
+    (List.rev !finish)
+
+let test_resource_parallel_servers () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~name:"cpu" ~servers:2 in
+  let finish = ref [] in
+  for i = 1 to 4 do
+    Process.spawn eng (fun () ->
+        Resource.use r 10.0;
+        finish := (i, Engine.now eng) :: !finish)
+  done;
+  ignore (Engine.run eng);
+  let times = List.map snd (List.rev !finish) in
+  Alcotest.(check (list (float 1e-6))) "two at a time" [ 10.0; 10.0; 20.0; 20.0 ] times
+
+let test_resource_utilization () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~name:"cpu" ~servers:2 in
+  Process.spawn eng (fun () -> Resource.use r 50.0);
+  Engine.after eng 100.0 (fun () -> ());
+  ignore (Engine.run eng);
+  (* 50 busy server-ns out of 2 servers * 100 ns. *)
+  check_float "utilization" 0.25 (Resource.utilization r)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_split_independence () =
+  let a = Rng.create ~seed:7L in
+  let c = Rng.split a in
+  let x = Rng.next c in
+  let a2 = Rng.create ~seed:7L in
+  let c2 = Rng.split a2 in
+  Alcotest.(check int64) "split deterministic" x (Rng.next c2)
+
+let test_rng_uniform_qcheck =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair (int_bound 1000) small_int)
+    (fun (seed, bound) ->
+      let bound = max 1 bound in
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_mean () =
+  let rng = Rng.create ~seed:1L in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Fabric *)
+
+let test_fabric_latency () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let fabric = Xenic_net.Fabric.create eng hw ~nodes:2 in
+  let arrival = ref nan in
+  Process.spawn eng (fun () ->
+      let pkt = Mailbox.recv (Xenic_net.Fabric.rx fabric 1) in
+      arrival := Engine.now eng;
+      Alcotest.(check (list string)) "payload" [ "hello" ] pkt.Xenic_net.Packet.msgs);
+  Xenic_net.Fabric.send fabric ~src:0 ~dst:1 ~payload_bytes:100 [ "hello" ];
+  ignore (Engine.run eng);
+  let rate = Xenic_params.Hw.link_rate hw in
+  let expect =
+    (2.0 *. float_of_int (100 + hw.eth_frame_overhead_b) /. rate)
+    +. hw.wire_latency_ns
+  in
+  check_float "tx + wire + rx" expect !arrival
+
+let test_fabric_bandwidth_saturation () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let fabric = Xenic_net.Fabric.create eng hw ~nodes:2 in
+  (* 100 frames of ~1500B at 12.5 B/ns: serialization dominates. *)
+  let n = 100 and bytes = 1500 - hw.eth_frame_overhead_b in
+  let last = ref 0.0 in
+  Process.spawn eng (fun () ->
+      for _ = 1 to n do
+        ignore (Mailbox.recv (Xenic_net.Fabric.rx fabric 1));
+        last := Engine.now eng
+      done);
+  for _ = 1 to n do
+    Xenic_net.Fabric.send fabric ~src:0 ~dst:1 ~payload_bytes:bytes []
+  done;
+  ignore (Engine.run eng);
+  let rate = Xenic_params.Hw.link_rate hw in
+  let min_serialization = float_of_int (n * 1500) /. rate in
+  Alcotest.(check bool)
+    "total time bounded below by link serialization" true
+    (!last >= min_serialization)
+
+let test_aggregator_batches () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let fabric = Xenic_net.Fabric.create eng hw ~nodes:2 in
+  let agg = Xenic_net.Aggregator.create fabric ~src:0 ~enabled:true in
+  let got = ref [] in
+  Process.spawn eng (fun () ->
+      let pkt = Mailbox.recv (Xenic_net.Fabric.rx fabric 1) in
+      got := pkt.Xenic_net.Packet.msgs);
+  (* Three small messages within the window coalesce into one frame. *)
+  Xenic_net.Aggregator.push agg ~dst:1 ~bytes:50 "a";
+  Xenic_net.Aggregator.push agg ~dst:1 ~bytes:50 "b";
+  Xenic_net.Aggregator.push agg ~dst:1 ~bytes:50 "c";
+  ignore (Engine.run eng);
+  Alcotest.(check (list string)) "one frame, three msgs" [ "a"; "b"; "c" ] !got;
+  Alcotest.(check int) "frames" 1 (Xenic_net.Aggregator.frames agg)
+
+let test_aggregator_disabled () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let fabric = Xenic_net.Fabric.create eng hw ~nodes:2 in
+  let agg = Xenic_net.Aggregator.create fabric ~src:0 ~enabled:false in
+  let frames = ref 0 in
+  Process.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        ignore (Mailbox.recv (Xenic_net.Fabric.rx fabric 1));
+        incr frames
+      done);
+  for _ = 1 to 3 do
+    Xenic_net.Aggregator.push agg ~dst:1 ~bytes:50 "x"
+  done;
+  ignore (Engine.run eng);
+  Alcotest.(check int) "frame per message" 3 !frames
+
+let test_aggregator_flush_all () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let fabric = Xenic_net.Fabric.create eng hw ~nodes:3 in
+  let agg = Xenic_net.Aggregator.create fabric ~src:0 ~enabled:true in
+  Xenic_net.Aggregator.push agg ~dst:1 ~bytes:10 "a";
+  Xenic_net.Aggregator.push agg ~dst:2 ~bytes:10 "b";
+  (* Force out both gather lists before their windows expire. *)
+  Xenic_net.Aggregator.flush_all agg;
+  Alcotest.(check int) "two frames" 2 (Xenic_net.Aggregator.frames agg);
+  Alcotest.(check int) "two messages" 2 (Xenic_net.Aggregator.messages agg);
+  ignore (Engine.run eng)
+
+let test_fabric_accounting () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let fabric = Xenic_net.Fabric.create eng hw ~nodes:2 in
+  Process.spawn eng (fun () ->
+      ignore (Mailbox.recv (Xenic_net.Fabric.rx fabric 1)));
+  Xenic_net.Fabric.send fabric ~src:0 ~dst:1 ~payload_bytes:100 [ "x" ];
+  ignore (Engine.run eng);
+  Alcotest.(check int) "frames" 1 (Xenic_net.Fabric.frames_sent fabric);
+  Alcotest.(check int) "bytes include framing"
+    (100 + hw.eth_frame_overhead_b)
+    (Xenic_net.Fabric.bytes_sent fabric)
+
+let test_aggregator_mtu_flush () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let fabric = Xenic_net.Fabric.create eng hw ~nodes:2 in
+  let agg = Xenic_net.Aggregator.create fabric ~src:0 ~enabled:true in
+  let count = ref 0 in
+  Process.spawn eng (fun () ->
+      let pkt = Mailbox.recv (Xenic_net.Fabric.rx fabric 1) in
+      count := List.length pkt.Xenic_net.Packet.msgs);
+  (* Push enough bytes to exceed the MTU: the gather list flushes
+     immediately, without waiting for the window timer. *)
+  for _ = 1 to 4 do
+    Xenic_net.Aggregator.push agg ~dst:1 ~bytes:400 "m"
+  done;
+  Alcotest.(check int) "flushed synchronously on MTU" 1
+    (Xenic_net.Aggregator.frames agg);
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "several messages in frame" true (!count >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* DMA engine *)
+
+let test_dma_single_latency () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let dma = Xenic_pcie.Dma.create eng hw in
+  Xenic_pcie.Dma.set_vectored dma false;
+  let t_done = ref nan in
+  Process.spawn eng (fun () ->
+      Xenic_pcie.Dma.read dma ~bytes:64;
+      t_done := Engine.now eng);
+  ignore (Engine.run eng);
+  let expect =
+    hw.dma_submit_ns +. hw.dma_engine_elem_ns +. hw.dma_read_completion_ns
+    +. (64.0 /. Xenic_params.Hw.pcie_rate hw)
+  in
+  check_float "single read latency" expect !t_done
+
+let test_dma_vector_amortization () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let dma = Xenic_pcie.Dma.create eng hw in
+  let n = 150 in
+  let completions = ref 0 in
+  for i = 0 to n - 1 do
+    Xenic_pcie.Dma.submit dma Xenic_pcie.Dma.Write ~bytes:64 ~queue:(i mod 8)
+      (fun () -> incr completions)
+  done;
+  ignore (Engine.run eng);
+  Alcotest.(check int) "all complete" n !completions;
+  (* Vectored submission should need far fewer vectors than ops. *)
+  Alcotest.(check bool)
+    "vectors amortized" true
+    (Xenic_pcie.Dma.vectors_issued dma <= (n / 8) + 8);
+  Alcotest.(check int) "ops counted" n (Xenic_pcie.Dma.ops_completed dma)
+
+let test_dma_throughput_cap () =
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let dma = Xenic_pcie.Dma.create eng hw in
+  (* Saturate one queue with full vectors; throughput per queue must be
+     near 1/dma_engine_elem_ns = 8.7 Mops/s. *)
+  let n = 1500 in
+  let last = ref 0.0 in
+  for _ = 1 to n do
+    Xenic_pcie.Dma.submit dma Xenic_pcie.Dma.Write ~bytes:16 ~queue:0 (fun () ->
+        last := Engine.now eng)
+  done;
+  ignore (Engine.run eng);
+  let mops = float_of_int n /. !last *. 1_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "one-queue throughput ~8.7Mops (got %.2f)" mops)
+    true
+    (mops > 7.0 && mops < 9.5)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "xenic_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          qt test_heap_random_qcheck;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_engine_event_order;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "no past scheduling" `Quick test_engine_no_past;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "sleep timeline" `Quick test_process_sleep;
+          Alcotest.test_case "parallel join" `Quick test_process_parallel;
+          Alcotest.test_case "suspend outside" `Quick test_suspend_outside_process;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "burst" `Quick test_mailbox_burst;
+        ] );
+      ("ivar", [ Alcotest.test_case "broadcast" `Quick test_ivar ]);
+      ( "resource",
+        [
+          Alcotest.test_case "serialization" `Quick test_resource_serialization;
+          Alcotest.test_case "parallel servers" `Quick test_resource_parallel_servers;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split" `Quick test_rng_split_independence;
+          Alcotest.test_case "mean" `Quick test_rng_mean;
+          qt test_rng_uniform_qcheck;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "latency" `Quick test_fabric_latency;
+          Alcotest.test_case "bandwidth" `Quick test_fabric_bandwidth_saturation;
+          Alcotest.test_case "aggregation" `Quick test_aggregator_batches;
+          Alcotest.test_case "aggregation off" `Quick test_aggregator_disabled;
+          Alcotest.test_case "mtu flush" `Quick test_aggregator_mtu_flush;
+          Alcotest.test_case "flush all" `Quick test_aggregator_flush_all;
+          Alcotest.test_case "accounting" `Quick test_fabric_accounting;
+        ] );
+      ( "dma",
+        [
+          Alcotest.test_case "single latency" `Quick test_dma_single_latency;
+          Alcotest.test_case "vector amortization" `Quick test_dma_vector_amortization;
+          Alcotest.test_case "throughput cap" `Quick test_dma_throughput_cap;
+        ] );
+    ]

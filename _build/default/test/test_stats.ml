@@ -1,0 +1,115 @@
+(* Tests for histograms, counters, and table rendering. *)
+
+open Xenic_stats
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check (float 1e-6)) "mean" 3.0 (Histogram.mean h);
+  Alcotest.(check (float 1e-6)) "min" 1.0 (Histogram.min_value h);
+  Alcotest.(check (float 1e-6)) "max" 5.0 (Histogram.max_value h);
+  Alcotest.(check (float 0.01)) "median" 3.0 (Histogram.median h)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check bool) "nan median" true (Float.is_nan (Histogram.median h));
+  Alcotest.(check int) "zero count" 0 (Histogram.count h)
+
+let test_histogram_quantile_accuracy () =
+  (* Uniform 0..10000: quantiles must land within the ~3% bucket
+     relative error. *)
+  let h = Histogram.create () in
+  for i = 0 to 10_000 do
+    Histogram.record h (float_of_int i)
+  done;
+  List.iter
+    (fun q ->
+      let expect = q *. 10_000.0 in
+      let got = Histogram.quantile h q in
+      let err = abs_float (got -. expect) /. (expect +. 1.0) in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f within 5%% (got %.0f want %.0f)" q got expect)
+        true (err < 0.05))
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 10.0;
+  Histogram.record b 20.0;
+  Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" 2 (Histogram.count a);
+  Alcotest.(check (float 1e-6)) "merged mean" 15.0 (Histogram.mean a)
+
+let test_histogram_large_values_qcheck =
+  QCheck.Test.make ~name:"histogram quantile within bucket error" ~count:100
+    QCheck.(list_of_size (Gen.int_range 10 200) (float_range 1.0 1e9))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) values;
+      let sorted = List.sort compare values in
+      let n = List.length sorted in
+      let exact = List.nth sorted (n / 2) in
+      let approx = Histogram.median h in
+      (* Median must be within 4% of an actual sample neighbourhood. *)
+      approx >= List.nth sorted 0 *. 0.96
+      && approx <= List.nth sorted (n - 1) *. 1.04
+      && (abs_float (approx -. exact) /. exact < 0.10
+         || n < 20
+         ||
+         (* allow one rank of slack *)
+         let lo = List.nth sorted (max 0 ((n / 2) - 2)) in
+         let hi = List.nth sorted (min (n - 1) ((n / 2) + 2)) in
+         approx >= lo *. 0.96 && approx <= hi *. 1.04))
+
+let test_counter () =
+  let c = Counter.create () in
+  Counter.incr c "msgs";
+  Counter.add c "msgs" 4;
+  Counter.addf c "bytes" 0.5;
+  Alcotest.(check (float 1e-9)) "msgs" 5.0 (Counter.get c "msgs");
+  Alcotest.(check (float 1e-9)) "bytes" 0.5 (Counter.get c "bytes");
+  Alcotest.(check (float 1e-9)) "absent" 0.0 (Counter.get c "nope");
+  Alcotest.(check int) "list" 2 (List.length (Counter.to_list c));
+  Counter.reset c;
+  Alcotest.(check (float 1e-9)) "after reset" 0.0 (Counter.get c "msgs")
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "contains row" true (contains ~sub:"333" s);
+  Alcotest.(check bool) "contains header" true (contains ~sub:"bb" s)
+
+let test_table_arity () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "xenic_stats"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantile_accuracy;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          qt test_histogram_large_values_qcheck;
+        ] );
+      ("counter", [ Alcotest.test_case "basics" `Quick test_counter ]);
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+        ] );
+    ]

@@ -1,0 +1,685 @@
+(* Tests for the data stores: Robinhood table, NIC caching index,
+   Hopscotch and chained baselines, B+ tree, and host log. *)
+
+open Xenic_store
+
+let blen = Bytes.length
+
+let mk_rh ?(segments = 16) ?(seg_size = 64) ?(d_max = Some 8) () =
+  Robinhood.create ~segments ~seg_size ~d_max ~vsize:blen
+
+let value i = Bytes.of_string (Printf.sprintf "v%06d" i)
+
+(* ------------------------------------------------------------------ *)
+(* Robinhood *)
+
+let test_rh_insert_find () =
+  let t = mk_rh () in
+  for i = 0 to 99 do
+    ignore (Robinhood.insert t i (value i))
+  done;
+  Alcotest.(check int) "size" 100 (Robinhood.size t);
+  for i = 0 to 99 do
+    match Robinhood.find t i with
+    | Some (v, seq) ->
+        Alcotest.(check bytes) "value" (value i) v;
+        Alcotest.(check int) "initial seq" 1 seq
+    | None -> Alcotest.failf "key %d missing" i
+  done;
+  Alcotest.(check (option (pair bytes int))) "absent" None (Robinhood.find t 1000)
+
+let test_rh_replace_bumps_seq () =
+  let t = mk_rh () in
+  ignore (Robinhood.insert t 7 (value 1));
+  let outcome = Robinhood.insert t 7 (value 2) in
+  Alcotest.(check bool) "replaced" true (outcome = Robinhood.Replaced);
+  (match Robinhood.find t 7 with
+  | Some (v, seq) ->
+      Alcotest.(check bytes) "new value" (value 2) v;
+      Alcotest.(check int) "seq bumped" 2 seq
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check int) "size unchanged" 1 (Robinhood.size t)
+
+let test_rh_update () =
+  let t = mk_rh () in
+  ignore (Robinhood.insert t 3 (value 0));
+  Alcotest.(check bool) "update hit" true (Robinhood.update t 3 (value 9) ~seq:42);
+  (match Robinhood.find t 3 with
+  | Some (v, seq) ->
+      Alcotest.(check bytes) "value" (value 9) v;
+      Alcotest.(check int) "seq" 42 seq
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "update miss" false (Robinhood.update t 4 (value 1) ~seq:1)
+
+let test_rh_displacement_limit () =
+  let t = mk_rh ~segments:4 ~seg_size:16 ~d_max:(Some 4) () in
+  (* Fill to high occupancy; every displacement must stay under d_max. *)
+  for i = 0 to 55 do
+    ignore (Robinhood.insert t i (value i))
+  done;
+  for i = 0 to 55 do
+    match Robinhood.locate t i with
+    | Some (`Table d) ->
+        Alcotest.(check bool) (Printf.sprintf "disp %d < 4" d) true (d < 4)
+    | Some `Overflow -> ()
+    | None -> Alcotest.failf "key %d lost" i
+  done
+
+let test_rh_delete_backward_shift () =
+  let t = mk_rh () in
+  for i = 0 to 199 do
+    ignore (Robinhood.insert t i (value i))
+  done;
+  for i = 0 to 199 do
+    if i mod 3 = 0 then
+      Alcotest.(check bool) "deleted" true (Robinhood.delete t i)
+  done;
+  Alcotest.(check bool) "delete absent" false (Robinhood.delete t 0);
+  for i = 0 to 199 do
+    let expect = i mod 3 <> 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "key %d presence" i)
+      expect
+      (Robinhood.mem t i)
+  done
+
+let test_rh_full () =
+  let t = Robinhood.create ~segments:1 ~seg_size:4 ~d_max:None ~vsize:blen in
+  for i = 0 to 3 do
+    ignore (Robinhood.insert t i (value i))
+  done;
+  Alcotest.check_raises "full" (Failure "Robinhood.insert: table full")
+    (fun () -> ignore (Robinhood.insert t 99 (value 99)))
+
+(* The DMA-consistency property (§4.1.2): during an insertion's
+   copy-list application, a concurrent region read must never miss an
+   element. We check that every previously-inserted key is findable by a
+   raw region scan at every intermediate step. *)
+let test_rh_dma_consistent_swapping () =
+  let t = mk_rh ~segments:8 ~seg_size:32 ~d_max:(Some 8) () in
+  let inserted = ref [] in
+  let visible_by_scan k =
+    (* A raw scan over the whole displacement range, as a DMA read
+       would observe — independent of size/bound bookkeeping. *)
+    match Robinhood.scan t k ~from_disp:0 ~slots:8 with
+    | Robinhood.Hit _ -> true
+    | _ -> fst (Robinhood.find_overflow t k) <> None
+  in
+  for i = 0 to 199 do
+    let check_all () =
+      List.iter
+        (fun k ->
+          if not (visible_by_scan k) then
+            Alcotest.failf "key %d invisible mid-insert of %d" k i)
+        !inserted
+    in
+    ignore (Robinhood.insert ~on_step:check_all t i (value i));
+    inserted := i :: !inserted
+  done
+
+let test_rh_model_qcheck =
+  (* Model-based test against Hashtbl over random insert/delete/update. *)
+  QCheck.Test.make ~name:"robinhood matches model" ~count:60
+    QCheck.(list (pair (int_bound 200) (int_bound 2)))
+    (fun ops ->
+      let t = mk_rh ~segments:8 ~seg_size:64 ~d_max:(Some 8) () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | 0 ->
+              ignore (Robinhood.insert t k (value k));
+              Hashtbl.replace model k (value k)
+          | 1 ->
+              let a = Robinhood.delete t k in
+              let b = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              if a <> b then failwith "delete mismatch"
+          | _ ->
+              let a = Robinhood.mem t k in
+              let b = Hashtbl.mem model k in
+              if a <> b then failwith "mem mismatch")
+        ops;
+      Hashtbl.fold
+        (fun k v acc ->
+          acc
+          &&
+          match Robinhood.find t k with
+          | Some (v', _) -> Bytes.equal v v'
+          | None -> false)
+        model true
+      && Robinhood.size t = Hashtbl.length model)
+
+let test_rh_region_bytes () =
+  let t = mk_rh () in
+  ignore (Robinhood.insert t 1 (value 1));
+  let b = Robinhood.region_bytes t 1 ~from_disp:0 ~slots:4 in
+  (* One occupied slot (header + 7B value) and three empty headers. *)
+  Alcotest.(check bool) "region bytes plausible" true
+    (b >= (4 * Kv.slot_header_b) && b <= (4 * Kv.slot_header_b) + 16)
+
+let test_rh_out_of_line () =
+  let t = mk_rh () in
+  let big = Bytes.create 600 in
+  ignore (Robinhood.insert t 5 big);
+  match Robinhood.scan t 5 ~from_disp:0 ~slots:8 with
+  | Robinhood.Hit { out_of_line; _ } ->
+      Alcotest.(check bool) "out of line" true out_of_line
+  | _ -> Alcotest.fail "not found"
+
+(* ------------------------------------------------------------------ *)
+(* NIC index *)
+
+let counting_io () =
+  let mem = ref 0 and dmas = ref 0 and slots_total = ref 0 and bytes = ref 0 in
+  let io =
+    {
+      Nic_index.nic_mem = (fun () -> incr mem);
+      dma_read =
+        (fun ~slots ~bytes:b ->
+          incr dmas;
+          slots_total := !slots_total + slots;
+          bytes := !bytes + b);
+    }
+  in
+  (io, mem, dmas, slots_total, bytes)
+
+let test_idx_miss_then_hit () =
+  let host = mk_rh () in
+  for i = 0 to 49 do
+    ignore (Robinhood.insert host i (value i))
+  done;
+  let idx = Nic_index.create ~host ~cache_capacity:100 () in
+  let io, mem, dmas, _, _ = counting_io () in
+  (match Nic_index.read idx io 7 with
+  | Some (v, 1) -> Alcotest.(check bytes) "value via DMA" (value 7) v
+  | _ -> Alcotest.fail "miss path failed");
+  Alcotest.(check int) "one DMA read" 1 !dmas;
+  Alcotest.(check int) "no mem hit yet" 0 !mem;
+  (* Second read: cache hit, no DMA. *)
+  (match Nic_index.read idx io 7 with
+  | Some (v, _) -> Alcotest.(check bytes) "cached value" (value 7) v
+  | None -> Alcotest.fail "hit path failed");
+  Alcotest.(check int) "still one DMA" 1 !dmas;
+  Alcotest.(check int) "one mem hit" 1 !mem;
+  Alcotest.(check int) "hit counter" 1 (Nic_index.cache_hits idx)
+
+let test_idx_absent () =
+  let host = mk_rh () in
+  ignore (Robinhood.insert host 1 (value 1));
+  let idx = Nic_index.create ~host ~cache_capacity:10 () in
+  let io, _, _, _, _ = counting_io () in
+  Alcotest.(check (option (pair bytes int))) "absent" None
+    (Nic_index.read idx io 999)
+
+let test_idx_stale_hint_second_read () =
+  (* Build host, sync hints, then insert more keys at the host so true
+     displacements exceed the NIC's hints; lookup must still succeed via
+     the second adjacent read. *)
+  let host = mk_rh ~segments:8 ~seg_size:16 ~d_max:(Some 8) () in
+  for i = 0 to 49 do
+    ignore (Robinhood.insert host i (value i))
+  done;
+  let idx = Nic_index.create ~host ~cache_capacity:0 () in
+  for i = 50 to 99 do
+    ignore (Robinhood.insert host i (value i))
+  done;
+  let io, _, _, _, _ = counting_io () in
+  for i = 0 to 99 do
+    match Robinhood.locate host i with
+    | Some (`Table _) | Some `Overflow -> (
+        match Nic_index.read idx io i with
+        | Some (v, _) -> Alcotest.(check bytes) "found despite staleness" (value i) v
+        | None -> Alcotest.failf "key %d not found via index" i)
+    | None -> Alcotest.failf "key %d lost from host" i
+  done
+
+let test_idx_lock_protocol () =
+  let host = mk_rh () in
+  ignore (Robinhood.insert host 5 (value 5));
+  let idx = Nic_index.create ~host ~cache_capacity:10 () in
+  let io = Nic_index.free_io in
+  (match Nic_index.try_lock idx io 5 ~owner:1 with
+  | `Acquired seq -> Alcotest.(check int) "version at lock" 1 seq
+  | `Locked -> Alcotest.fail "lock failed");
+  Alcotest.(check bool) "locked" true (Nic_index.is_locked idx 5);
+  (match Nic_index.try_lock idx io 5 ~owner:2 with
+  | `Locked -> ()
+  | `Acquired _ -> Alcotest.fail "double lock");
+  (* Re-entrant for same owner. *)
+  (match Nic_index.try_lock idx io 5 ~owner:1 with
+  | `Acquired _ -> ()
+  | `Locked -> Alcotest.fail "same-owner relock");
+  Nic_index.unlock idx 5 ~owner:1;
+  Alcotest.(check bool) "unlocked" false (Nic_index.is_locked idx 5)
+
+let test_idx_commit_pin_evict () =
+  let host = mk_rh () in
+  ignore (Robinhood.insert host 1 (value 1));
+  ignore (Robinhood.insert host 2 (value 2));
+  let idx = Nic_index.create ~host ~cache_capacity:1 () in
+  let io = Nic_index.free_io in
+  (match Nic_index.try_lock idx io 1 ~owner:9 with
+  | `Acquired _ -> ()
+  | `Locked -> Alcotest.fail "lock");
+  let seq = Nic_index.apply_commit idx 1 (value 11) in
+  Alcotest.(check int) "version bumped" 2 seq;
+  Nic_index.unlock idx 1 ~owner:9;
+  (* Entry 1 is pinned: reading key 2 overflows the 1-entry cache but
+     cannot evict the pinned entry. *)
+  ignore (Nic_index.read idx io 2);
+  (match Nic_index.read idx io 1 with
+  | Some (v, 2) -> Alcotest.(check bytes) "pinned new value" (value 11) v
+  | _ -> Alcotest.fail "pinned entry lost");
+  (* Host applies; now the entry may be evicted. *)
+  Alcotest.(check bool) "host updated" true
+    (Robinhood.update host 1 (value 11) ~seq:2);
+  Nic_index.host_applied idx 1;
+  ignore (Nic_index.read idx io 2);
+  (* Read of key 1 must still return the committed value (from host). *)
+  match Nic_index.read idx io 1 with
+  | Some (v, 2) -> Alcotest.(check bytes) "value after eviction" (value 11) v
+  | _ -> Alcotest.fail "post-eviction read"
+
+let test_idx_insert_absent_key () =
+  let host = mk_rh () in
+  let idx = Nic_index.create ~host ~cache_capacity:10 () in
+  let io = Nic_index.free_io in
+  (match Nic_index.try_lock idx io 42 ~owner:1 with
+  | `Acquired 0 -> ()
+  | _ -> Alcotest.fail "absent key should lock at version 0");
+  let seq = Nic_index.apply_commit idx 42 (value 42) in
+  Alcotest.(check int) "first version" 1 seq;
+  Nic_index.unlock idx 42 ~owner:1;
+  match Nic_index.read idx io 42 with
+  | Some (v, 1) -> Alcotest.(check bytes) "inserted visible" (value 42) v
+  | _ -> Alcotest.fail "insert not visible"
+
+(* The §4.1.3 concurrency re-checks: an index lookup's DMA can suspend
+   while another handler locks or commits the same key. We model the
+   interleaving deterministically by performing the racing operation
+   from inside the io callback. *)
+let test_idx_lock_race_during_dma () =
+  let host = mk_rh () in
+  ignore (Robinhood.insert host 5 (value 5));
+  let idx = Nic_index.create ~host ~cache_capacity:10 () in
+  (* Owner 2 "wins the race": it locks the key while owner 1's lookup
+     DMA is in flight. *)
+  let raced = ref false in
+  let racing_io =
+    {
+      Nic_index.nic_mem = (fun () -> ());
+      dma_read =
+        (fun ~slots:_ ~bytes:_ ->
+          if not !raced then begin
+            raced := true;
+            match Nic_index.try_lock idx Nic_index.free_io 5 ~owner:2 with
+            | `Acquired _ -> ()
+            | `Locked -> Alcotest.fail "racer should acquire"
+          end);
+    }
+  in
+  (match Nic_index.try_lock idx racing_io 5 ~owner:1 with
+  | `Locked -> ()
+  | `Acquired _ -> Alcotest.fail "double lock grant across DMA suspension");
+  Alcotest.(check (option int)) "owner 2 holds the lock" (Some 2)
+    (Nic_index.lock_owner idx 5)
+
+let test_idx_commit_race_during_dma () =
+  let host = mk_rh () in
+  ignore (Robinhood.insert host 9 (value 9));
+  let idx = Nic_index.create ~host ~cache_capacity:10 () in
+  (* While a read's DMA is in flight, another transaction commits a new
+     version; the read must return entry-authoritative data, not the
+     stale host value. *)
+  let raced = ref false in
+  let racing_io =
+    {
+      Nic_index.nic_mem = (fun () -> ());
+      dma_read =
+        (fun ~slots:_ ~bytes:_ ->
+          if not !raced then begin
+            raced := true;
+            (match Nic_index.try_lock idx Nic_index.free_io 9 ~owner:7 with
+            | `Acquired _ -> ()
+            | `Locked -> Alcotest.fail "racer lock");
+            ignore (Nic_index.apply_commit idx 9 (value 99));
+            Nic_index.unlock idx 9 ~owner:7
+          end);
+    }
+  in
+  (match Nic_index.read idx racing_io 9 with
+  | Some (v, seq) ->
+      Alcotest.(check bytes) "fresh value, not stale host" (value 99) v;
+      Alcotest.(check int) "fresh version" 2 seq
+  | None -> Alcotest.fail "read failed");
+  (* The pinned entry must not have been clobbered by the stale DMA. *)
+  match Nic_index.read idx Nic_index.free_io 9 with
+  | Some (v, 2) -> Alcotest.(check bytes) "still fresh" (value 99) v
+  | _ -> Alcotest.fail "clobbered"
+
+(* The index's hint-guided DMA lookup must agree with the host table
+   for arbitrary contents, hint staleness included. *)
+let test_idx_matches_host_qcheck =
+  QCheck.Test.make ~name:"nic index lookup = host find" ~count:40
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 120) (int_bound 400))
+        (int_bound 2))
+    (fun (keys, dmax_sel) ->
+      let d_max = match dmax_sel with 0 -> Some 4 | 1 -> Some 8 | _ -> None in
+      let host = Robinhood.create ~segments:16 ~seg_size:32 ~d_max ~vsize:blen in
+      (* Load half before hint sync, half after (stale hints). *)
+      let n = List.length keys in
+      List.iteri
+        (fun i k -> if i < n / 2 then ignore (Robinhood.insert host k (value k)))
+        keys;
+      let idx = Nic_index.create ~host ~cache_capacity:0 () in
+      Nic_index.sync_hints idx;
+      List.iteri
+        (fun i k -> if i >= n / 2 then ignore (Robinhood.insert host k (value k)))
+        keys;
+      List.for_all
+        (fun k ->
+          let via_idx = Nic_index.read idx Nic_index.free_io k in
+          let via_host = Robinhood.find host k in
+          match (via_idx, via_host) with
+          | Some (v1, s1), Some (v2, s2) -> Bytes.equal v1 v2 && s1 = s2
+          | None, None -> true
+          | _ -> false)
+        (keys @ [ 997; 998; 999 ]))
+
+(* Deletion's overflow-swap: deleting a table-resident element pulls a
+   same-segment overflow element back into the table. *)
+let test_rh_delete_overflow_swap () =
+  let t = Robinhood.create ~segments:1 ~seg_size:16 ~d_max:(Some 3) ~vsize:blen in
+  (* Fill until some keys overflow. *)
+  let inserted = ref [] in
+  (try
+     for i = 0 to 15 do
+       ignore (Robinhood.insert t i (value i));
+       inserted := i :: !inserted
+     done
+   with Failure _ -> ());
+  let overflowed =
+    List.filter (fun k -> Robinhood.locate t k = Some `Overflow) !inserted
+  in
+  if overflowed <> [] then begin
+    let table_resident =
+      List.find (fun k -> match Robinhood.locate t k with Some (`Table _) -> true | _ -> false) !inserted
+    in
+    let ovf_before = Robinhood.overflow_count t 0 in
+    Alcotest.(check bool) "delete" true (Robinhood.delete t table_resident);
+    (* Every remaining key is still findable. *)
+    List.iter
+      (fun k ->
+        if k <> table_resident then
+          Alcotest.(check bool) (Printf.sprintf "key %d" k) true (Robinhood.mem t k))
+      !inserted;
+    Alcotest.(check bool) "overflow shrank or equal" true
+      (Robinhood.overflow_count t 0 <= ovf_before)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hopscotch *)
+
+let test_hopscotch_basics () =
+  let t = Hopscotch.create ~capacity:256 ~h:8 in
+  for i = 0 to 199 do
+    Hopscotch.insert t i (value i)
+  done;
+  for i = 0 to 199 do
+    match Hopscotch.find t i with
+    | Some v -> Alcotest.(check bytes) "value" (value i) v
+    | None -> Alcotest.failf "key %d missing" i
+  done;
+  Alcotest.(check int) "size" 200 (Hopscotch.size t);
+  Alcotest.(check bool) "delete" true (Hopscotch.delete t 100);
+  Alcotest.(check bool) "gone" false (Hopscotch.mem t 100)
+
+let test_hopscotch_lookup_cost () =
+  let t = Hopscotch.create ~capacity:1024 ~h:8 in
+  for i = 0 to 900 do
+    Hopscotch.insert t i (value i)
+  done;
+  (* Every present key costs h objects for a neighborhood hit; overflow
+     keys cost a second roundtrip. *)
+  for i = 0 to 900 do
+    match Hopscotch.lookup_cost t i with
+    | Some (objs, rts) ->
+        Alcotest.(check bool) "objs >= h" true (objs >= 8);
+        Alcotest.(check bool) "rts in {1,2}" true (rts = 1 || rts = 2)
+    | None -> Alcotest.failf "key %d missing" i
+  done
+
+let test_hopscotch_model_qcheck =
+  QCheck.Test.make ~name:"hopscotch matches model" ~count:50
+    QCheck.(list (pair (int_bound 300) bool))
+    (fun ops ->
+      let t = Hopscotch.create ~capacity:1024 ~h:8 in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, ins) ->
+          if ins then begin
+            Hopscotch.insert t k (value k);
+            Hashtbl.replace model k (value k)
+          end
+          else begin
+            let a = Hopscotch.delete t k in
+            let b = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            if a <> b then failwith "delete mismatch"
+          end)
+        ops;
+      Hashtbl.fold
+        (fun k v acc ->
+          acc
+          && match Hopscotch.find t k with
+             | Some v' -> Bytes.equal v v'
+             | None -> false)
+        model true)
+
+(* ------------------------------------------------------------------ *)
+(* Chained *)
+
+let test_chained_basics () =
+  let t = Chained.create ~buckets:32 ~b:4 in
+  for i = 0 to 299 do
+    Chained.insert t i (value i)
+  done;
+  Alcotest.(check int) "size" 300 (Chained.size t);
+  for i = 0 to 299 do
+    match Chained.find t i with
+    | Some (v, _) -> Alcotest.(check bytes) "value" (value i) v
+    | None -> Alcotest.failf "key %d missing" i
+  done;
+  Alcotest.(check bool) "chains allocated" true (Chained.buckets_allocated t > 32);
+  Alcotest.(check bool) "delete" true (Chained.delete t 5);
+  Alcotest.(check bool) "gone" false (Chained.mem t 5);
+  Alcotest.(check bool) "update" true (Chained.update t 6 (value 66) ~seq:9);
+  match Chained.find t 6 with
+  | Some (v, 9) -> Alcotest.(check bytes) "updated" (value 66) v
+  | _ -> Alcotest.fail "update lost"
+
+let test_chained_lookup_cost () =
+  let t = Chained.create ~buckets:8 ~b:4 in
+  for i = 0 to 99 do
+    Chained.insert t i (value i)
+  done;
+  let deep = ref 0 in
+  for i = 0 to 99 do
+    match Chained.lookup_cost t i with
+    | Some (objs, rts) ->
+        Alcotest.(check int) "objects = rts*b" (rts * 4) objs;
+        if rts > 1 then incr deep
+    | None -> Alcotest.failf "missing %d" i
+  done;
+  Alcotest.(check bool) "some chained lookups" true (!deep > 0)
+
+(* ------------------------------------------------------------------ *)
+(* B+ tree *)
+
+let test_btree_insert_find () =
+  let t = Btree.create () in
+  for i = 0 to 999 do
+    Btree.insert t (i * 7 mod 1000) i
+  done;
+  Btree.check_invariants t;
+  for i = 0 to 999 do
+    Alcotest.(check bool) "mem" true (Btree.mem t i)
+  done;
+  Alcotest.(check int) "size" 1000 (Btree.size t)
+
+let test_btree_range () =
+  let t = Btree.create () in
+  List.iter (fun k -> Btree.insert t k (k * 10)) [ 5; 1; 9; 3; 7 ];
+  let got = Btree.fold_range t ~lo:3 ~hi:7 ~init:[] (fun acc k v -> (k, v) :: acc) in
+  Alcotest.(check (list (pair int int)))
+    "range asc"
+    [ (3, 30); (5, 50); (7, 70) ]
+    (List.rev got);
+  Alcotest.(check (option (pair int int))) "min" (Some (3, 30))
+    (Btree.min_in_range t ~lo:2 ~hi:8);
+  Alcotest.(check (option (pair int int))) "max" (Some (7, 70))
+    (Btree.max_in_range t ~lo:2 ~hi:8)
+
+let test_btree_delete () =
+  let t = Btree.create () in
+  for i = 0 to 499 do
+    Btree.insert t i i
+  done;
+  for i = 0 to 499 do
+    if i mod 2 = 0 then Alcotest.(check bool) "del" true (Btree.delete t i)
+  done;
+  Alcotest.(check bool) "del absent" false (Btree.delete t 0);
+  Alcotest.(check int) "size" 250 (Btree.size t);
+  for i = 0 to 499 do
+    Alcotest.(check bool) "presence" (i mod 2 = 1) (Btree.mem t i)
+  done;
+  Btree.check_invariants t
+
+let test_btree_model_qcheck =
+  QCheck.Test.make ~name:"btree matches Map model" ~count:60
+    QCheck.(list (pair (int_bound 500) (int_bound 2)))
+    (fun ops ->
+      let t = Btree.create () in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | 0 ->
+              Btree.insert t k k;
+              model := M.add k k !model
+          | 1 ->
+              let a = Btree.delete t k in
+              let b = M.mem k !model in
+              model := M.remove k !model;
+              if a <> b then failwith "delete mismatch"
+          | _ -> if Btree.find t k <> M.find_opt k !model then failwith "find")
+        ops;
+      Btree.check_invariants t;
+      let keys = Btree.fold_range t ~lo:min_int ~hi:max_int ~init:[] (fun a k _ -> k :: a) in
+      List.rev keys = List.map fst (M.bindings !model))
+
+(* ------------------------------------------------------------------ *)
+(* Host log *)
+
+let test_hostlog_roundtrip () =
+  let eng = Xenic_sim.Engine.create () in
+  let log = Hostlog.create eng ~capacity_b:1024 in
+  let applied = ref [] in
+  Xenic_sim.Process.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        let r, bytes = Hostlog.poll log in
+        applied := r :: !applied;
+        Hostlog.ack log ~bytes
+      done);
+  Xenic_sim.Process.spawn eng (fun () ->
+      List.iter (fun r -> ignore (Hostlog.append log ~bytes:100 r)) [ "a"; "b"; "c" ]);
+  ignore (Xenic_sim.Engine.run eng);
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !applied);
+  Alcotest.(check int) "space reclaimed" 0 (Hostlog.used_b log);
+  Alcotest.(check int) "appended" 3 (Hostlog.appended log);
+  Alcotest.(check int) "applied" 3 (Hostlog.applied log)
+
+let test_hostlog_backpressure () =
+  let eng = Xenic_sim.Engine.create () in
+  let log = Hostlog.create eng ~capacity_b:250 in
+  let appended_at = ref [] in
+  Xenic_sim.Process.spawn eng (fun () ->
+      for _ = 1 to 4 do
+        ignore (Hostlog.append log ~bytes:100 ());
+        appended_at := Xenic_sim.Engine.now eng :: !appended_at
+      done);
+  (* A slow worker that acks every 1000ns. *)
+  Xenic_sim.Process.spawn eng (fun () ->
+      for _ = 1 to 4 do
+        let (), bytes = Hostlog.poll log in
+        Xenic_sim.Process.sleep eng 1000.0;
+        Hostlog.ack log ~bytes
+      done);
+  ignore (Xenic_sim.Engine.run eng);
+  (* The 4th append must have been delayed by backpressure. *)
+  match List.rev !appended_at with
+  | [ _; _; _; t4 ] -> Alcotest.(check bool) "backpressured" true (t4 >= 1000.0)
+  | _ -> Alcotest.fail "wrong append count"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "xenic_store"
+    [
+      ( "robinhood",
+        [
+          Alcotest.test_case "insert/find" `Quick test_rh_insert_find;
+          Alcotest.test_case "replace seq" `Quick test_rh_replace_bumps_seq;
+          Alcotest.test_case "update" `Quick test_rh_update;
+          Alcotest.test_case "displacement limit" `Quick test_rh_displacement_limit;
+          Alcotest.test_case "delete" `Quick test_rh_delete_backward_shift;
+          Alcotest.test_case "table full" `Quick test_rh_full;
+          Alcotest.test_case "DMA-consistent swaps" `Quick
+            test_rh_dma_consistent_swapping;
+          Alcotest.test_case "region bytes" `Quick test_rh_region_bytes;
+          Alcotest.test_case "out-of-line objects" `Quick test_rh_out_of_line;
+          qt test_rh_model_qcheck;
+        ] );
+      ( "nic_index",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_idx_miss_then_hit;
+          Alcotest.test_case "absent" `Quick test_idx_absent;
+          Alcotest.test_case "stale hints" `Quick test_idx_stale_hint_second_read;
+          Alcotest.test_case "locking" `Quick test_idx_lock_protocol;
+          Alcotest.test_case "commit/pin/evict" `Quick test_idx_commit_pin_evict;
+          Alcotest.test_case "insert absent key" `Quick test_idx_insert_absent_key;
+          Alcotest.test_case "lock race during DMA" `Quick
+            test_idx_lock_race_during_dma;
+          Alcotest.test_case "commit race during DMA" `Quick
+            test_idx_commit_race_during_dma;
+          Alcotest.test_case "overflow-swap delete" `Quick
+            test_rh_delete_overflow_swap;
+          qt test_idx_matches_host_qcheck;
+        ] );
+      ( "hopscotch",
+        [
+          Alcotest.test_case "basics" `Quick test_hopscotch_basics;
+          Alcotest.test_case "lookup cost" `Quick test_hopscotch_lookup_cost;
+          qt test_hopscotch_model_qcheck;
+        ] );
+      ( "chained",
+        [
+          Alcotest.test_case "basics" `Quick test_chained_basics;
+          Alcotest.test_case "lookup cost" `Quick test_chained_lookup_cost;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "insert/find" `Quick test_btree_insert_find;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          Alcotest.test_case "delete" `Quick test_btree_delete;
+          qt test_btree_model_qcheck;
+        ] );
+      ( "hostlog",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hostlog_roundtrip;
+          Alcotest.test_case "backpressure" `Quick test_hostlog_backpressure;
+        ] );
+    ]

@@ -1,0 +1,405 @@
+(* TPC-C: codec roundtrips, loading, the full five-transaction mix on
+   Xenic and a baseline, and the TPC-C consistency conditions. *)
+
+open Xenic_sim
+open Xenic_cluster
+open Xenic_proto
+open Xenic_workload
+open Tpcc_schema
+
+let hw = Xenic_params.Hw.testbed
+
+(* Small scale so the suite stays fast. *)
+let params =
+  {
+    Tpcc.default_params with
+    warehouses_per_node = 2;
+    customers_per_district = 20;
+    items = 200;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Codecs *)
+
+let test_warehouse_roundtrip () =
+  let w =
+    {
+      Warehouse.w_id = 42;
+      w_name = "wname";
+      w_street_1 = "street one";
+      w_street_2 = "street two";
+      w_city = "city";
+      w_state = "WA";
+      w_zip = "981000000";
+      w_tax = 0.07;
+      w_ytd = 12345.67;
+    }
+  in
+  let w' = Warehouse.decode (Warehouse.encode w) in
+  Alcotest.(check int) "id" w.Warehouse.w_id w'.Warehouse.w_id;
+  Alcotest.(check string) "name" w.Warehouse.w_name w'.Warehouse.w_name;
+  Alcotest.(check string) "state" w.Warehouse.w_state w'.Warehouse.w_state;
+  Alcotest.(check (float 1e-9)) "tax" w.Warehouse.w_tax w'.Warehouse.w_tax;
+  Alcotest.(check (float 1e-9)) "ytd" w.Warehouse.w_ytd w'.Warehouse.w_ytd;
+  Alcotest.(check int) "size" Warehouse.size
+    (Bytes.length (Warehouse.encode w))
+
+let test_district_roundtrip () =
+  let d =
+    {
+      District.d_id = 3;
+      d_w_id = 42;
+      d_name = "dname";
+      d_street_1 = "s1";
+      d_street_2 = "s2";
+      d_city = "c";
+      d_state = "OR";
+      d_zip = "970000000";
+      d_tax = 0.05;
+      d_ytd = 99.5;
+      d_next_o_id = 1234;
+    }
+  in
+  let d' = District.decode (District.encode d) in
+  Alcotest.(check int) "next_o_id" 1234 d'.District.d_next_o_id;
+  Alcotest.(check (float 1e-9)) "ytd" 99.5 d'.District.d_ytd;
+  Alcotest.(check string) "name" "dname" d'.District.d_name
+
+let test_customer_roundtrip_and_size () =
+  let c =
+    {
+      Customer.c_id = 7;
+      c_d_id = 3;
+      c_w_id = 42;
+      c_first = "Alice";
+      c_middle = "OE";
+      c_last = "Smith";
+      c_street_1 = "s1";
+      c_street_2 = "s2";
+      c_city = "c";
+      c_state = "WA";
+      c_zip = "981000000";
+      c_phone = "555-0100";
+      c_since = 100;
+      c_credit = "GC";
+      c_credit_lim = 50000.0;
+      c_discount = 0.1;
+      c_balance = -10.0;
+      c_ytd_payment = 10.0;
+      c_payment_cnt = 1;
+      c_delivery_cnt = 0;
+      c_data = String.make 100 'x';
+    }
+  in
+  let c' = Customer.decode (Customer.encode c) in
+  Alcotest.(check string) "first" "Alice" c'.Customer.c_first;
+  Alcotest.(check (float 1e-9)) "balance" (-10.0) c'.Customer.c_balance;
+  Alcotest.(check int) "payment_cnt" 1 c'.Customer.c_payment_cnt;
+  (* The paper quotes TPC-C object sizes "up to 660B": customer is the
+     largest record. *)
+  Alcotest.(check bool) "customer is ~650B" true
+    (Customer.size > 600 && Customer.size <= 660)
+
+let test_stock_roundtrip () =
+  let s =
+    {
+      Stock.s_i_id = 5;
+      s_w_id = 2;
+      s_quantity = 50;
+      s_dist = Array.init 10 (fun i -> Printf.sprintf "dist-%d" i);
+      s_ytd = 7;
+      s_order_cnt = 3;
+      s_remote_cnt = 1;
+      s_data = "data";
+    }
+  in
+  let s' = Stock.decode (Stock.encode s) in
+  Alcotest.(check int) "qty" 50 s'.Stock.s_quantity;
+  Alcotest.(check string) "dist[3]" "dist-3" s'.Stock.s_dist.(3);
+  Alcotest.(check int) "remote" 1 s'.Stock.s_remote_cnt;
+  Alcotest.(check bool) "stock ~300B" true (Stock.size > 280 && Stock.size < 360)
+
+let test_order_line_roundtrip () =
+  let ol =
+    {
+      Order_line.ol_o_id = 9;
+      ol_d_id = 1;
+      ol_w_id = 2;
+      ol_number = 4;
+      ol_i_id = 77;
+      ol_supply_w_id = 3;
+      ol_delivery_d = -1;
+      ol_quantity = 5;
+      ol_amount = 123.45;
+      ol_dist_info = "info";
+    }
+  in
+  let ol' = Order_line.decode (Order_line.encode ol) in
+  Alcotest.(check int) "item" 77 ol'.Order_line.ol_i_id;
+  Alcotest.(check (float 1e-9)) "amount" 123.45 ol'.Order_line.ol_amount;
+  Alcotest.(check int) "undelivered" (-1) ol'.Order_line.ol_delivery_d
+
+let test_order_and_history_roundtrip () =
+  let o =
+    {
+      Order.o_id = 12;
+      o_d_id = 3;
+      o_w_id = 1;
+      o_c_id = 9;
+      o_entry_d = 5;
+      o_carrier_id = -1;
+      o_ol_cnt = 7;
+      o_all_local = false;
+    }
+  in
+  let o' = Order.decode (Order.encode o) in
+  Alcotest.(check int) "ol_cnt" 7 o'.Order.o_ol_cnt;
+  Alcotest.(check bool) "all_local" false o'.Order.o_all_local;
+  let h =
+    {
+      History.h_c_id = 1;
+      h_c_d_id = 2;
+      h_c_w_id = 3;
+      h_d_id = 4;
+      h_w_id = 5;
+      h_date = 6;
+      h_amount = 7.5;
+      h_data = "x";
+    }
+  in
+  let h' = History.decode (History.encode h) in
+  Alcotest.(check (float 1e-9)) "amount" 7.5 h'.History.h_amount
+
+(* Property-based codec roundtrips: random field values survive
+   encode/decode. Strings are NUL-free and within field width (the
+   codecs use fixed-width zero-padded fields). *)
+
+let str_gen width =
+  QCheck.Gen.(
+    string_size ~gen:(char_range 'a' 'z') (int_range 0 width))
+
+let qcheck_warehouse =
+  QCheck.Test.make ~name:"warehouse codec roundtrip" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         let* w_id = int_range 0 10_000 in
+         let* w_name = str_gen 10 in
+         let* w_tax = float_range 0.0 0.2 in
+         let* w_ytd = float_range 0.0 1e6 in
+         return (w_id, w_name, w_tax, w_ytd)))
+    (fun (w_id, w_name, w_tax, w_ytd) ->
+      let w =
+        {
+          Warehouse.w_id;
+          w_name;
+          w_street_1 = "s1";
+          w_street_2 = "s2";
+          w_city = "c";
+          w_state = "WA";
+          w_zip = "981000000";
+          w_tax;
+          w_ytd;
+        }
+      in
+      let w' = Warehouse.decode (Warehouse.encode w) in
+      w' = w)
+
+let qcheck_customer =
+  QCheck.Test.make ~name:"customer codec roundtrip" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         let* c_id = int_range 0 3000 in
+         let* c_first = str_gen 16 in
+         let* c_last = str_gen 16 in
+         let* c_balance = float_range (-1e5) 1e5 in
+         let* c_payment_cnt = int_range 0 1_000_000 in
+         return (c_id, c_first, c_last, c_balance, c_payment_cnt)))
+    (fun (c_id, c_first, c_last, c_balance, c_payment_cnt) ->
+      let c =
+        {
+          Customer.c_id;
+          c_d_id = 1;
+          c_w_id = 2;
+          c_first;
+          c_middle = "OE";
+          c_last;
+          c_street_1 = "s";
+          c_street_2 = "";
+          c_city = "c";
+          c_state = "OR";
+          c_zip = "970000000";
+          c_phone = "555";
+          c_since = 7;
+          c_credit = "GC";
+          c_credit_lim = 50_000.0;
+          c_discount = 0.1;
+          c_balance;
+          c_ytd_payment = 0.0;
+          c_payment_cnt;
+          c_delivery_cnt = 0;
+          c_data = "d";
+        }
+      in
+      Customer.decode (Customer.encode c) = c)
+
+let qcheck_stock =
+  QCheck.Test.make ~name:"stock codec roundtrip" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         let* s_i_id = int_range 0 100_000 in
+         let* s_quantity = int_range (-100) 200 in
+         let* s_ytd = int_range 0 1_000_000 in
+         return (s_i_id, s_quantity, s_ytd)))
+    (fun (s_i_id, s_quantity, s_ytd) ->
+      let st =
+        {
+          Stock.s_i_id;
+          s_w_id = 3;
+          s_quantity;
+          s_dist = Array.init 10 string_of_int;
+          s_ytd;
+          s_order_cnt = 5;
+          s_remote_cnt = 2;
+          s_data = "x";
+        }
+      in
+      Stock.decode (Stock.encode st) = st)
+
+let qcheck_order_line =
+  QCheck.Test.make ~name:"order-line codec roundtrip" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         let* ol_o_id = int_range 0 (1 lsl 23) in
+         let* ol_quantity = int_range 1 10 in
+         let* ol_amount = float_range 0.0 10_000.0 in
+         let* ol_delivery_d = int_range (-1) 100 in
+         return (ol_o_id, ol_quantity, ol_amount, ol_delivery_d)))
+    (fun (ol_o_id, ol_quantity, ol_amount, ol_delivery_d) ->
+      let ol =
+        {
+          Order_line.ol_o_id;
+          ol_d_id = 4;
+          ol_w_id = 5;
+          ol_number = 6;
+          ol_i_id = 7;
+          ol_supply_w_id = 8;
+          ol_delivery_d;
+          ol_quantity;
+          ol_amount;
+          ol_dist_info = "info";
+        }
+      in
+      Order_line.decode (Order_line.encode ol) = ol)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end *)
+
+let mk_xenic ?(p = params) () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let segments, seg_size, d_max = Tpcc.store_cfg p in
+  let xp =
+    {
+      Xenic_system.default_params with
+      segments;
+      seg_size;
+      d_max;
+      cache_capacity = 8192;
+    }
+  in
+  System.of_xenic (Xenic_system.create engine hw cfg xp)
+
+let mk_rdma ?(p = params) flavor =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let rp =
+    { Rdma_system.default_params with buckets = Tpcc.chained_buckets p }
+  in
+  System.of_rdma (Rdma_system.create engine hw cfg flavor rp)
+
+let test_load_populates () =
+  let sys = mk_xenic () in
+  Tpcc.load params sys;
+  (* Spot-check a few rows on their primary. *)
+  for node = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "warehouse at node %d" node)
+      true
+      (sys.Xenic_proto.System.peek ~node
+         (Xenic_cluster.Keyspace.make ~shard:node ~table:1 ~ordered:false ~id:0)
+      <> None)
+  done
+
+let run_mix sys =
+  Tpcc.load params sys;
+  let spec = Tpcc.spec params sys in
+  Driver.run sys spec ~concurrency:6 ~target:600
+
+let test_full_mix_xenic () =
+  let sys = mk_xenic () in
+  let result = run_mix sys in
+  Alcotest.(check bool) "progress" true (result.Driver.committed > 0);
+  Alcotest.(check bool) "new orders committed" true
+    (Driver.class_committed result ~cls:"new_order" > 0);
+  Alcotest.(check bool) "payments committed" true
+    (Driver.class_committed result ~cls:"payment" > 0);
+  Tpcc.check_consistency params sys
+
+let test_full_mix_baseline () =
+  let sys = mk_rdma Rdma_system.Fasst in
+  let result = run_mix sys in
+  Alcotest.(check bool) "progress" true (result.Driver.committed > 0);
+  Tpcc.check_consistency params sys
+
+let test_new_order_only () =
+  let sys = mk_xenic () in
+  let p = { params with uniform_item_partitions = true } in
+  Tpcc.load p sys;
+  let spec = Tpcc.new_order_spec p sys in
+  let result = Driver.run sys spec ~concurrency:8 ~target:500 in
+  Alcotest.(check bool) "progress" true (result.Driver.committed >= 425);
+  Tpcc.check_consistency p sys
+
+let test_new_order_faster_on_xenic () =
+  (* The paper's Fig 8a access pattern: stock partitions chosen
+     uniformly at random. *)
+  let p = { params with uniform_item_partitions = true; items = 800 } in
+  let run sys =
+    Tpcc.load p sys;
+    let spec = Tpcc.new_order_spec p sys in
+    (Driver.run sys spec ~concurrency:8 ~target:800).Driver.tput_per_server
+  in
+  let xenic = run (mk_xenic ~p ()) in
+  let drtmh = run (mk_rdma ~p Rdma_system.Drtmh) in
+  Alcotest.(check bool)
+    (Printf.sprintf "Xenic (%.0f) > DrTM+H (%.0f) on New Order" xenic drtmh)
+    true (xenic > drtmh)
+
+let () =
+  Alcotest.run "xenic_tpcc"
+    [
+      ( "codecs",
+        [
+          Alcotest.test_case "warehouse" `Quick test_warehouse_roundtrip;
+          Alcotest.test_case "district" `Quick test_district_roundtrip;
+          Alcotest.test_case "customer" `Quick test_customer_roundtrip_and_size;
+          Alcotest.test_case "stock" `Quick test_stock_roundtrip;
+          Alcotest.test_case "order line" `Quick test_order_line_roundtrip;
+          Alcotest.test_case "order/history" `Quick test_order_and_history_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_warehouse;
+          QCheck_alcotest.to_alcotest qcheck_customer;
+          QCheck_alcotest.to_alcotest qcheck_stock;
+          QCheck_alcotest.to_alcotest qcheck_order_line;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "load" `Quick test_load_populates;
+          Alcotest.test_case "full mix on Xenic + consistency" `Quick
+            test_full_mix_xenic;
+          Alcotest.test_case "full mix on FaSST + consistency" `Quick
+            test_full_mix_baseline;
+          Alcotest.test_case "new-order only" `Quick test_new_order_only;
+          Alcotest.test_case "Xenic beats DrTM+H" `Quick
+            test_new_order_faster_on_xenic;
+        ] );
+    ]
