@@ -89,11 +89,11 @@ let run () =
     Xenic_stats.Table.create ~title:"Estimated cost per operation"
       ~columns:[ "operation"; "ns/op" ]
   in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some (x :: _) ->
-          Xenic_stats.Table.add_row t [ name; Xenic_stats.Table.cellf x ]
-      | _ -> Xenic_stats.Table.add_row t [ name; "-" ])
-    results;
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some (x :: _) ->
+             Xenic_stats.Table.add_row t [ name; Xenic_stats.Table.cellf x ]
+         | _ -> Xenic_stats.Table.add_row t [ name; "-" ]);
   Xenic_stats.Table.print t

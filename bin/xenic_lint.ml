@@ -1,0 +1,24 @@
+(* Determinism lint over the simulator sources. Exit 0 = clean, 1 =
+   findings, 2 = usage. See lib/lint/lint.mli for the rule set. *)
+
+let usage () =
+  prerr_endline "usage: xenic_lint DIR-OR-FILE...";
+  prerr_endline "       lints every .ml under the given roots";
+  exit 2
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> usage () | _ :: r -> r
+  in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    List.iter (fun r -> Printf.eprintf "xenic_lint: no such path: %s\n" r) missing;
+    usage ()
+  end;
+  let findings = Lint.lint_roots roots in
+  List.iter (fun f -> print_endline (Lint.to_string f)) findings;
+  if findings = [] then exit 0
+  else begin
+    Printf.printf "xenic_lint: %d finding(s)\n" (List.length findings);
+    exit 1
+  end

@@ -1,0 +1,306 @@
+type rule =
+  | Random_global
+  | Wall_clock
+  | Hashtbl_order
+  | Float_compare
+  | Obj_magic
+  | Catch_all
+
+let rule_id = function
+  | Random_global -> "RANDOM"
+  | Wall_clock -> "WALL-CLOCK"
+  | Hashtbl_order -> "HASHTBL-ORDER"
+  | Float_compare -> "FLOAT-CMP"
+  | Obj_magic -> "OBJ-MAGIC"
+  | Catch_all -> "CATCH-ALL"
+
+let all_rules =
+  [ Random_global; Wall_clock; Hashtbl_order; Float_compare; Obj_magic; Catch_all ]
+
+let rule_of_id id = List.find_opt (fun r -> rule_id r = id) all_rules
+
+type finding = { rule : rule; file : string; line : int; message : string }
+
+let to_string f =
+  Printf.sprintf "%s:%d: [%s] %s" f.file f.line (rule_id f.rule) f.message
+
+(* ------------------------------------------------------------------ *)
+(* Small string helpers (no external deps).                            *)
+
+let find_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains s sub = find_substring s sub <> None
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist comments.
+
+   [(* xenic-lint: allow RULE-ID ... *)]      suppresses on this / next line
+   [(* xenic-lint: allow-file RULE-ID ... *)] suppresses in the whole file *)
+
+let directive_key = "xenic-lint:"
+
+let split_tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '*')
+  |> List.concat_map (String.split_on_char ')')
+  |> List.filter (fun t -> t <> "")
+
+type allowlist = {
+  per_line : (int, rule list) Hashtbl.t;
+  mutable file_wide : rule list;
+}
+
+let allowlist_of_lines lines =
+  let t = { per_line = Hashtbl.create 8; file_wide = [] } in
+  List.iteri
+    (fun i line ->
+      match find_substring line directive_key with
+      | None -> ()
+      | Some idx ->
+          let start = idx + String.length directive_key in
+          let rest = String.sub line start (String.length line - start) in
+          (match split_tokens rest with
+          | "allow-file" :: ids ->
+              t.file_wide <- List.filter_map rule_of_id ids @ t.file_wide
+          | "allow" :: ids ->
+              Hashtbl.replace t.per_line (i + 1) (List.filter_map rule_of_id ids)
+          | _ -> ()))
+    lines;
+  t
+
+let suppressed allow rule line =
+  let at l =
+    match Hashtbl.find_opt allow.per_line l with
+    | Some rs -> List.mem rule rs
+    | None -> false
+  in
+  List.mem rule allow.file_wide || at line || at (line - 1)
+
+(* ------------------------------------------------------------------ *)
+(* AST-based rules.                                                    *)
+
+open Parsetree
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let split_last path =
+  match List.rev path with
+  | fn :: rev_mods -> Some (List.rev rev_mods, fn)
+  | [] -> None
+
+let last_mod mods =
+  match List.rev mods with m :: _ -> Some m | [] -> None
+
+(* An expression that sorts: an identifier whose final component
+   mentions "sort" ([List.sort], [sort_uniq], [fast_sort], a local
+   [sorted_bindings]...), or a (partial) application of one. *)
+let rec is_sort_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match split_last (flatten_lid txt) with
+      | Some (_, fn) -> contains (String.lowercase_ascii fn) "sort"
+      | None -> false)
+  | Pexp_apply (f, _) -> is_sort_expr f
+  | _ -> false
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**" ]
+
+let float_idents =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+(* Syntactically-evidently-float operand: a float literal, a float
+   sentinel, float arithmetic, or [float_of_int _]. A deliberately
+   shallow heuristic — it never needs type information. *)
+let is_floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } -> (
+      match flatten_lid txt with
+      | [ s ] -> List.mem s float_idents
+      | _ -> false)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, _)
+    when List.mem op float_ops ->
+      true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+    when flatten_lid txt = [ "float_of_int" ] ->
+      true
+  | _ -> false
+
+let poly_cmp_fns = [ "compare"; "min"; "max"; "="; "<>" ]
+
+let findings_of_ast ~filename ~rng_exempt ast =
+  let findings = ref [] in
+  let sorted_spans = ref [] in
+  let add rule loc message =
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    findings := { rule; file = filename; line; message } :: !findings
+  in
+  let record_span loc =
+    sorted_spans :=
+      (loc.Location.loc_start.Lexing.pos_cnum, loc.Location.loc_end.Lexing.pos_cnum)
+      :: !sorted_spans
+  in
+  let in_sorted_span loc =
+    let c = loc.Location.loc_start.Lexing.pos_cnum in
+    List.exists (fun (s, e) -> c >= s && c <= e) !sorted_spans
+  in
+  let check_ident loc lid =
+    match split_last (flatten_lid lid) with
+    | None | Some ([], _) -> ()
+    | Some (mods, fn) ->
+        if List.mem "Random" mods && not rng_exempt then
+          add Random_global loc
+            (Printf.sprintf
+               "ambient Random.%s — draw from a seeded Rng.t stream instead" fn);
+        (match last_mod mods with
+        | Some "Unix" when fn = "gettimeofday" || fn = "time" ->
+            add Wall_clock loc
+              (Printf.sprintf
+                 "wall-clock read Unix.%s — real time must not reach simulated \
+                  results"
+                 fn)
+        | Some "Sys" when fn = "time" ->
+            add Wall_clock loc
+              "wall-clock read Sys.time — real time must not reach simulated \
+               results"
+        | Some "Hashtbl" when (fn = "fold" || fn = "iter") && not (in_sorted_span loc)
+          ->
+            add Hashtbl_order loc
+              (Printf.sprintf
+                 "Hashtbl.%s result not normalized through a sort — iteration \
+                  order is nondeterministic"
+                 fn)
+        | Some "Obj" when fn = "magic" ->
+            add Obj_magic loc "Obj.magic defeats the type system"
+        | _ -> ())
+  in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_apply (op, args) -> (
+        match (op.pexp_desc, args) with
+        | Pexp_ident { txt = Longident.Lident "|>"; _ }, [ _; (_, rhs) ]
+          when is_sort_expr rhs ->
+            record_span e.pexp_loc
+        | Pexp_ident { txt = Longident.Lident "@@"; _ }, [ (_, lhs); _ ]
+          when is_sort_expr lhs ->
+            record_span e.pexp_loc
+        | _ -> if is_sort_expr op then record_span e.pexp_loc)
+    | _ -> ());
+    (match e.pexp_desc with
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Longident.Lident fn; _ }; _ }, args)
+      when List.mem fn poly_cmp_fns && List.exists (fun (_, a) -> is_floatish a) args
+      ->
+        add Float_compare e.pexp_loc
+          (Printf.sprintf
+             "polymorphic %s on float operands — NaN-unsound; use explicit \
+              Float comparisons"
+             fn)
+    | _ -> ());
+    (match e.pexp_desc with
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            match (c.pc_lhs.ppat_desc, c.pc_guard) with
+            | Ppat_any, None ->
+                add Catch_all c.pc_lhs.ppat_loc
+                  "catch-all handler (with _ ->) swallows every exception, \
+                   including invariant failures"
+            | _ -> ())
+          cases
+    | _ -> ());
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> check_ident e.pexp_loc txt
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let iterator = { Ast_iterator.default_iterator with expr } in
+  iterator.structure iterator ast;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* Lexical fallback for files the parser rejects.                      *)
+
+let lexical_scan ~filename ~rng_exempt lines =
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let ln = i + 1 in
+         let has sub = contains line sub in
+         let out = ref [] in
+         let add rule message =
+           out := { rule; file = filename; line = ln; message } :: !out
+         in
+         if (not rng_exempt) && has "Random." then
+           add Random_global "ambient Random.* (lexical match)";
+         if has "Unix.gettimeofday" || has "Unix.time" || has "Sys.time" then
+           add Wall_clock "wall-clock read (lexical match)";
+         if has "Obj.magic" then add Obj_magic "Obj.magic (lexical match)";
+         if (has "Hashtbl.fold" || has "Hashtbl.iter") && not (has "sort") then
+           add Hashtbl_order "unsorted Hashtbl traversal (lexical match)";
+         if has "with _ ->" then add Catch_all "catch-all handler (lexical match)";
+         List.rev !out)
+       lines)
+
+(* ------------------------------------------------------------------ *)
+(* Drivers.                                                            *)
+
+let parse_impl ~filename src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf filename;
+  (* The parser can raise many exception types across compiler
+     versions; any failure just downgrades to the lexical scan. *)
+  (* xenic-lint: allow CATCH-ALL *)
+  try Some (Parse.implementation lexbuf) with _ -> None
+
+let lint_source ~filename src =
+  let lines = String.split_on_char '\n' src in
+  let allow = allowlist_of_lines lines in
+  let rng_exempt = Filename.basename filename = "rng.ml" in
+  let raw, status =
+    match parse_impl ~filename src with
+    | Some ast -> (findings_of_ast ~filename ~rng_exempt ast, `Parsed)
+    | None -> (lexical_scan ~filename ~rng_exempt lines, `Lexical_fallback)
+  in
+  let kept = List.filter (fun f -> not (suppressed allow f.rule f.line)) raw in
+  let kept =
+    List.sort
+      (fun a b -> compare (a.line, rule_id a.rule) (b.line, rule_id b.rule))
+      kept
+  in
+  (kept, status)
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  lint_source ~filename:path src
+
+let lint_string ~filename src = fst (lint_source ~filename src)
+
+let rec collect_ml acc path =
+  if Sys.file_exists path && Sys.is_directory path then begin
+    let base = Filename.basename path in
+    if String.length base > 0 && (base.[0] = '.' || base.[0] = '_') then acc
+    else
+      Array.to_list (Sys.readdir path)
+      |> List.sort String.compare
+      |> List.fold_left (fun acc name -> collect_ml acc (Filename.concat path name)) acc
+  end
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_roots roots =
+  let files = List.fold_left collect_ml [] roots |> List.sort String.compare in
+  List.concat_map (fun f -> fst (lint_file f)) files

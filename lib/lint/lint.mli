@@ -1,0 +1,65 @@
+(** Static determinism/correctness lint over the simulator's OCaml
+    sources.
+
+    The simulator's headline claim is bit-for-bit reproducibility from a
+    scheduler seed, so the patterns that silently break it — ambient
+    randomness, wall-clock reads, hash-table iteration order leaking into
+    results — are banned mechanically rather than by code review.
+
+    Each source file is parsed with [compiler-libs] and walked with
+    {!Ast_iterator}; files that fail to parse fall back to a lexical
+    line scan so the lint degrades rather than going blind.
+
+    A finding on line [n] is suppressed by an allowlist comment
+    [(* xenic-lint: allow RULE-ID *)] on line [n] or [n-1], or for the
+    whole file by [(* xenic-lint: allow-file RULE-ID *)] anywhere. *)
+
+type rule =
+  | Random_global
+      (** [RANDOM]: use of the ambient [Random.*] state outside
+          [lib/sim/rng.ml]. All randomness must flow through seeded
+          {!Rng.t} streams. *)
+  | Wall_clock
+      (** [WALL-CLOCK]: [Unix.gettimeofday], [Unix.time] or [Sys.time]
+          — real time must never influence simulated results. *)
+  | Hashtbl_order
+      (** [HASHTBL-ORDER]: [Hashtbl.fold]/[Hashtbl.iter] whose result is
+          not passed through a sort — iteration order depends on
+          insertion history and hashing, so it must be normalized before
+          it can affect output. *)
+  | Float_compare
+      (** [FLOAT-CMP]: polymorphic [compare]/[min]/[max] on floats, or
+          [=]/[<>] against float literals — NaN-unsound and a trap for
+          future non-float instantiations. *)
+  | Obj_magic  (** [OBJ-MAGIC]: any use of [Obj.magic]. *)
+  | Catch_all
+      (** [CATCH-ALL]: [try ... with _ ->] (or a lone wildcard handler)
+          — swallows [Stack_overflow], [Assert_failure] and sanitizer
+          exceptions alike. *)
+
+val rule_id : rule -> string
+
+val rule_of_id : string -> rule option
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  message : string;
+}
+
+(** [finding |> to_string] renders ["file:line: [RULE-ID] message"]. *)
+val to_string : finding -> string
+
+(** Lint one source file (path is read from disk). Findings are sorted
+    by line. [`Lexical_fallback] signals the file failed to parse and
+    only the line-based scan ran. *)
+val lint_file : string -> finding list * [ `Parsed | `Lexical_fallback ]
+
+(** Lint a source given inline (for tests). [filename] participates in
+    path-based exemptions exactly as for {!lint_file}. *)
+val lint_string : filename:string -> string -> finding list
+
+(** Recursively collect [.ml] files under each root (sorted), lint each,
+    and return all findings. Skips [_build] and dotted directories. *)
+val lint_roots : string list -> finding list

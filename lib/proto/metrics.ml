@@ -53,11 +53,11 @@ let merge ~into src =
   Histogram.merge ~into:into.latencies src.latencies;
   into.committed <- into.committed + src.committed;
   into.aborted <- into.aborted + src.aborted;
-  Hashtbl.iter
-    (fun cls n ->
-      Hashtbl.replace into.by_class cls
-        (n + Option.value ~default:0 (Hashtbl.find_opt into.by_class cls)))
-    src.by_class;
+  Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) src.by_class []
+  |> List.sort compare
+  |> List.iter (fun (cls, n) ->
+         Hashtbl.replace into.by_class cls
+           (n + Option.value ~default:0 (Hashtbl.find_opt into.by_class cls)));
   List.iter
     (fun (name, v) -> Counter.addf into.counters name v)
     (Counter.to_list src.counters)

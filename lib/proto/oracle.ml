@@ -1,0 +1,165 @@
+open Xenic_cluster
+
+type observed = Value of bytes option | Version_only
+
+type write_op = Put of bytes | Delete
+
+type txn = {
+  id : int;
+  reads : (Keyspace.t * int * observed) list;
+  writes : (Keyspace.t * int * write_op) list;
+}
+
+type t = { mutable txns : txn list (* newest first *); mutable n : int }
+
+type verdict = Serializable | Violation of string
+
+let create () = { txns = []; n = 0 }
+
+let txn_count t = t.n
+
+(* Ordered (B-tree) keys carry no per-object version (see keyspace.mli):
+   their mutations are serialized by companion hash-row locks, so the
+   oracle checks only hash-table keys — which include every contended
+   serializing row. *)
+let versioned (k, _, _) = not (Keyspace.ordered k)
+
+let copy_observed = function
+  | Value (Some b) -> Value (Some (Bytes.copy b))
+  | (Value None | Version_only) as o -> o
+
+let copy_write = function Put b -> Put (Bytes.copy b) | Delete -> Delete
+
+let record_commit t ~id ~reads ~writes =
+  let reads = List.filter versioned reads in
+  let writes = List.filter versioned writes in
+  let reads = List.map (fun (k, v, o) -> (k, v, copy_observed o)) reads in
+  let writes = List.map (fun (k, v, w) -> (k, v, copy_write w)) writes in
+  t.txns <- { id; reads; writes } :: t.txns;
+  t.n <- t.n + 1
+
+type state = Unknown | Known of bytes option
+
+let describe = function
+  | Known None -> "<absent>"
+  | Known (Some b) -> Printf.sprintf "%d-byte value" (Bytes.length b)
+  | Unknown -> "<unknown>"
+
+let check t =
+  let txns = Array.of_list (List.rev t.txns) in
+  let n = Array.length txns in
+  let key_str k = Format.asprintf "%a" Keyspace.pp k in
+  (* Map (key, version) -> index of the txn that produced that version. *)
+  let writers = Hashtbl.create (4 * n) in
+  let dup = ref None in
+  Array.iteri
+    (fun i txn ->
+      List.iter
+        (fun (k, v, _) ->
+          match Hashtbl.find_opt writers (k, v) with
+          | Some j when j <> i && !dup = None ->
+              dup :=
+                Some
+                  (Printf.sprintf
+                     "txns %d and %d both installed version %d of key %s" j i v
+                     (key_str k))
+          | _ -> Hashtbl.replace writers (k, v) i)
+        txn.writes)
+    txns;
+  match !dup with
+  | Some msg -> Violation msg
+  | None -> (
+      (* Precedence edges, version-derived:
+         wr: writer of version v precedes a reader of version v;
+         rw: reader of version v precedes the writer of version v+1;
+         ww: consecutive versions of a key order their writers. *)
+      let succs = Array.make n [] in
+      let indeg = Array.make n 0 in
+      let add_edge a b =
+        if a <> b && not (List.mem b succs.(a)) then begin
+          succs.(a) <- b :: succs.(a);
+          indeg.(b) <- indeg.(b) + 1
+        end
+      in
+      Array.iteri
+        (fun i txn ->
+          List.iter
+            (fun (k, v, _) ->
+              (match Hashtbl.find_opt writers (k, v) with
+              | Some w -> add_edge w i
+              | None -> ());
+              match Hashtbl.find_opt writers (k, v + 1) with
+              | Some w -> add_edge i w
+              | None -> ())
+            txn.reads;
+          List.iter
+            (fun (k, v, _) ->
+              match Hashtbl.find_opt writers (k, v + 1) with
+              | Some w -> add_edge i w
+              | None -> ())
+            txn.writes)
+        txns;
+      (* Kahn toposort. *)
+      let order = Array.make n 0 in
+      let filled = ref 0 in
+      let q = Queue.create () in
+      Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
+      while not (Queue.is_empty q) do
+        let i = Queue.take q in
+        order.(!filled) <- i;
+        incr filled;
+        List.iter
+          (fun j ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then Queue.add j q)
+          succs.(i)
+      done;
+      if !filled < n then
+        Violation
+          (Printf.sprintf
+             "precedence cycle: %d of %d committed txns cannot be serialized \
+              (version-derived wr/ww/rw edges)"
+             (n - !filled) n)
+      else begin
+        (* Sequential replay in topological order: every read must see
+           the value the replayed history holds. *)
+        let state : (Keyspace.t, state) Hashtbl.t = Hashtbl.create (4 * n) in
+        let violation = ref None in
+        Array.iter
+          (fun i ->
+            let txn = txns.(i) in
+            List.iter
+              (fun (k, v, obs) ->
+                match (obs, Hashtbl.find_opt state k) with
+                | Version_only, None -> Hashtbl.replace state k Unknown
+                | Version_only, Some _ -> ()
+                | Value x, (None | Some Unknown) ->
+                    (* First concrete observation defines the assumed
+                       initial (or post-lock) value. *)
+                    Hashtbl.replace state k (Known x)
+                | Value x, Some (Known y) ->
+                    let eq =
+                      match (x, y) with
+                      | None, None -> true
+                      | Some a, Some b -> Bytes.equal a b
+                      | _ -> false
+                    in
+                    if (not eq) && !violation = None then
+                      violation :=
+                        Some
+                          (Printf.sprintf
+                             "txn %d read key %s (version %d) = %s but the \
+                              serial replay holds %s"
+                             txn.id (key_str k) v (describe (Known x))
+                             (describe (Known y))))
+              txn.reads;
+            List.iter
+              (fun (k, _, w) ->
+                let next =
+                  match w with Put b -> Known (Some b) | Delete -> Known None
+                in
+                Hashtbl.replace state k next)
+              txn.writes)
+          order;
+        match !violation with Some msg -> Violation msg | None -> Serializable
+      end)

@@ -1,0 +1,49 @@
+(** Serializability oracle.
+
+    Records every committed transaction's read set (key, validated
+    version, observed value when known) and write set (key, installed
+    version, operation), then checks the whole history against a
+    sequential reference:
+
+    + versions induce a precedence graph — the writer of version [v]
+      precedes its readers (wr), a reader of [v] precedes the writer of
+      [v+1] (rw), and consecutive writers of a key are ordered (ww);
+      two txns installing the same version, or a cycle, is a violation;
+    + a topological order of that graph is replayed sequentially and
+      every concrete read must see exactly the value the replay holds.
+
+    Ordered (B-tree) keys are excluded: they carry no per-object
+    version (keyspace.mli) — their mutations are serialized by the
+    companion hash-row locks, which the oracle does check. *)
+
+open Xenic_cluster
+
+type t
+
+(** What a transaction observed when reading a key: the value ([Some] =
+    present, [None] = absent), or only its version (validation-only /
+    lock-time reads). *)
+type observed = Value of bytes option | Version_only
+
+type write_op = Put of bytes | Delete
+
+type verdict = Serializable | Violation of string
+
+val create : unit -> t
+
+(** [record_commit t ~id ~reads ~writes] logs one committed txn.
+    [reads] pair each key with the version validated against; [writes]
+    with the version the commit installed (lock version + 1). Byte
+    values are copied. Call only for committed transactions. *)
+val record_commit :
+  t ->
+  id:int ->
+  reads:(Keyspace.t * int * observed) list ->
+  writes:(Keyspace.t * int * write_op) list ->
+  unit
+
+(** Number of commits recorded. *)
+val txn_count : t -> int
+
+(** Verify the recorded history (see above). *)
+val check : t -> verdict

@@ -62,6 +62,7 @@ type t = {
   rdma : msg Rdma.t;
   nodes : node array;
   metrics : Metrics.t;
+  mutable oracle : Oracle.t option;
 }
 
 let engine t = t.engine
@@ -299,7 +300,18 @@ let create engine hw cfg flavor p =
         })
   in
   let t =
-    { engine; hw; cfg; flavor; p; fabric; rdma; nodes; metrics = Metrics.create () }
+    {
+      engine;
+      hw;
+      cfg;
+      flavor;
+      p;
+      fabric;
+      rdma;
+      nodes;
+      metrics = Metrics.create ();
+      oracle = None;
+    }
   in
   Array.iter
     (fun node ->
@@ -360,6 +372,60 @@ let quiesce t =
     end
   in
   wait ()
+
+let set_oracle t o = t.oracle <- Some o
+
+(* Report a committed transaction to the serializability oracle.
+   Execution reads carry values; locked entries carry values when the
+   flavor fetched them (DrTM+R's post-CAS READ, where [None] means the
+   key was genuinely absent) and lock-time versions only otherwise. *)
+let oracle_commit t ~id ~read_results ~locked_entries ~seq_ops =
+  match t.oracle with
+  | None -> ()
+  | Some o ->
+      let read_keys = List.map (fun (k, _, _) -> k) read_results in
+      let reads =
+        List.map (fun (k, v, seq) -> (k, seq, Oracle.Value v)) read_results
+        @ List.filter_map
+            (fun (k, v, seq) ->
+              if List.mem k read_keys then None
+              else
+                match v with
+                | Some bv -> Some (k, seq, Oracle.Value (Some bv))
+                | None ->
+                    if t.flavor = Drtmr then Some (k, seq, Oracle.Value None)
+                    else Some (k, seq, Oracle.Version_only))
+            locked_entries
+      in
+      let writes =
+        List.map
+          (fun (op, seq) ->
+            match op with
+            | Op.Put (k, b) -> (k, seq, Oracle.Put b)
+            | Op.Delete k -> (k, seq, Oracle.Delete))
+          seq_ops
+      in
+      Oracle.record_commit o ~id ~reads ~writes
+
+(* Protocol audit: after [quiesce] every per-node lock table must be
+   empty and every log drained. Returns human-readable violations. *)
+let audit t =
+  let issues = ref [] in
+  Array.iter
+    (fun n ->
+      Hashtbl.fold (fun k owner acc -> (k, owner) :: acc) n.locks []
+      |> List.sort compare
+      |> List.iter (fun (k, owner) ->
+             issues :=
+               Format.asprintf "rdma node %d: key %a still locked by owner %d"
+                 n.id Keyspace.pp k owner
+               :: !issues);
+      if
+        Xenic_store.Hostlog.used_b n.log > 0
+        || Xenic_store.Hostlog.appended n.log > Xenic_store.Hostlog.applied n.log
+      then issues := Printf.sprintf "rdma node %d: log not drained" n.id :: !issues)
+    t.nodes;
+  List.rev !issues
 
 (* ------------------------------------------------------------------ *)
 (* Object wire sizes *)
@@ -582,7 +648,10 @@ let validate_phase t ~src ~owner checks =
           Hashtbl.replace by_shard s
             ((k, seq) :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
         checks;
-      let shards = Hashtbl.fold (fun s cs acc -> (s, cs) :: acc) by_shard [] in
+      let shards =
+        Hashtbl.fold (fun s cs acc -> (s, cs) :: acc) by_shard []
+        |> List.sort compare
+      in
       let results =
         Process.parallel t.engine
           (List.map
@@ -862,8 +931,6 @@ let rec run_txn t ~node (txn : Types.t) =
   | `Fail -> Types.Aborted
   | `Ok (locked_entries, read_results_pre) -> (
       let abort_all () =
-        let by_shard = group_ops_by_shard [] in
-        ignore by_shard;
         let by_shard = Hashtbl.create 4 in
         List.iter
           (fun (k, _, _) ->
@@ -871,8 +938,10 @@ let rec run_txn t ~node (txn : Types.t) =
             Hashtbl.replace by_shard s
               (k :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
           locked_entries;
-        Hashtbl.iter
-          (fun shard keys ->
+        Hashtbl.fold (fun shard keys acc -> (shard, keys) :: acc) by_shard []
+        |> List.sort compare
+        |> List.iter
+          (fun (shard, keys) ->
             let primary = Config.primary t.cfg ~shard in
             match t.flavor with
             | Drtmr ->
@@ -893,7 +962,6 @@ let rec run_txn t ~node (txn : Types.t) =
                      ~handler_ns:t.hw.host_rpc_ns
                      (fun () ->
                        List.iter (fun k -> unlock t ~node:primary k ~owner) keys)))
-          by_shard
       in
       let read_results = read_results_pre in
       (* Lock-time versions must match the execution-read versions for
@@ -950,10 +1018,14 @@ let rec run_txn t ~node (txn : Types.t) =
         abort_all ();
         Types.Aborted
       end
-      else if ops = [] && lock_keys = [] then Types.Committed
+      else if ops = [] && lock_keys = [] then begin
+        oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops:[];
+        Types.Committed
+      end
       else if ops = [] then begin
         (* Locked but nothing to write (e.g. DrTM+R read-only): release. *)
         abort_all ();
+        oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops:[];
         Types.Committed
       end
       else begin
@@ -988,8 +1060,10 @@ let rec run_txn t ~node (txn : Types.t) =
               Hashtbl.replace by_shard s
                 (k :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
             residual;
-          Hashtbl.iter
-            (fun shard keys ->
+          Hashtbl.fold (fun shard keys acc -> (shard, keys) :: acc) by_shard []
+          |> List.sort compare
+          |> List.iter
+            (fun (shard, keys) ->
               let primary = Config.primary t.cfg ~shard in
               match t.flavor with
               | Drtmr ->
@@ -1012,7 +1086,7 @@ let rec run_txn t ~node (txn : Types.t) =
                          List.iter
                            (fun k -> unlock t ~node:primary k ~owner)
                            keys)))
-            by_shard
         end;
+        oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops;
         Types.Committed
       end)

@@ -77,3 +77,12 @@ val peek_range :
 val host_utilization : t -> float
 
 val quiesce : t -> unit
+
+(** Attach a serializability oracle: every committed transaction's read
+    and write set is recorded for an end-of-run {!Oracle.check}. *)
+val set_oracle : t -> Oracle.t -> unit
+
+(** Protocol-invariant audit, meant to run after {!quiesce}: every
+    per-node lock table must be empty and every host log drained.
+    Returns human-readable violations (empty = clean). *)
+val audit : t -> string list

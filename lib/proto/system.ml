@@ -13,6 +13,8 @@ type t = {
   peek_max : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) option;
   peek_range : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) list;
   quiesce : unit -> unit;
+  set_oracle : Oracle.t -> unit;
+  audit : unit -> string list;
   nic_util : unit -> float;
   host_util : unit -> float;
 }
@@ -31,6 +33,8 @@ let of_xenic x =
     peek_max = (fun ~node ~lo ~hi -> Xenic_system.peek_max x ~node ~lo ~hi);
     peek_range = (fun ~node ~lo ~hi -> Xenic_system.peek_range x ~node ~lo ~hi);
     quiesce = (fun () -> Xenic_system.quiesce x);
+    set_oracle = (fun o -> Xenic_system.set_oracle x o);
+    audit = (fun () -> Xenic_system.audit x);
     nic_util = (fun () -> Xenic_system.nic_core_utilization x);
     host_util =
       (fun () ->
@@ -53,6 +57,8 @@ let of_rdma r =
     peek_max = (fun ~node ~lo ~hi -> Rdma_system.peek_max r ~node ~lo ~hi);
     peek_range = (fun ~node ~lo ~hi -> Rdma_system.peek_range r ~node ~lo ~hi);
     quiesce = (fun () -> Rdma_system.quiesce r);
+    set_oracle = (fun o -> Rdma_system.set_oracle r o);
+    audit = (fun () -> Rdma_system.audit r);
     nic_util = (fun () -> 0.0);
     host_util = (fun () -> Rdma_system.host_utilization r);
   }

@@ -16,6 +16,10 @@ type t = {
   peek_max : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) option;
   peek_range : node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) list;
   quiesce : unit -> unit;
+  set_oracle : Oracle.t -> unit;
+      (** Attach a serializability oracle recording committed txns. *)
+  audit : unit -> string list;
+      (** Post-[quiesce] protocol-invariant audit; [] = clean. *)
   nic_util : unit -> float;  (** SmartNIC core utilization (0 for RDMA). *)
   host_util : unit -> float;
 }

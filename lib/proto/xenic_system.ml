@@ -70,6 +70,7 @@ type t = {
   metrics : Metrics.t;
   primaries : int array;  (* shard -> current primary node *)
   alive : bool array;
+  mutable oracle : Oracle.t option;
 }
 
 (* Current primary routing (reconfiguration-aware, §4.2.1). *)
@@ -450,6 +451,7 @@ let create engine hw cfg p =
       metrics = Metrics.create ();
       primaries = Array.init cfg.Config.nodes (fun s -> s);
       alive = Array.make cfg.Config.nodes true;
+      oracle = None;
     }
   in
   Array.iter
@@ -509,6 +511,34 @@ let view_of values : Types.view =
   match List.find_opt (fun (k', _, _) -> k' = k) values with
   | Some (_, v, _) -> v
   | None -> None
+
+let set_oracle t o = t.oracle <- Some o
+
+(* Report a committed transaction to the serializability oracle, if one
+   is attached: execute-time reads carry values, lock-only keys carry
+   their lock version, writes carry the installed version. *)
+let oracle_commit t ~id ~values ~lock_versions ~seq_ops =
+  match t.oracle with
+  | None -> ()
+  | Some o ->
+      let read_keys = List.map (fun (k, _, _) -> k) values in
+      let reads =
+        List.map (fun (k, v, seq) -> (k, seq, Oracle.Value v)) values
+        @ List.filter_map
+            (fun (k, seq) ->
+              if List.mem k read_keys then None
+              else Some (k, seq, Oracle.Version_only))
+            lock_versions
+      in
+      let writes =
+        List.map
+          (fun (op, seq) ->
+            match op with
+            | Op.Put (k, b) -> (k, seq, Oracle.Put b)
+            | Op.Delete k -> (k, seq, Oracle.Delete))
+          seq_ops
+      in
+      Oracle.record_commit o ~id:(owner_token id) ~reads ~writes
 
 (* Version assignment for LOG/COMMIT records: locked keys get their
    lock-time version + 1; fresh keys (uniqueness guaranteed by a held
@@ -847,10 +877,14 @@ let distributed_txn t node (txn : Types.t) id =
             abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
             Types.Aborted
           end
-          else if ops = [] && locked_keys = [] then Types.Committed
+          else if ops = [] && locked_keys = [] then begin
+            oracle_commit t ~id ~values ~lock_versions ~seq_ops:[];
+            Types.Committed
+          end
           else if ops = [] then begin
             (* Locked but nothing written: release and commit. *)
             abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+            oracle_commit t ~id ~values ~lock_versions ~seq_ops:[];
             Types.Committed
           end
           else begin
@@ -879,6 +913,7 @@ let distributed_txn t node (txn : Types.t) id =
             in
             if residual <> [] then
               abort_everywhere t ~src ~owner ~locks_by_shard:residual;
+            oracle_commit t ~id ~values ~lock_versions ~seq_ops;
             Types.Committed
           end
     in
@@ -1014,7 +1049,8 @@ let multihop_txn t node (txn : Types.t) id =
                     let done_msg = ref false in
                     let maybe_finish () =
                       if !expected = 0 && !done_msg then
-                        resume (`Ok (p1_seq_ops, p2_seq_ops))
+                        resume
+                          (`Ok (p1_seq_ops, p2_seq_ops, remote_lockv, remote_values))
                     in
                     (* LOG from P2 to every backup; responses go to P1. *)
                     List.iter
@@ -1050,7 +1086,7 @@ let multihop_txn t node (txn : Types.t) id =
             distributed_txn t node txn id
           end
           else Types.Aborted
-      | `Ok (p1_seq_ops, p2_seq_ops) ->
+      | `Ok (p1_seq_ops, p2_seq_ops, remote_lockv, remote_values) ->
           (* Committed. Apply the local commit at our own NIC and send
              COMMIT to P2 asynchronously. *)
           (match (p1_seq_ops, local_shard) with
@@ -1069,6 +1105,10 @@ let multihop_txn t node (txn : Types.t) id =
             notify t ~src ~dst:p2
               ~bytes:(Wire.abort_b ~n_locks:(List.length remote_keys))
               (abort_handler t t.nodes.(p2) ~owner ~locked:remote_keys);
+          oracle_commit t ~id
+            ~values:(local_values @ remote_values)
+            ~lock_versions:(local_lockv @ remote_lockv)
+            ~seq_ops:(p1_seq_ops @ p2_seq_ops);
           Types.Committed)
 
 (* -- Local fast path (§4.2.4) --------------------------------------- *)
@@ -1116,7 +1156,10 @@ let local_txn t node ~shard (txn : Types.t) id =
           | None -> seq = 0)
         values
     in
-    if ok then Types.Committed
+    if ok then begin
+      oracle_commit t ~id ~values ~lock_versions:[] ~seq_ops:[];
+      Types.Committed
+    end
     else begin
       Xenic_stats.Counter.incr (counters t) "validate_conflicts_local_ro";
       Types.Aborted
@@ -1196,6 +1239,7 @@ let local_txn t node ~shard (txn : Types.t) id =
             commit_handler t node ~owner ~shard ~seq_ops
               ~locked:txn.write_set ());
         Smartnic.host_msg node.nic;
+        oracle_commit t ~id ~values ~lock_versions ~seq_ops;
         Types.Committed
   end
 
@@ -1245,6 +1289,40 @@ let quiesce t =
     end
   in
   wait ()
+
+(* Protocol audit: after [quiesce] every NIC index must be lock-free and
+   every host log drained. Returns human-readable violations ([] = clean). *)
+let audit t =
+  let issues = ref [] in
+  Array.iter
+    (fun node ->
+      Array.iteri
+        (fun shard idx_opt ->
+          match idx_opt with
+          | None -> ()
+          | Some idx ->
+              List.iter
+                (fun (k, owner) ->
+                  issues :=
+                    Format.asprintf
+                      "xenic node %d shard %d: key %a still locked by owner %d"
+                      node.id shard Keyspace.pp k owner
+                    :: !issues)
+                (Xenic_store.Nic_index.locked_keys idx))
+        node.indexes;
+      let drained name log =
+        if
+          Xenic_store.Hostlog.used_b log > 0
+          || Xenic_store.Hostlog.appended log > Xenic_store.Hostlog.applied log
+        then
+          issues :=
+            Printf.sprintf "xenic node %d: %s not drained" node.id name
+            :: !issues
+      in
+      drained "backup log" node.log;
+      drained "commit log" node.commit_log)
+    t.nodes;
+  List.rev !issues
 
 (* -- Reconfiguration (§4.2.1) --------------------------------------- *)
 

@@ -107,3 +107,12 @@ val host_worker_utilization : t -> float
 (** Drain in-flight asynchronous work (commit application). Call after
     load generation stops, before checking invariants. *)
 val quiesce : t -> unit
+
+(** Attach a serializability oracle: every committed transaction's read
+    and write set is recorded for an end-of-run {!Oracle.check}. *)
+val set_oracle : t -> Oracle.t -> unit
+
+(** Protocol-invariant audit, meant to run after {!quiesce}: every NIC
+    index must be lock-free and every host log drained. Returns
+    human-readable violations (empty = clean). *)
+val audit : t -> string list

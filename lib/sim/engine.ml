@@ -3,11 +3,34 @@ type t = {
   mutable seq : int;
   heap : (unit -> unit) Heap.t;
   mutable events_run : int;
+  strict : bool;
+  mutable checks : (unit -> string list) list;  (* newest first *)
+  mutable violations : string list;  (* newest first *)
 }
 
-let create () = { now = 0.0; seq = 0; heap = Heap.create (); events_run = 0 }
+let create ?(strict = false) () =
+  {
+    now = 0.0;
+    seq = 0;
+    heap = Heap.create ();
+    events_run = 0;
+    strict;
+    checks = [];
+    violations = [];
+  }
 
 let now t = t.now
+
+let strict t = t.strict
+
+let register_check t f = if t.strict then t.checks <- f :: t.checks
+
+let report_violation t msg =
+  if t.strict then t.violations <- msg :: t.violations
+
+let sanitize t =
+  List.rev t.violations
+  @ List.concat_map (fun check -> check ()) (List.rev t.checks)
 
 let at t time f =
   if time < t.now then
@@ -29,10 +52,17 @@ let run ?(until = infinity) t =
         match Heap.pop_min t.heap with
         | None -> continue := false
         | Some (time, _, f) ->
+            if t.strict && time < t.now then
+              report_violation t
+                (Printf.sprintf
+                   "engine: non-monotonic time (event at %.1f dispatched \
+                    after clock reached %.1f)"
+                   time t.now);
             t.now <- time;
             t.events_run <- t.events_run + 1;
             f ())
   done;
+  (* xenic-lint: allow FLOAT-CMP *)
   if until <> infinity && until > t.now then t.now <- until;
   t.events_run - start
 

@@ -8,7 +8,17 @@
 
 type t
 
-val create : unit -> t
+(** [create ?strict ()] builds an engine. With [~strict:true] the
+    engine runs in {e sanitizer} mode: sim primitives (ivars,
+    resources, mailboxes, processes) register end-of-run invariant
+    checks on creation and the event loop tracks clock monotonicity;
+    {!sanitize} reports every violation. Strict mode keeps a closure
+    per created primitive alive for the lifetime of the engine, so it
+    is intended for tests, not for large benchmark runs. *)
+val create : ?strict:bool -> unit -> t
+
+(** Whether the engine was created with [~strict:true]. *)
+val strict : t -> bool
 
 (** Current simulated time in nanoseconds. *)
 val now : t -> float
@@ -29,3 +39,22 @@ val events_run : t -> int
 
 (** True if no events remain. *)
 val idle : t -> bool
+
+(** {2 Sanitizer plumbing}
+
+    Used by the sim primitives; applications normally only call
+    {!sanitize}. All three are no-ops on a non-strict engine. *)
+
+(** Register an end-of-run invariant check. The check returns a list of
+    human-readable violations (empty = clean) and is evaluated by every
+    {!sanitize} call. *)
+val register_check : t -> (unit -> string list) -> unit
+
+(** Record a violation observed while the simulation runs (e.g. a
+    continuation resumed twice). *)
+val report_violation : t -> string -> unit
+
+(** Evaluate every registered check plus the violations recorded during
+    the run, in registration/occurrence order. Call when the simulation
+    has quiesced; an empty list means the run was clean. *)
+val sanitize : t -> string list

@@ -1,8 +1,18 @@
 type 'a state = Empty of ('a -> unit) list | Filled of 'a
 
-type 'a t = { engine : Engine.t; mutable state : 'a state }
+type 'a t = { engine : Engine.t; name : string; mutable state : 'a state }
 
-let create engine = { engine; state = Empty [] }
+let create ?(name = "<ivar>") engine =
+  let t = { engine; name; state = Empty [] } in
+  Engine.register_check engine (fun () ->
+      match t.state with
+      | Empty (_ :: _ as waiters) ->
+          [
+            Printf.sprintf "ivar %s: never filled, %d reader(s) still blocked"
+              t.name (List.length waiters);
+          ]
+      | Empty [] | Filled _ -> []);
+  t
 
 let fill t v =
   match t.state with

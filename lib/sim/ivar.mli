@@ -5,7 +5,11 @@
 
 type 'a t
 
-val create : Engine.t -> 'a t
+(** [create ?name engine] makes an empty ivar. On a strict engine it
+    registers a sanitizer check: an ivar that still has blocked readers
+    when {!Engine.sanitize} runs is reported (under [name]) as a lost
+    wakeup. *)
+val create : ?name:string -> Engine.t -> 'a t
 
 (** [fill t v] sets the value, waking all readers. Raises
     [Invalid_argument] if already filled. *)

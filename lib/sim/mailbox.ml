@@ -1,10 +1,22 @@
 type 'a t = {
   engine : Engine.t;
+  name : string;
   items : 'a Queue.t;
   waiters : ('a -> unit) Queue.t;
 }
 
-let create engine = { engine; items = Queue.create (); waiters = Queue.create () }
+let create ?(name = "<mailbox>") engine =
+  let t =
+    { engine; name; items = Queue.create (); waiters = Queue.create () }
+  in
+  Engine.register_check engine (fun () ->
+      if Queue.is_empty t.items then []
+      else
+        [
+          Printf.sprintf "mailbox %s: %d undelivered message(s)" t.name
+            (Queue.length t.items);
+        ]);
+  t
 
 let length t = Queue.length t.items
 

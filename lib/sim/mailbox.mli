@@ -7,7 +7,10 @@
 
 type 'a t
 
-val create : Engine.t -> 'a t
+(** [create ?name engine] makes an empty mailbox. On a strict engine it
+    registers a sanitizer check: messages still queued when
+    {!Engine.sanitize} runs are reported (under [name]) as undelivered. *)
+val create : ?name:string -> Engine.t -> 'a t
 
 (** Number of queued messages. *)
 val length : 'a t -> int

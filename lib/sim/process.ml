@@ -5,7 +5,8 @@ exception Not_in_process
 
 type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 
-let spawn _engine f =
+let spawn engine f =
+  let strict = Engine.strict engine in
   let handler =
     {
       retc = (fun () -> ());
@@ -16,7 +17,19 @@ let spawn _engine f =
           | Suspend register ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  register (fun v -> continue k v))
+                  if strict then begin
+                    let resumed = ref false in
+                    register (fun v ->
+                        if !resumed then
+                          Engine.report_violation engine
+                            "process: one-shot continuation resumed twice \
+                             (second wakeup dropped)"
+                        else begin
+                          resumed := true;
+                          continue k v
+                        end)
+                  end
+                  else register (fun v -> continue k v))
           | _ -> None);
     }
   in

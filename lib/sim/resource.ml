@@ -10,15 +10,37 @@ type t = {
 
 let create engine ~name ~servers =
   if servers <= 0 then invalid_arg "Resource.create: servers must be positive";
-  {
-    engine;
-    name;
-    servers;
-    busy = 0;
-    waiters = Queue.create ();
-    busy_time = 0.0;
-    last_change = 0.0;
-  }
+  let t =
+    {
+      engine;
+      name;
+      servers;
+      busy = 0;
+      waiters = Queue.create ();
+      busy_time = 0.0;
+      last_change = 0.0;
+    }
+  in
+  Engine.register_check engine (fun () ->
+      let held =
+        if t.busy > 0 then
+          [
+            Printf.sprintf
+              "resource %s: %d unit(s) acquired but never released" t.name
+              t.busy;
+          ]
+        else []
+      in
+      let blocked =
+        if Queue.is_empty t.waiters then []
+        else
+          [
+            Printf.sprintf "resource %s: %d acquirer(s) still blocked" t.name
+              (Queue.length t.waiters);
+          ]
+      in
+      held @ blocked);
+  t
 
 let name t = t.name
 
@@ -44,6 +66,10 @@ let release t =
       (* Hand the unit directly to the next waiter: busy count unchanged. *)
       Engine.after t.engine 0.0 resume
   | None ->
+      if t.busy <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Resource.release: %s released more times than acquired" t.name);
       account t;
       t.busy <- t.busy - 1
 

@@ -8,6 +8,9 @@
 
 type t
 
+(** [create engine ~name ~servers] makes a resource. On a strict engine
+    it registers a sanitizer check: units still held (or acquirers still
+    blocked) when {!Engine.sanitize} runs are reported as leaks. *)
 val create : Engine.t -> name:string -> servers:int -> t
 
 val name : t -> string
@@ -20,7 +23,8 @@ val queue_length : t -> int
 (** Block until a server unit is available, then take it. *)
 val acquire : t -> unit
 
-(** Return a unit, waking the oldest waiter if any. *)
+(** Return a unit, waking the oldest waiter if any. Raises
+    [Invalid_argument] if released more times than acquired. *)
 val release : t -> unit
 
 (** [use t duration] acquires a unit, holds it for [duration] ns of

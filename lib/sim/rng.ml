@@ -32,7 +32,7 @@ let range t lo hi =
 
 let exponential t ~mean =
   let u = ref (float t) in
-  if !u = 0.0 then u := 1e-12;
+  if Float.equal !u 0.0 then u := 1e-12;
   -.mean *. log !u
 
 let shuffle t a =

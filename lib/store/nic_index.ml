@@ -257,6 +257,13 @@ let unlock t k ~owner =
         Hashtbl.remove t.entries k
   | None -> ()
 
+let locked_keys t =
+  Hashtbl.fold
+    (fun k e acc ->
+      match e.lock with Some owner -> (k, owner) :: acc | None -> acc)
+    t.entries []
+  |> List.sort compare
+
 let is_locked t k =
   match Hashtbl.find_opt t.entries k with
   | Some { lock = Some _; _ } -> true

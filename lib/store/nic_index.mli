@@ -60,6 +60,10 @@ val unlock : 'v t -> Kv.Key.t -> owner:int -> unit
 
 val is_locked : 'v t -> Kv.Key.t -> bool
 
+(** All currently locked keys with their owners, sorted — for
+    end-of-run protocol audits (a quiesced node must report []). *)
+val locked_keys : 'v t -> (Kv.Key.t * int) list
+
 val lock_owner : 'v t -> Kv.Key.t -> int option
 
 (** {2 Commit path} *)

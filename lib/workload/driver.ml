@@ -85,6 +85,16 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
   ignore (Engine.run engine);
   Process.spawn engine (fun () -> sys.System.quiesce ());
   ignore (Engine.run engine);
+  (* Sanitizer mode: a strict engine fails the run on any protocol-audit
+     or sim-primitive violation left after quiesce. *)
+  if Engine.strict engine then begin
+    let issues = sys.System.audit () @ Engine.sanitize engine in
+    if issues <> [] then
+      failwith
+        (Printf.sprintf "Driver.run (%s): %d sanitizer violation(s):\n%s"
+           spec.name (List.length issues)
+           (String.concat "\n" issues))
+  end;
   let duration = st.last_commit -. st.window_started in
   let duration = if duration <= 0.0 then 1.0 else duration in
   {

@@ -511,13 +511,13 @@ let txn_stock_level p (sys : System.t) rng ~node =
         Hashtbl.replace distinct ol.Order_line.ol_i_id ())
       lines;
     let low = ref 0 in
-    Hashtbl.iter
-      (fun i () ->
-        match sys.System.peek ~node (k_stock ~node ~wl ~i) with
-        | Some sb ->
-            if (Stock.decode sb).Stock.s_quantity < threshold then incr low
-        | None -> ())
-      distinct;
+    Hashtbl.fold (fun i () acc -> i :: acc) distinct []
+    |> List.sort compare
+    |> List.iter (fun i ->
+           match sys.System.peek ~node (k_stock ~node ~wl ~i) with
+           | Some sb ->
+               if (Stock.decode sb).Stock.s_quantity < threshold then incr low
+           | None -> ());
     []
   in
   Types.make ~host_exec_ns:1800.0 ~ship_exec:false ~read_set:[ kd ] ~write_set:[]

@@ -16,7 +16,7 @@ let zeta n theta =
 let create ~n ~theta =
   if n <= 0 then invalid_arg "Zipf.create: n";
   if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta";
-  if theta = 0.0 then { n; theta; zetan = 0.0; alpha = 0.0; eta = 0.0 }
+  if Float.equal theta 0.0 then { n; theta; zetan = 0.0; alpha = 0.0; eta = 0.0 }
   else
     let zetan = zeta n theta in
     let zeta2 = zeta 2 theta in
@@ -28,7 +28,7 @@ let create ~n ~theta =
     { n; theta; zetan; alpha; eta }
 
 let sample t rng =
-  if t.theta = 0.0 then Xenic_sim.Rng.int rng t.n
+  if Float.equal t.theta 0.0 then Xenic_sim.Rng.int rng t.n
   else begin
     let u = Xenic_sim.Rng.float rng in
     let uz = u *. t.zetan in

@@ -1,0 +1,149 @@
+(* Unit tests for the determinism lint: one case per rule, the
+   sorted-traversal exemption, allowlist comments, the rng.ml
+   exemption, and the lexical fallback for unparseable sources. *)
+
+let lint ?(filename = "lib/proto/sample.ml") src = Lint.lint_string ~filename src
+
+let ids findings = List.map (fun f -> Lint.rule_id f.Lint.rule) findings
+
+let lines findings = List.map (fun f -> f.Lint.line) findings
+
+let check_ids msg expected src =
+  Alcotest.(check (list string)) msg expected (ids (lint src))
+
+let test_random () =
+  check_ids "ambient Random flagged" [ "RANDOM" ] "let x = Random.int 10\n";
+  check_ids "qualified Stdlib.Random flagged" [ "RANDOM" ]
+    "let x = Stdlib.Random.bits ()\n";
+  check_ids "module named in message only" [] "let random_looking = 10\n"
+
+let test_rng_exempt () =
+  Alcotest.(check (list string))
+    "lib/sim/rng.ml may use Random" []
+    (ids (lint ~filename:"lib/sim/rng.ml" "let x = Random.int 10\n"));
+  Alcotest.(check (list string))
+    "other rng.ml paths exempt by basename" []
+    (ids (lint ~filename:"elsewhere/rng.ml" "let x = Random.int 10\n"))
+
+let test_wall_clock () =
+  check_ids "gettimeofday flagged" [ "WALL-CLOCK" ]
+    "let t = Unix.gettimeofday ()\n";
+  check_ids "Unix.time flagged" [ "WALL-CLOCK" ] "let t = Unix.time ()\n";
+  check_ids "Sys.time flagged" [ "WALL-CLOCK" ] "let t = Sys.time ()\n";
+  check_ids "Unix.sleep is fine" [] "let () = Unix.sleep 1\n"
+
+let test_hashtbl_unsorted () =
+  check_ids "bare iter flagged" [ "HASHTBL-ORDER" ]
+    "let dump tbl = Hashtbl.iter (fun k v -> Printf.printf \"%d %d\" k v) tbl\n";
+  check_ids "bare fold flagged" [ "HASHTBL-ORDER" ]
+    "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n"
+
+let test_hashtbl_sorted () =
+  check_ids "fold piped into sort is exempt" []
+    "let keys tbl =\n\
+    \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare\n";
+  check_ids "sort applied around fold is exempt" []
+    "let keys tbl =\n\
+    \  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])\n";
+  (* The regression shape from the protocol code: fold |> sort |> iter. *)
+  check_ids "fold |> sort |> iter is exempt" []
+    "let dump tbl =\n\
+    \  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []\n\
+    \  |> List.sort Stdlib.compare\n\
+    \  |> List.iter (fun (k, v) -> Printf.printf \"%d %d\" k v)\n"
+
+let test_float_cmp () =
+  check_ids "= against a float literal" [ "FLOAT-CMP" ] "let f x = x = 0.0\n";
+  check_ids "<> against infinity" [ "FLOAT-CMP" ] "let f x = x <> infinity\n";
+  check_ids "polymorphic compare on floats" [ "FLOAT-CMP" ]
+    "let c = compare 1.0 2.0\n";
+  check_ids "min against float arithmetic" [ "FLOAT-CMP" ]
+    "let m a b = min a (b +. 1.0)\n";
+  check_ids "Float.equal is the fix" [] "let f x = Float.equal x 0.0\n";
+  check_ids "int comparisons untouched" [] "let f x = x = 0\n"
+
+let test_obj_magic () =
+  check_ids "Obj.magic flagged" [ "OBJ-MAGIC" ] "let y = Obj.magic ()\n";
+  check_ids "Obj.repr untouched" [] "let y = Obj.repr ()\n"
+
+let test_catch_all () =
+  check_ids "try ... with _ flagged" [ "CATCH-ALL" ]
+    "let h f = try f () with _ -> ()\n";
+  check_ids "named exception handler is fine" []
+    "let h f = try f () with Not_found -> ()\n";
+  check_ids "wildcard among named cases flagged" [ "CATCH-ALL" ]
+    "let h f = try f () with Not_found -> 0 | _ -> 1\n"
+
+let test_line_numbers () =
+  let src = "let a = 1\n\nlet t = Unix.gettimeofday ()\n" in
+  Alcotest.(check (list int)) "finding carries the source line" [ 3 ]
+    (lines (lint src));
+  let f = List.hd (lint src) in
+  Alcotest.(check string) "rendered as file:line: [RULE-ID]"
+    "lib/proto/sample.ml:3: [WALL-CLOCK]"
+    (String.sub (Lint.to_string f) 0 35)
+
+let test_allow_line () =
+  check_ids "allow on the previous line suppresses" []
+    "(* xenic-lint: allow RANDOM *)\nlet x = Random.int 10\n";
+  check_ids "allow on the same line suppresses" []
+    "let x = Random.int 10 (* xenic-lint: allow RANDOM *)\n";
+  check_ids "allow for a different rule does not" [ "RANDOM" ]
+    "(* xenic-lint: allow WALL-CLOCK *)\nlet x = Random.int 10\n";
+  check_ids "allow does not leak past the next line" [ "RANDOM" ]
+    "(* xenic-lint: allow RANDOM *)\nlet a = 1\nlet x = Random.int 10\n"
+
+let test_allow_file () =
+  check_ids "allow-file suppresses everywhere" []
+    "(* xenic-lint: allow-file RANDOM *)\n\
+     let x = Random.int 10\n\
+     let y = Random.bool ()\n";
+  check_ids "allow-file is per rule" [ "WALL-CLOCK" ]
+    "(* xenic-lint: allow-file RANDOM *)\n\
+     let x = Random.int 10\n\
+     let t = Unix.gettimeofday ()\n"
+
+let test_lexical_fallback () =
+  (* Unparseable source (unbalanced paren): the lexical scan still
+     catches the banned pattern instead of going blind. *)
+  check_ids "broken file still caught lexically" [ "RANDOM" ]
+    "let x = ( Random.int 10\n";
+  check_ids "allowlist works in lexical mode too" []
+    "(* xenic-lint: allow RANDOM *)\nlet x = ( Random.int 10\n"
+
+let test_rule_ids_roundtrip () =
+  List.iter
+    (fun id ->
+      match Lint.rule_of_id id with
+      | Some r -> Alcotest.(check string) id id (Lint.rule_id r)
+      | None -> Alcotest.failf "rule id %s did not round-trip" id)
+    [ "RANDOM"; "WALL-CLOCK"; "HASHTBL-ORDER"; "FLOAT-CMP"; "OBJ-MAGIC"; "CATCH-ALL" ];
+  Alcotest.(check bool) "unknown id rejected" true (Lint.rule_of_id "BOGUS" = None)
+
+let () =
+  Alcotest.run "xenic_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "random" `Quick test_random;
+          Alcotest.test_case "rng.ml exemption" `Quick test_rng_exempt;
+          Alcotest.test_case "wall clock" `Quick test_wall_clock;
+          Alcotest.test_case "hashtbl unsorted" `Quick test_hashtbl_unsorted;
+          Alcotest.test_case "hashtbl sorted exempt" `Quick test_hashtbl_sorted;
+          Alcotest.test_case "float compare" `Quick test_float_cmp;
+          Alcotest.test_case "obj magic" `Quick test_obj_magic;
+          Alcotest.test_case "catch all" `Quick test_catch_all;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "line numbers" `Quick test_line_numbers;
+          Alcotest.test_case "rule ids round-trip" `Quick test_rule_ids_roundtrip;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "per line" `Quick test_allow_line;
+          Alcotest.test_case "per file" `Quick test_allow_file;
+        ] );
+      ( "fallback",
+        [ Alcotest.test_case "lexical scan" `Quick test_lexical_fallback ] );
+    ]

@@ -211,6 +211,89 @@ let test_resource_utilization () =
   (* 50 busy server-ns out of 2 servers * 100 ns. *)
   check_float "utilization" 0.25 (Resource.utilization r)
 
+let test_resource_release_twice () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~name:"cpu" ~servers:2 in
+  Resource.acquire r;
+  Resource.release r;
+  Alcotest.check_raises "over-release rejected"
+    (Invalid_argument "Resource.release: cpu released more times than acquired")
+    (fun () -> Resource.release r)
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizer (strict engines) *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_violation name sub violations =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reported (got: %s)" name (String.concat "; " violations))
+    true
+    (List.exists (fun v -> contains v sub) violations)
+
+let test_sanitizer_clean_run () =
+  let eng = Engine.create ~strict:true () in
+  Alcotest.(check bool) "strict flag" true (Engine.strict eng);
+  let r = Resource.create eng ~name:"cpu" ~servers:1 in
+  let mb = Mailbox.create ~name:"mb" eng in
+  let iv = Ivar.create ~name:"iv" eng in
+  Process.spawn eng (fun () ->
+      Resource.use r 5.0;
+      Mailbox.send mb 1;
+      Ivar.fill iv ());
+  Process.spawn eng (fun () ->
+      Ivar.read iv;
+      ignore (Mailbox.recv mb));
+  ignore (Engine.run eng);
+  Alcotest.(check (list string)) "no violations" [] (Engine.sanitize eng)
+
+let test_sanitizer_never_filled_ivar () =
+  let eng = Engine.create ~strict:true () in
+  let iv = Ivar.create ~name:"stuck" eng in
+  Process.spawn eng (fun () -> Ivar.read iv);
+  ignore (Engine.run eng);
+  check_violation "never-filled ivar" "ivar stuck: never filled"
+    (Engine.sanitize eng)
+
+let test_sanitizer_unreleased_resource () =
+  let eng = Engine.create ~strict:true () in
+  let r = Resource.create eng ~name:"dma" ~servers:2 in
+  Process.spawn eng (fun () -> Resource.acquire r);
+  ignore (Engine.run eng);
+  check_violation "leaked unit" "resource dma: 1 unit(s) acquired"
+    (Engine.sanitize eng)
+
+let test_sanitizer_undelivered_mailbox () =
+  let eng = Engine.create ~strict:true () in
+  let mb = Mailbox.create ~name:"rx0" eng in
+  Mailbox.send mb "lost";
+  ignore (Engine.run eng);
+  check_violation "undelivered message" "mailbox rx0: 1 undelivered"
+    (Engine.sanitize eng)
+
+let test_sanitizer_double_resume () =
+  let eng = Engine.create ~strict:true () in
+  let order = ref [] in
+  Process.spawn eng (fun () ->
+      Process.suspend (fun resume ->
+          Engine.after eng 1.0 (fun () -> resume ());
+          Engine.after eng 2.0 (fun () -> resume ()));
+      order := "woke" :: !order);
+  ignore (Engine.run eng);
+  Alcotest.(check (list string)) "woke exactly once" [ "woke" ] !order;
+  check_violation "double resume" "resumed twice" (Engine.sanitize eng)
+
+let test_sanitizer_off_by_default () =
+  let eng = Engine.create () in
+  let iv : unit Ivar.t = Ivar.create ~name:"stuck" eng in
+  Process.spawn eng (fun () -> Ivar.read iv);
+  ignore (Engine.run eng);
+  Alcotest.(check (list string))
+    "non-strict engines record nothing" [] (Engine.sanitize eng)
+
 (* ------------------------------------------------------------------ *)
 (* Rng *)
 
@@ -457,6 +540,20 @@ let () =
           Alcotest.test_case "serialization" `Quick test_resource_serialization;
           Alcotest.test_case "parallel servers" `Quick test_resource_parallel_servers;
           Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          Alcotest.test_case "release twice" `Quick test_resource_release_twice;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "clean run" `Quick test_sanitizer_clean_run;
+          Alcotest.test_case "never-filled ivar" `Quick
+            test_sanitizer_never_filled_ivar;
+          Alcotest.test_case "unreleased resource" `Quick
+            test_sanitizer_unreleased_resource;
+          Alcotest.test_case "undelivered mailbox" `Quick
+            test_sanitizer_undelivered_mailbox;
+          Alcotest.test_case "double resume" `Quick test_sanitizer_double_resume;
+          Alcotest.test_case "off by default" `Quick
+            test_sanitizer_off_by_default;
         ] );
       ( "rng",
         [
