@@ -12,6 +12,48 @@ let quick =
 
 let scale n = if !quick then max 1 (n / 4) else n
 
+(* Machine-readable results. Experiments record scalar metrics as they
+   print them; the harness dumps the accumulated set to BENCH_<id>.json
+   after each experiment. Values are pre-encoded JSON tokens. *)
+let json_fields : (string * string) list ref = ref []
+
+let record_json key v =
+  let key =
+    if not (List.mem_assoc key !json_fields) then key
+    else
+      let rec fresh i =
+        let k = Printf.sprintf "%s_%d" key i in
+        if List.mem_assoc k !json_fields then fresh (i + 1) else k
+      in
+      fresh 2
+  in
+  json_fields := (key, v) :: !json_fields
+
+let json_num key v =
+  record_json key
+    (if Float.is_finite v then Printf.sprintf "%.6g" v else "null")
+
+let json_int key v = record_json key (string_of_int v)
+
+let json_reset () = json_fields := []
+
+let json_write ~id ~desc =
+  let oc = open_out (Printf.sprintf "BENCH_%s.json" id) in
+  let metrics =
+    match !json_fields with
+    | [] -> "{}"
+    | fields ->
+        Printf.sprintf "{\n%s\n  }"
+          (String.concat ",\n"
+             (List.rev_map
+                (fun (k, v) -> Printf.sprintf "    %S: %s" k v)
+                fields))
+  in
+  Printf.fprintf oc
+    "{\n  \"experiment\": %S,\n  \"description\": %S,\n  \"metrics\": %s\n}\n"
+    id desc metrics;
+  close_out oc
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -73,6 +115,10 @@ let min_median points =
   List.fold_left (fun acc p -> min acc p.median_us) infinity points
 
 let print_sweep ~title series =
+  List.iter
+    (fun (name, points) ->
+      json_num (Printf.sprintf "%s / %s peak tput" title name) (peak points))
+    series;
   let t =
     Xenic_stats.Table.create ~title
       ~columns:
@@ -96,6 +142,10 @@ let print_sweep ~title series =
   Xenic_stats.Table.print t
 
 let print_summary ~title ~metric series =
+  List.iter
+    (fun (name, v) ->
+      json_num (Printf.sprintf "%s / %s (%s)" title name metric) v)
+    series;
   let t = Xenic_stats.Table.create ~title ~columns:[ "system"; metric ] in
   List.iter
     (fun (name, v) ->

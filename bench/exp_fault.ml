@@ -1,0 +1,154 @@
+(* Mid-run fault tolerance: crash one node at a fixed simulated instant
+   while the driver is running, with per-request timeouts armed and a
+   lease-based membership attached. A probe samples the cluster-wide
+   committed count every 10us; from the timeline we report the
+   steady-state throughput before the fault, the depth of the dip while
+   coordinators time out and recovery promotes, the time until the
+   windowed rate is back above half the pre-fault rate, and the
+   post-recovery throughput (acceptance: within 2x of pre-fault, i.e.
+   post/pre >= 0.5 with one of six servers gone). *)
+
+open Xenic_sim
+open Xenic_cluster
+open Xenic_proto
+open Xenic_workload
+open Common
+
+let lease_ns = 25_000.0
+
+let req_timeout_ns = 40_000.0
+
+let probe_step_ns = 10_000.0
+
+let horizon_ns = 3_000_000.0
+
+let crashed_node = 2
+
+let sb_params = { Smallbank.default_params with accounts_per_node = 500 }
+
+let tpcc_params =
+  {
+    Tpcc.default_params with
+    warehouses_per_node = 2;
+    customers_per_district = 20;
+    items = 200;
+  }
+
+(* Commits observed by the latest probe at or before [t]. *)
+let commits_at samples t =
+  List.fold_left (fun acc (st, c) -> if st <= t then c else acc) 0 samples
+
+let mk_armed ~store_cfg ~cache_capacity () =
+  let engine = Engine.create ~strict:true () in
+  let cfg = Config.make ~nodes:cluster_nodes ~replication in
+  let segments, seg_size, d_max = store_cfg in
+  let p =
+    {
+      Xenic_system.default_params with
+      segments;
+      seg_size;
+      d_max;
+      cache_capacity;
+      req_timeout_ns = Some req_timeout_ns;
+    }
+  in
+  let xs = Xenic_system.create engine hw cfg p in
+  let m = Membership.create engine cfg ~lease_ns in
+  Xenic_system.attach_membership xs m;
+  Membership.start m;
+  System.of_xenic xs
+
+let one ~name ~mk_sys ~load ~spec ~concurrency ~target =
+  let fault_ns = if !quick then 50_000.0 else 150_000.0 in
+  let sys = mk_sys () in
+  let oracle = Oracle.create () in
+  sys.System.set_oracle oracle;
+  load sys;
+  let engine = sys.System.engine in
+  (* Timeline probe: the oracle records every commit as it happens, so
+     its transaction count is the live cluster-wide commit counter.
+     Sample it every probe_step up to a horizon comfortably past the
+     end of the run (flat tail samples are ignored below). *)
+  let samples = ref [] in
+  let t = ref probe_step_ns in
+  while !t <= horizon_ns do
+    let at = !t in
+    Engine.at engine at (fun () ->
+        samples := (at, Oracle.txn_count oracle) :: !samples);
+    t := !t +. probe_step_ns
+  done;
+  let result =
+    Driver.run sys (spec sys) ~warmup_frac:0.0 ~concurrency ~target
+      ~faults:[ (fault_ns, crashed_node) ]
+  in
+  let samples = List.rev !samples in
+  (* With warmup 0 the measurement window opens at t=0, so duration_ns
+     is the instant of the last commit. *)
+  let t_end = result.Driver.duration_ns in
+  let pre_tput = float_of_int (commits_at samples fault_ns) /. fault_ns in
+  (* Windowed rates strictly after the fault and before the run ends. *)
+  let rates =
+    let rec pair = function
+      | (t0, c0) :: ((t1, c1) :: _ as rest) when t1 <= t_end ->
+          if t0 >= fault_ns then
+            (t1, float_of_int (c1 - c0) /. (t1 -. t0)) :: pair rest
+          else pair rest
+      | _ -> []
+    in
+    pair samples
+  in
+  let dip_rate =
+    List.fold_left (fun acc (_, r) -> if r < acc then r else acc) pre_tput
+      rates
+  in
+  let recovery_ns =
+    let rec find = function
+      | (t1, r) :: _ when r >= 0.5 *. pre_tput -> t1 -. fault_ns
+      | _ :: rest -> find rest
+      | [] -> t_end -. fault_ns
+    in
+    find rates
+  in
+  (* Post-recovery window: from declaration + promotion slack to the
+     last commit. *)
+  let t_rec = fault_ns +. (2.0 *. lease_ns) in
+  let post_tput =
+    if t_end -. t_rec > 0.0 then
+      float_of_int (commits_at samples t_end - commits_at samples t_rec)
+      /. (t_end -. t_rec)
+    else 0.0
+  in
+  let ratio = if pre_tput > 0.0 then post_tput /. pre_tput else 0.0 in
+  (match Oracle.check oracle with
+  | Oracle.Serializable -> ()
+  | Oracle.Violation msg -> failwith ("fault run not serializable: " ^ msg));
+  note "%s: committed=%d aborted=%d, crash of node %d at %.0fus, run end %.0fus"
+    name result.Driver.committed result.Driver.aborted crashed_node
+    (fault_ns /. 1e3) (t_end /. 1e3);
+  note
+    "%s: pre-fault %.2f txn/us, dip %.2f txn/us, recovered in %.0fus, \
+     post-recovery %.2f txn/us (post/pre = %.2f, acceptance >= 0.5)"
+    name (pre_tput *. 1e3) (dip_rate *. 1e3) (recovery_ns /. 1e3)
+    (post_tput *. 1e3) ratio;
+  json_num (name ^ " pre_fault_tput_per_us") (pre_tput *. 1e3);
+  json_num (name ^ " dip_tput_per_us") (dip_rate *. 1e3);
+  json_num (name ^ " post_recovery_tput_per_us") (post_tput *. 1e3);
+  json_num (name ^ " recovery_us") (recovery_ns /. 1e3);
+  json_num (name ^ " post_over_pre") ratio;
+  json_int (name ^ " committed") result.Driver.committed;
+  json_int (name ^ " aborted") result.Driver.aborted
+
+let run () =
+  section "Mid-run node crash: throughput dip and recovery";
+  one ~name:"smallbank"
+    ~mk_sys:
+      (mk_armed ~store_cfg:(Smallbank.store_cfg sb_params) ~cache_capacity:256)
+    ~load:(Smallbank.load sb_params)
+    ~spec:(fun _ -> Smallbank.spec sb_params ~nodes:cluster_nodes)
+    ~concurrency:8 ~target:(scale 3000);
+  one ~name:"tpcc"
+    ~mk_sys:
+      (mk_armed ~store_cfg:(Tpcc.store_cfg tpcc_params) ~cache_capacity:8192)
+    ~load:(Tpcc.load tpcc_params)
+    ~spec:(fun sys -> Tpcc.spec tpcc_params sys)
+    ~concurrency:6 ~target:(scale 2000)

@@ -3,8 +3,10 @@
 
      dune exec bench/main.exe
 
-   or a subset by id: fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 micro.
-   Pass --quick (or set XENIC_QUICK=1) for reduced run sizes. *)
+   or a subset by id: fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault
+   micro. Pass --quick (or set XENIC_QUICK=1) for reduced run sizes.
+   Each experiment also writes its scalar metrics to BENCH_<id>.json
+   in the current directory. *)
 
 let experiments =
   [
@@ -16,6 +18,7 @@ let experiments =
     ("fig8", "TPC-C / Retwis / Smallbank vs baselines", Exp_fig8.run);
     ("tab3", "normalized thread counts", Exp_tab3.run);
     ("fig9", "optimization ablations", Exp_fig9.run);
+    ("fault", "mid-run node crash: dip and recovery", Exp_fault.run);
     ("micro", "wall-clock data structure microbenches", Exp_micro.run);
   ]
 
@@ -49,6 +52,9 @@ let () =
   List.iter
     (fun (id, desc, run) ->
       Printf.printf "\n[%s] %s\n" id desc;
-      run ())
+      Common.json_reset ();
+      run ();
+      (* Machine-readable companion to the printed tables. *)
+      Common.json_write ~id ~desc)
     selected;
   print_newline ()

@@ -8,6 +8,7 @@ type t = {
   nodes : node_state array;
   mutable epoch : int;
   mutable subscribers : (epoch:int -> dead:int list -> unit) list;
+  mutable stopped : bool;
 }
 
 let create engine cfg ~lease_ns =
@@ -19,7 +20,10 @@ let create engine cfg ~lease_ns =
           { last_renew = 0.0; failed = false; dead = false });
     epoch = 0;
     subscribers = [];
+    stopped = false;
   }
+
+let stop t = t.stopped <- true
 
 let epoch t = t.epoch
 
@@ -59,7 +63,7 @@ let start t =
     (fun s ->
       Process.spawn t.engine (fun () ->
           let rec loop () =
-            if not s.failed then begin
+            if (not s.failed) && not t.stopped then begin
               s.last_renew <- Engine.now t.engine;
               Process.sleep t.engine renew_period;
               loop ()
@@ -71,7 +75,9 @@ let start t =
   Process.spawn t.engine (fun () ->
       let rec loop () =
         Process.sleep t.engine (t.lease_ns /. 2.0);
-        check_expiry t;
-        if List.length (alive_nodes t) > 0 then loop ()
+        if not t.stopped then begin
+          check_expiry t;
+          if List.length (alive_nodes t) > 0 then loop ()
+        end
       in
       loop ())

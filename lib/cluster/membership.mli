@@ -13,6 +13,12 @@ val create : Xenic_sim.Engine.t -> Config.t -> lease_ns:float -> t
 (** Spawn the manager's expiry checker and each node's renewal loop. *)
 val start : t -> unit
 
+(** Shut the loops down: renewal and expiry processes exit at their
+    next wakeup (within [lease_ns / 2]), letting the engine drain its
+    event queue. Without this a started membership keeps the simulation
+    alive forever. Idempotent. *)
+val stop : t -> unit
+
 (** Current configuration epoch (bumped on every membership change). *)
 val epoch : t -> int
 

@@ -57,7 +57,8 @@ let send t ~src ~dst ~payload_bytes msgs =
       Resource.use t.node_arr.(dst).rx_link serialization;
       Mailbox.send t.node_arr.(dst).inbox packet)
 
-let transfer t ~src ~dst ~wire_bytes =
+let transfer t ~src ~dst ~payload_bytes =
+  let wire_bytes = payload_bytes + t.hw.eth_frame_overhead_b in
   t.frames <- t.frames + 1;
   t.bytes <- t.bytes + wire_bytes;
   let serialization = float_of_int wire_bytes /. rate t in

@@ -28,11 +28,13 @@ val rx : 'm t -> int -> 'm Packet.t Xenic_sim.Mailbox.t
     touching the wire (used for same-node protocol messages). *)
 val loopback : 'm t -> node:int -> 'm list -> unit
 
-(** [transfer t ~src ~dst ~wire_bytes] blocks the calling process while
-    occupying the links and traversing the wire, without delivering to
-    the receive mailbox — the transport of hardware-terminated traffic
-    such as one-sided RDMA verbs. *)
-val transfer : 'm t -> src:int -> dst:int -> wire_bytes:int -> unit
+(** [transfer t ~src ~dst ~payload_bytes] blocks the calling process
+    while occupying the links and traversing the wire, without
+    delivering to the receive mailbox — the transport of
+    hardware-terminated traffic such as one-sided RDMA verbs. Framing
+    overhead is added here, symmetric with {!send}; [payload_bytes]
+    covers the verb's headers and data only. *)
+val transfer : 'm t -> src:int -> dst:int -> payload_bytes:int -> unit
 
 (** Wire accounting: total frames and bytes transmitted. *)
 val frames_sent : 'm t -> int

@@ -60,12 +60,12 @@ let one_sided ?(pay_submit = true) t ~src ~dst verb ~bytes ~at_target =
   if pay_submit then Process.sleep (engine t) t.hw.rdma_submit_ns;
   Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
   Fabric.transfer t.fabric ~src ~dst
-    ~wire_bytes:(request_bytes t verb ~bytes + t.hw.eth_frame_overhead_b);
+    ~payload_bytes:(request_bytes t verb ~bytes);
   Resource.use t.units.(dst) t.hw.rdma_hw_op_ns;
   Process.sleep (engine t) (target_pcie_ns t verb);
   let result = at_target () in
   Fabric.transfer t.fabric ~src:dst ~dst:src
-    ~wire_bytes:(response_bytes t verb ~bytes + t.hw.eth_frame_overhead_b);
+    ~payload_bytes:(response_bytes t verb ~bytes);
   Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
   Process.sleep (engine t) t.hw.rdma_completion_poll_ns;
   result

@@ -18,6 +18,9 @@ type params = {
   bucket_b : int;
   log_capacity_b : int;
   btree_op_ns : float;
+  req_timeout_ns : float option;
+  retry_backoff_ns : float;
+  max_retries : int;
 }
 
 let default_params =
@@ -28,11 +31,20 @@ let default_params =
     bucket_b = 8;
     log_capacity_b = 4 * 1024 * 1024;
     btree_op_ns = 300.0;
+    req_timeout_ns = None;
+    retry_backoff_ns = 30_000.0;
+    max_retries = 10;
   }
 
 type msg = { bytes : int; deliver : unit -> unit }
 
-type log_record = { lr_ops : (Op.t * int) list }
+(* Commit decision shared between a transaction's log records (same
+   scheme as [Xenic_system]): backups apply only decided-commit
+   records, so a coordinator crash between LOG and COMMIT never
+   diverges replicas. Legacy mode creates records already decided. *)
+type decision = Dpending | Dcommit | Dabort
+
+type log_record = { lr_ops : (Op.t * int) list; lr_decision : decision ref }
 
 type shard_store = {
   hash : bytes Xenic_store.Chained.t;  (* DrTM+H / FaSST / DrTM+R objects *)
@@ -63,6 +75,13 @@ type t = {
   nodes : node array;
   metrics : Metrics.t;
   mutable oracle : Oracle.t option;
+  primaries : int array;  (* shard -> current primary (routing view) *)
+  alive : bool array;  (* routing view: false once declared dead *)
+  crashed : bool array;  (* ground truth: true from the crash instant *)
+  mutable epoch : int;  (* bumped at every declaration *)
+  mutable inflight_commits : int;  (* txns between LOG start and COMMIT *)
+  mutable recovery_waiting : int;  (* pending recoveries gating the fence *)
+  mutable membership : Membership.t option;
 }
 
 let engine t = t.engine
@@ -79,6 +98,17 @@ let store t ~node ~shard =
   match t.nodes.(node).stores.(shard) with
   | Some s -> s
   | None -> invalid_arg "Rdma_system.store: node does not hold shard"
+
+let armed t = Option.is_some t.p.req_timeout_ns
+
+let primary_of t ~shard = t.primaries.(shard)
+
+(* Live backups of [shard]: its replicas minus the current primary and
+   any dead nodes. *)
+let backups_of t ~shard =
+  List.filter
+    (fun n -> n <> t.primaries.(shard) && t.alive.(n))
+    (Config.replicas t.cfg ~shard)
 
 (* ------------------------------------------------------------------ *)
 (* Host-memory object operations, executed at their linearization point
@@ -222,6 +252,107 @@ let one_sided_many t ~src verbs =
   local_results @ remote_results
 
 (* ------------------------------------------------------------------ *)
+(* Timeout-aware request wrappers (armed mode only; with
+   [req_timeout_ns = None] these are the plain operations above).
+   [`Down] means the peer did not answer within the deadline or the
+   routing epoch moved mid-flight — the caller must treat the peer as
+   dead and fail its transaction attempt. *)
+
+let rpc_t t ?epoch0 ~src ~dst ~req_bytes ~resp_bytes ~handler_ns
+    (handler : unit -> 'r) : [ `Ok of 'r | `Down ] =
+  match t.p.req_timeout_ns with
+  | None -> `Ok (rpc t ~src ~dst ~req_bytes ~resp_bytes ~handler_ns handler)
+  | Some timeout_ns ->
+      if dst <> src && t.crashed.(dst) then begin
+        (* Known-crashed target: the request is on the wire for the
+           full deadline before the coordinator gives up. *)
+        Xenic_stats.Counter.incr (counters t) "req_timeouts";
+        Process.sleep t.engine timeout_ns;
+        `Down
+      end
+      else if src = dst then begin
+        Resource.use t.nodes.(dst).host handler_ns;
+        `Ok (handler ())
+      end
+      else begin
+        Xenic_stats.Counter.incr (counters t) "rpcs";
+        let iv = Ivar.create t.engine in
+        let settle v = if not (Ivar.is_filled iv) then Ivar.fill iv v in
+        let stale () =
+          match epoch0 with Some e -> t.epoch <> e | None -> false
+        in
+        Process.spawn t.engine (fun () ->
+            Rdma.rpc_send t.rdma ~src ~dst ~bytes:req_bytes
+              {
+                bytes = req_bytes;
+                deliver =
+                  (fun () ->
+                    Rdma.rpc_recv_cost t.rdma ~node:dst;
+                    if stale () then begin
+                      Xenic_stats.Counter.incr (counters t)
+                        "stale_epoch_rejects";
+                      settle `Stale
+                    end
+                    else begin
+                      Resource.acquire t.nodes.(dst).host;
+                      Process.sleep t.engine handler_ns;
+                      let r = handler () in
+                      Resource.release t.nodes.(dst).host;
+                      Rdma.rpc_send t.rdma ~src:dst ~dst:src
+                        ~bytes:(resp_bytes r)
+                        {
+                          bytes = resp_bytes r;
+                          deliver =
+                            (fun () ->
+                              Process.sleep t.engine
+                                t.hw.rdma_completion_poll_ns;
+                              if stale () then begin
+                                Xenic_stats.Counter.incr (counters t)
+                                  "stale_epoch_drops";
+                                settle `Stale
+                              end
+                              else settle (`Resp r));
+                        }
+                    end);
+              });
+        match Ivar.read_timeout iv ~timeout_ns with
+        | Some (`Resp r) -> `Ok r
+        | Some `Stale -> `Down
+        | None ->
+            Xenic_stats.Counter.incr (counters t) "req_timeouts";
+            `Down
+      end
+
+let one_sided_t t ~src ~dst verb ~bytes ~at_target =
+  match t.p.req_timeout_ns with
+  | None -> `Ok (one_sided t ~src ~dst verb ~bytes ~at_target)
+  | Some timeout_ns ->
+      if dst <> src && t.crashed.(dst) then begin
+        (* The verb never completes: the target NIC is gone. Nothing
+           executes at the target. *)
+        Xenic_stats.Counter.incr (counters t) "req_timeouts";
+        Process.sleep t.engine timeout_ns;
+        `Down
+      end
+      else `Ok (one_sided t ~src ~dst verb ~bytes ~at_target)
+
+(* All-or-nothing doorbell batch: if any target of the batch is
+   crashed, the batch fails without executing anywhere — the
+   coordinator sees the missing completion and gives up on the whole
+   attempt, so no partial remote state is installed. *)
+let one_sided_many_t t ~src verbs =
+  match t.p.req_timeout_ns with
+  | None -> `Ok (one_sided_many t ~src verbs)
+  | Some timeout_ns ->
+      if List.exists (fun (dst, _, _, _) -> dst <> src && t.crashed.(dst)) verbs
+      then begin
+        Xenic_stats.Counter.incr (counters t) "req_timeouts";
+        Process.sleep t.engine timeout_ns;
+        `Down
+      end
+      else `Ok (one_sided_many t ~src verbs)
+
+(* ------------------------------------------------------------------ *)
 (* Construction *)
 
 let dispatch_loop t node =
@@ -229,9 +360,15 @@ let dispatch_loop t node =
       let rx = Xenic_net.Fabric.rx t.fabric node.id in
       let rec loop () =
         let pkt = Mailbox.recv rx in
-        List.iter
-          (fun m -> Process.spawn t.engine m.deliver)
-          pkt.Xenic_net.Packet.msgs;
+        if t.crashed.(node.id) then
+          (* A crashed node receives nothing: inbound frames fall on
+             the floor and senders time out. *)
+          Xenic_stats.Counter.add (counters t) "msgs_dropped"
+            (List.length pkt.Xenic_net.Packet.msgs)
+        else
+          List.iter
+            (fun m -> Process.spawn t.engine m.deliver)
+            pkt.Xenic_net.Packet.msgs;
         loop ()
       in
       loop ())
@@ -244,17 +381,32 @@ let worker_loop t node =
   Process.spawn t.engine (fun () ->
       let rec loop () =
         let record, bytes = Xenic_store.Hostlog.poll node.log in
-        (* Log application competes with RPC handling and coordinator
-           work for the same host threads (§5.2: FaSST handles RPCs on
-           the threads performing compute-intensive B+ tree work). *)
-        Resource.acquire node.host;
-        List.iter
-          (fun (op, seq) ->
-            Process.sleep t.engine (apply_cost t (op, seq));
-            obj_apply t ~node:node.id (op, seq))
-          record.lr_ops;
-        Resource.release node.host;
-        Xenic_store.Hostlog.ack node.log ~bytes;
+        (* Wait for the coordinator's commit decision; it resolves
+           every record (legacy records are born decided). *)
+        let rec decide () =
+          match !(record.lr_decision) with
+          | Dcommit -> true
+          | Dabort ->
+              Xenic_stats.Counter.incr (counters t) "log_discards";
+              false
+          | Dpending ->
+              Process.sleep t.engine 500.0;
+              decide ()
+        in
+        if not (decide ()) then Xenic_store.Hostlog.ack node.log ~bytes
+        else begin
+          (* Log application competes with RPC handling and coordinator
+             work for the same host threads (§5.2: FaSST handles RPCs on
+             the threads performing compute-intensive B+ tree work). *)
+          Resource.acquire node.host;
+          List.iter
+            (fun (op, seq) ->
+              Process.sleep t.engine (apply_cost t (op, seq));
+              obj_apply t ~node:node.id (op, seq))
+            record.lr_ops;
+          Resource.release node.host;
+          Xenic_store.Hostlog.ack node.log ~bytes
+        end;
         loop ()
       in
       loop ())
@@ -311,6 +463,14 @@ let create engine hw cfg flavor p =
       nodes;
       metrics = Metrics.create ();
       oracle = None;
+      primaries =
+        Array.init cfg.Config.nodes (fun shard -> Config.primary cfg ~shard);
+      alive = Array.make cfg.Config.nodes true;
+      crashed = Array.make cfg.Config.nodes false;
+      epoch = 0;
+      inflight_commits = 0;
+      recovery_waiting = 0;
+      membership = None;
     }
   in
   Array.iter
@@ -361,9 +521,10 @@ let quiesce t =
     let pending =
       Array.exists
         (fun n ->
-          Xenic_store.Hostlog.used_b n.log > 0
-          || Xenic_store.Hostlog.appended n.log
-             > Xenic_store.Hostlog.applied n.log)
+          (not t.crashed.(n.id))
+          && (Xenic_store.Hostlog.used_b n.log > 0
+             || Xenic_store.Hostlog.appended n.log
+                > Xenic_store.Hostlog.applied n.log))
         t.nodes
     in
     if pending then begin
@@ -413,17 +574,23 @@ let audit t =
   let issues = ref [] in
   Array.iter
     (fun n ->
-      Hashtbl.fold (fun k owner acc -> (k, owner) :: acc) n.locks []
-      |> List.sort compare
-      |> List.iter (fun (k, owner) ->
-             issues :=
-               Format.asprintf "rdma node %d: key %a still locked by owner %d"
-                 n.id Keyspace.pp k owner
-               :: !issues);
-      if
-        Xenic_store.Hostlog.used_b n.log > 0
-        || Xenic_store.Hostlog.appended n.log > Xenic_store.Hostlog.applied n.log
-      then issues := Printf.sprintf "rdma node %d: log not drained" n.id :: !issues)
+      if t.crashed.(n.id) then ()
+      else begin
+        Hashtbl.fold (fun k owner acc -> (k, owner) :: acc) n.locks []
+        |> List.sort compare
+        |> List.iter (fun (k, owner) ->
+               issues :=
+                 Format.asprintf "rdma node %d: key %a still locked by owner %d"
+                   n.id Keyspace.pp k owner
+                 :: !issues);
+        if
+          Xenic_store.Hostlog.used_b n.log > 0
+          || Xenic_store.Hostlog.appended n.log
+             > Xenic_store.Hostlog.applied n.log
+        then
+          issues :=
+            Printf.sprintf "rdma node %d: log not drained" n.id :: !issues
+      end)
     t.nodes;
   List.rev !issues
 
@@ -439,7 +606,7 @@ let value_slot_b v =
    chained buckets, one READ of B slots per bucket. *)
 let one_sided_read t ~src k =
   let shard = Keyspace.shard k in
-  let primary = Config.primary t.cfg ~shard in
+  let primary = primary_of t ~shard in
   let slot v = value_slot_b v in
   match t.flavor with
   | Farm ->
@@ -490,13 +657,24 @@ let one_sided_read t ~src k =
       Xenic_stats.Counter.incr (counters t) "read_roundtrips";
       r
 
+(* Armed entry guard for the execution read: a crashed primary never
+   completes the READ. *)
+let one_sided_read_t t ~src k =
+  let primary = primary_of t ~shard:(Keyspace.shard k) in
+  match t.p.req_timeout_ns with
+  | Some timeout_ns when primary <> src && t.crashed.(primary) ->
+      Xenic_stats.Counter.incr (counters t) "req_timeouts";
+      Process.sleep t.engine timeout_ns;
+      `Down
+  | _ -> `Ok (one_sided_read t ~src k)
+
 (* ------------------------------------------------------------------ *)
 (* Phase implementations *)
 
 (* Lock the write set. DrTM+H and FaSST lock via (consolidated) RPCs;
    DrTM+R CAS-locks each key one-sided. Returns lock versions+values or
    `Fail; on failure all acquired locks are already released. *)
-let lock_phase t ~src ~owner (write_keys : Keyspace.t list) =
+let lock_phase t ~epoch0 ~src ~owner (write_keys : Keyspace.t list) =
   let by_shard = ref [] in
   List.iter
     (fun k ->
@@ -506,33 +684,38 @@ let lock_phase t ~src ~owner (write_keys : Keyspace.t list) =
         :: List.remove_assoc s !by_shard)
     write_keys;
   let release_shard (shard, keys) =
-    let primary = Config.primary t.cfg ~shard in
-    match t.flavor with
-    | Drtmr ->
-        ignore
-          (one_sided_many t ~src
-             (List.map
-                (fun k ->
-                  ( primary,
-                    Rdma.Write,
-                    16,
-                    fun () -> unlock t ~node:primary k ~owner ))
-                keys))
-    | _ ->
-        ignore
-          (rpc t ~src ~dst:primary
-             ~req_bytes:(Wire.abort_b ~n_locks:(List.length keys))
-             ~resp_bytes:(fun _ -> Wire.small_resp_b)
-             ~handler_ns:t.hw.host_rpc_ns
-             (fun () -> List.iter (fun k -> unlock t ~node:primary k ~owner) keys))
+    let primary = primary_of t ~shard in
+    (* Locks at a crashed primary died with its memory. *)
+    if not t.crashed.(primary) then
+      match t.flavor with
+      | Drtmr ->
+          ignore
+            (one_sided_many_t t ~src
+               (List.map
+                  (fun k ->
+                    ( primary,
+                      Rdma.Write,
+                      16,
+                      fun () -> unlock t ~node:primary k ~owner ))
+                  keys))
+      | _ ->
+          (* No epoch stamp: an abort must land across a bump (unlock
+             is owner-guarded, so it is safe in any configuration). *)
+          ignore
+            (rpc_t t ~src ~dst:primary
+               ~req_bytes:(Wire.abort_b ~n_locks:(List.length keys))
+               ~resp_bytes:(fun _ -> Wire.small_resp_b)
+               ~handler_ns:t.hw.host_rpc_ns
+               (fun () ->
+                 List.iter (fun k -> unlock t ~node:primary k ~owner) keys))
   in
   let lock_shard (shard, keys) () =
-    let primary = Config.primary t.cfg ~shard in
+    let primary = primary_of t ~shard in
     match t.flavor with
-    | Drtmr ->
+    | Drtmr -> (
         (* One-sided CAS per key, then READ the locked values. *)
-        let cas_results =
-          one_sided_many t ~src
+        match
+          one_sided_many_t t ~src
             (List.map
                (fun k ->
                  ( primary,
@@ -541,50 +724,56 @@ let lock_phase t ~src ~owner (write_keys : Keyspace.t list) =
                    fun () ->
                      if try_lock t ~node:primary k ~owner then `Got k else `Held ))
                keys)
-        in
-        let acquired =
-          List.filter_map (function `Got k -> Some k | `Held -> None) cas_results
-        in
-        if List.length acquired <> List.length keys then begin
-          if acquired <> [] then
-            ignore
-              (one_sided_many t ~src
-                 (List.map
-                    (fun k ->
-                      ( primary,
-                        Rdma.Write,
-                        16,
-                        fun () -> unlock t ~node:primary k ~owner ))
-                    acquired));
-          (shard, `Fail)
-        end
-        else begin
-          let reads =
-            one_sided_many t ~src
-              (List.map
-                 (fun k ->
-                   ( primary,
-                     Rdma.Read,
-                     value_slot_b (Option.map fst (obj_read t ~node:primary k)),
-                     fun () -> (k, obj_read t ~node:primary k) ))
-                 keys)
-          in
-          let entries =
-            List.map
-              (fun (k, r) ->
-                match r with
-                | Some (v, seq) -> (k, Some v, seq)
-                | None -> (k, None, 0))
-              reads
-          in
-          (shard, `Ok entries)
-        end
-    | _ ->
+        with
+        | `Down -> (shard, `Down)
+        | `Ok cas_results -> (
+            let acquired =
+              List.filter_map
+                (function `Got k -> Some k | `Held -> None)
+                cas_results
+            in
+            if List.length acquired <> List.length keys then begin
+              if acquired <> [] then
+                ignore
+                  (one_sided_many_t t ~src
+                     (List.map
+                        (fun k ->
+                          ( primary,
+                            Rdma.Write,
+                            16,
+                            fun () -> unlock t ~node:primary k ~owner ))
+                        acquired));
+              (shard, `Fail)
+            end
+            else
+              match
+                one_sided_many_t t ~src
+                  (List.map
+                     (fun k ->
+                       ( primary,
+                         Rdma.Read,
+                         value_slot_b
+                           (Option.map fst (obj_read t ~node:primary k)),
+                         fun () -> (k, obj_read t ~node:primary k) ))
+                     keys)
+              with
+              | `Down -> (shard, `Down)
+              | `Ok reads ->
+                  let entries =
+                    List.map
+                      (fun (k, r) ->
+                        match r with
+                        | Some (v, seq) -> (k, Some v, seq)
+                        | None -> (k, None, 0))
+                      reads
+                  in
+                  (shard, `Ok entries)))
+    | _ -> (
         (* Lock RPC: acquires the shard's locks and returns versions
            only — in DrTM+H the object values were already retrieved by
            one-sided execution reads ("retrieve the value, then lock"). *)
         let r =
-          rpc t ~src ~dst:primary
+          rpc_t t ~epoch0 ~src ~dst:primary
             ~req_bytes:
               (Wire.execute_req_b ~n_reads:0 ~n_locks:(List.length keys)
                  ~state_bytes:0)
@@ -615,11 +804,16 @@ let lock_phase t ~src ~owner (write_keys : Keyspace.t list) =
               in
               go [] keys)
         in
-        (shard, r)
+        match r with
+        | `Down -> (shard, `Down)
+        | `Ok `Fail -> (shard, `Fail)
+        | `Ok (`Ok entries) -> (shard, `Ok entries))
   in
   let results = Process.parallel t.engine (List.map lock_shard !by_shard) in
-  if List.exists (fun (_, r) -> r = `Fail) results then begin
-    Xenic_stats.Counter.incr (counters t) "exec_lock_conflicts";
+  let down = List.exists (fun (_, r) -> r = `Down) results in
+  if down || List.exists (fun (_, r) -> r = `Fail) results then begin
+    if not down then
+      Xenic_stats.Counter.incr (counters t) "exec_lock_conflicts";
     List.iter
       (fun (shard, r) ->
         match r with
@@ -627,19 +821,20 @@ let lock_phase t ~src ~owner (write_keys : Keyspace.t list) =
             release_shard (shard, List.map (fun (k, _, _) -> k) entries)
         | _ -> ())
       results;
-    `Fail
+    if down then `Down else `Fail
   end
   else
     `Ok
       (List.concat_map
-         (fun (_, r) -> match r with `Ok entries -> entries | `Fail -> [])
+         (fun (_, r) -> match r with `Ok entries -> entries | _ -> [])
          results)
 
 (* Validation: DrTM+H/NC re-read version words one-sided; FaSST uses a
    per-shard RPC. *)
-let validate_phase t ~src ~owner checks =
+let validate_phase t ~epoch0 ~src ~owner checks :
+    [ `Valid | `Invalid | `Down ] =
   match t.flavor with
-  | Drtmr -> true (* all accesses are locked; no validation phase *)
+  | Drtmr -> `Valid (* all accesses are locked; no validation phase *)
   | Fasst ->
       let by_shard = Hashtbl.create 4 in
       List.iter
@@ -656,8 +851,8 @@ let validate_phase t ~src ~owner checks =
         Process.parallel t.engine
           (List.map
              (fun (shard, cs) () ->
-               let primary = Config.primary t.cfg ~shard in
-               rpc t ~src ~dst:primary
+               let primary = primary_of t ~shard in
+               rpc_t t ~epoch0 ~src ~dst:primary
                  ~req_bytes:(Wire.validate_req_b ~n_checks:(List.length cs))
                  ~resp_bytes:(fun _ -> Wire.small_resp_b)
                  ~handler_ns:
@@ -677,13 +872,15 @@ let validate_phase t ~src ~owner checks =
                      cs))
              shards)
       in
-      List.for_all Fun.id results
-  | Drtmh | Drtmh_nc | Farm ->
-      let results =
-        one_sided_many t ~src
+      if List.exists (fun r -> r = `Down) results then `Down
+      else if List.for_all (fun r -> r = `Ok true) results then `Valid
+      else `Invalid
+  | Drtmh | Drtmh_nc | Farm -> (
+      match
+        one_sided_many_t t ~src
           (List.map
              (fun (k, expected) ->
-               let primary = Config.primary t.cfg ~shard:(Keyspace.shard k) in
+               let primary = primary_of t ~shard:(Keyspace.shard k) in
                ( primary,
                  Rdma.Read,
                  Xenic_store.Kv.slot_header_b,
@@ -697,17 +894,62 @@ let validate_phase t ~src ~owner checks =
                    in
                    current = expected ))
              checks)
-      in
-      List.for_all Fun.id results
+      with
+      | `Down -> `Down
+      | `Ok results -> if List.for_all Fun.id results then `Valid else `Invalid)
 
 (* LOG: replicate the write set to every backup. DrTM+H/NC/DrTM+R use
    one-sided WRITEs into the backups' log regions; FaSST uses RPCs. *)
-let log_phase t ~src seq_ops_by_shard =
+let log_phase t ~src ~decision seq_ops_by_shard =
   let targets =
     List.concat_map
       (fun (shard, seq_ops) ->
-        List.map (fun b -> (b, seq_ops)) (Config.backups t.cfg ~shard))
+        List.map (fun b -> (b, seq_ops)) (backups_of t ~shard))
       seq_ops_by_shard
+  in
+  let append backup seq_ops bytes () =
+    Xenic_store.Hostlog.append t.nodes.(backup).log ~bytes
+      { lr_ops = seq_ops; lr_decision = decision }
+  in
+  (* Armed retry rule: a timed-out LOG to a now-known-crashed backup is
+     abandoned (a dead backup is never promoted after its declaration);
+     a resend to a live one is idempotent (sequence-guarded apply). No
+     epoch stamp — a fenced transaction must finish its replication
+     across a bump. *)
+  let rec settle_rpc backup bytes seq_ops n =
+    match
+      rpc_t t ~src ~dst:backup ~req_bytes:bytes
+        ~resp_bytes:(fun _ -> Wire.small_resp_b)
+        ~handler_ns:t.hw.host_rpc_ns (append backup seq_ops bytes)
+    with
+    | `Ok (_ : int) -> ()
+    | `Down ->
+        if t.crashed.(src) then
+          (* The coordinator itself died mid-LOG: responses into it are
+             dropped, so the timeout says nothing about the backup.
+             Stop retrying — the shared decision resolves to abort
+             right after the phase, and backups discard. *)
+          Xenic_stats.Counter.incr (counters t) "log_from_dead_coord"
+        else if t.crashed.(backup) then
+          Xenic_stats.Counter.incr (counters t) "log_to_dead_backup"
+        else if n >= 8 then
+          failwith "rdma: LOG to a live backup timed out repeatedly"
+        else settle_rpc backup bytes seq_ops (n + 1)
+  in
+  let rec settle_write backup bytes seq_ops n =
+    match
+      one_sided_t t ~src ~dst:backup Rdma.Write ~bytes
+        ~at_target:(append backup seq_ops bytes)
+    with
+    | `Ok (_ : int) -> ()
+    | `Down ->
+        if t.crashed.(src) then
+          Xenic_stats.Counter.incr (counters t) "log_from_dead_coord"
+        else if t.crashed.(backup) then
+          Xenic_stats.Counter.incr (counters t) "log_to_dead_backup"
+        else if n >= 8 then
+          failwith "rdma: LOG to a live backup timed out repeatedly"
+        else settle_write backup bytes seq_ops (n + 1)
   in
   match t.flavor with
   | Fasst ->
@@ -716,38 +958,51 @@ let log_phase t ~src seq_ops_by_shard =
            (List.map
               (fun (backup, seq_ops) () ->
                 let bytes = Wire.log_record_b ~ops:(List.map fst seq_ops) in
-                rpc t ~src ~dst:backup ~req_bytes:bytes
-                  ~resp_bytes:(fun _ -> Wire.small_resp_b)
-                  ~handler_ns:t.hw.host_rpc_ns
-                  (fun () ->
-                    Xenic_store.Hostlog.append t.nodes.(backup).log ~bytes
-                      { lr_ops = seq_ops }))
+                settle_rpc backup bytes seq_ops 1)
               targets))
   | _ ->
-      ignore
-        (one_sided_many t ~src
-           (List.map
-              (fun (backup, seq_ops) ->
-                let bytes = Wire.log_record_b ~ops:(List.map fst seq_ops) in
-                ( backup,
-                  Rdma.Write,
-                  bytes,
-                  fun () ->
-                    Xenic_store.Hostlog.append t.nodes.(backup).log ~bytes
-                      { lr_ops = seq_ops } ))
-              targets))
+      if not (armed t) then
+        ignore
+          (one_sided_many t ~src
+             (List.map
+                (fun (backup, seq_ops) ->
+                  let bytes = Wire.log_record_b ~ops:(List.map fst seq_ops) in
+                  (backup, Rdma.Write, bytes, append backup seq_ops bytes))
+                targets))
+      else
+        ignore
+          (Process.parallel t.engine
+             (List.map
+                (fun (backup, seq_ops) () ->
+                  let bytes = Wire.log_record_b ~ops:(List.map fst seq_ops) in
+                  settle_write backup bytes seq_ops 1)
+                targets))
 
 (* COMMIT: apply new values at primaries, bump versions, release locks.
    DrTM+R writes value+version+lock in a single WRITE per key; the
    others use a per-shard RPC. *)
 let commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard =
+  (* A primary that crashed after the (decided) LOG is skipped: its
+     locks and memory died with it, and the committed values reach the
+     shard's survivors through their backup logs before promotion. *)
+  let live (shard, _) =
+    let primary = primary_of t ~shard in
+    if t.crashed.(primary) then begin
+      Xenic_stats.Counter.incr (counters t) "commit_to_dead_primary";
+      false
+    end
+    else true
+  in
+  let seq_ops_by_shard =
+    if armed t then List.filter live seq_ops_by_shard else seq_ops_by_shard
+  in
   match t.flavor with
   | Drtmr ->
       ignore
         (one_sided_many t ~src
            (List.concat_map
               (fun (shard, seq_ops) ->
-                let primary = Config.primary t.cfg ~shard in
+                let primary = primary_of t ~shard in
                 List.map
                   (fun (op, seq) ->
                     ( primary,
@@ -763,19 +1018,22 @@ let commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard =
         (Process.parallel t.engine
            (List.map
               (fun (shard, seq_ops) () ->
-                let primary = Config.primary t.cfg ~shard in
+                let primary = primary_of t ~shard in
                 let locked =
                   Option.value ~default:[] (List.assoc_opt shard locked_by_shard)
                 in
                 let bytes = Wire.write_ops_b ~ops:(List.map fst seq_ops) in
-                rpc t ~src ~dst:primary ~req_bytes:bytes
-                  ~resp_bytes:(fun _ -> Wire.small_resp_b)
-                  ~handler_ns:
-                    (t.hw.host_rpc_ns
-                    +. float_of_int (List.length seq_ops) *. t.hw.host_op_ns)
-                  (fun () ->
-                    List.iter (fun (op, seq) -> obj_apply t ~node:primary (op, seq)) seq_ops;
-                    List.iter (fun k -> unlock t ~node:primary k ~owner) locked))
+                ignore
+                  (rpc_t t ~src ~dst:primary ~req_bytes:bytes
+                     ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                     ~handler_ns:
+                       (t.hw.host_rpc_ns
+                       +. float_of_int (List.length seq_ops) *. t.hw.host_op_ns)
+                     (fun () ->
+                       List.iter
+                         (fun (op, seq) -> obj_apply t ~node:primary (op, seq))
+                         seq_ops;
+                       List.iter (fun k -> unlock t ~node:primary k ~owner) locked)))
               seq_ops_by_shard))
 
 (* ------------------------------------------------------------------ *)
@@ -797,16 +1055,16 @@ let group_ops_by_shard seq_ops =
 
 (* FaSST's consolidated execute: one RPC per shard locks that shard's
    write-set keys AND reads its read-set keys (§2.2.2). *)
-let fasst_execute t ~src ~owner ~reads ~locks =
+let fasst_execute t ~epoch0 ~src ~owner ~reads ~locks =
   let shards =
     List.sort_uniq compare (List.map Keyspace.shard (reads @ locks))
   in
   let one shard () =
-    let primary = Config.primary t.cfg ~shard in
+    let primary = primary_of t ~shard in
     let s_reads = List.filter (fun k -> Keyspace.shard k = shard) reads in
     let s_locks = List.filter (fun k -> Keyspace.shard k = shard) locks in
     let r =
-      rpc t ~src ~dst:primary
+      rpc_t t ~epoch0 ~src ~dst:primary
         ~req_bytes:
           (Wire.execute_req_b ~n_reads:(List.length s_reads)
              ~n_locks:(List.length s_locks) ~state_bytes:0)
@@ -855,44 +1113,71 @@ let fasst_execute t ~src ~owner ~reads ~locks =
               in
               `Ok (lockv, values))
     in
-    (shard, r)
+    match r with
+    | `Down -> (shard, `Down)
+    | `Ok `Fail -> (shard, `Fail)
+    | `Ok (`Ok entries) -> (shard, `Ok entries)
   in
   let results = Process.parallel t.engine (List.map one shards) in
-  if List.exists (fun (_, r) -> r = `Fail) results then begin
-    Xenic_stats.Counter.incr (counters t) "exec_lock_conflicts";
+  let down = List.exists (fun (_, r) -> r = `Down) results in
+  if down || List.exists (fun (_, r) -> r = `Fail) results then begin
+    if not down then
+      Xenic_stats.Counter.incr (counters t) "exec_lock_conflicts";
     (* Release locks acquired at other shards. *)
     List.iter
       (fun (shard, r) ->
         match r with
         | `Ok (lockv, _) when lockv <> [] ->
-            let primary = Config.primary t.cfg ~shard in
-            ignore
-              (rpc t ~src ~dst:primary
-                 ~req_bytes:(Wire.abort_b ~n_locks:(List.length lockv))
-                 ~resp_bytes:(fun _ -> Wire.small_resp_b)
-                 ~handler_ns:t.hw.host_rpc_ns
-                 (fun () ->
-                   List.iter
-                     (fun (k, _, _) -> unlock t ~node:primary k ~owner)
-                     lockv))
+            let primary = primary_of t ~shard in
+            if not t.crashed.(primary) then
+              (* Epoch-free: the abort must land across a bump. *)
+              ignore
+                (rpc_t t ~src ~dst:primary
+                   ~req_bytes:(Wire.abort_b ~n_locks:(List.length lockv))
+                   ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                   ~handler_ns:t.hw.host_rpc_ns
+                   (fun () ->
+                     List.iter
+                       (fun (k, _, _) -> unlock t ~node:primary k ~owner)
+                       lockv))
         | _ -> ())
       results;
-    `Fail
+    if down then `Down else `Fail
   end
   else
     let lockv =
       List.concat_map
-        (fun (_, r) -> match r with `Ok (lv, _) -> lv | `Fail -> [])
+        (fun (_, r) -> match r with `Ok (lv, _) -> lv | _ -> [])
         results
     in
     let values =
       List.concat_map
-        (fun (_, r) -> match r with `Ok (_, vs) -> vs | `Fail -> [])
+        (fun (_, r) -> match r with `Ok (_, vs) -> vs | _ -> [])
         results
     in
     `Ok (lockv, values)
 
-let rec run_txn t ~node (txn : Types.t) =
+(* Commit fence (armed mode): recovery waits until every transaction
+   past its LOG has resolved, and refuses to let new ones start
+   replicating while a declaration is being processed. *)
+let fence_acquire t ~src ~epoch0 =
+  let rec wait () =
+    if t.crashed.(src) || t.epoch <> epoch0 then false
+    else if t.recovery_waiting > 0 then begin
+      Process.sleep t.engine 1_000.0;
+      wait ()
+    end
+    else begin
+      t.inflight_commits <- t.inflight_commits + 1;
+      true
+    end
+  in
+  wait ()
+
+let fence_release t = t.inflight_commits <- t.inflight_commits - 1
+
+let rec attempt t ~node ~epoch0 (txn : Types.t) :
+    [ `Committed | `Aborted | `Retry ] =
   let n = t.nodes.(node) in
   n.txn_seq <- n.txn_seq + 1;
   let owner = (node * 1_000_000_000) + n.txn_seq in
@@ -906,62 +1191,87 @@ let rec run_txn t ~node (txn : Types.t) =
   (* DrTM+H's execution phase retrieves every read-set object with
      one-sided READs before locking; lock-time versions are then
      cross-checked against the read versions. *)
-  let exec_reads =
+  let exec_reads_r =
     match t.flavor with
     | Drtmh | Drtmh_nc | Farm ->
         Process.parallel t.engine
           (List.map
              (fun k () ->
-               match one_sided_read t ~src k with
-               | Some (v, seq) -> (k, Some v, seq)
-               | None -> (k, None, 0))
+               match one_sided_read_t t ~src k with
+               | `Down -> `Down
+               | `Ok (Some (v, seq)) -> `Ok (k, Some v, seq)
+               | `Ok None -> `Ok (k, None, 0))
              txn.read_set)
     | Fasst | Drtmr -> []
+  in
+  if List.exists (fun r -> r = `Down) exec_reads_r then
+    (* No locks are held yet: a dead primary just fails the attempt. *)
+    `Retry
+  else
+  let exec_reads =
+    List.filter_map (function `Ok e -> Some e | `Down -> None) exec_reads_r
   in
   let lock_result =
     match t.flavor with
     | Fasst ->
-        fasst_execute t ~src ~owner ~reads:txn.read_set ~locks:txn.write_set
+        fasst_execute t ~epoch0 ~src ~owner ~reads:txn.read_set
+          ~locks:txn.write_set
     | _ -> (
-        match lock_phase t ~src ~owner lock_keys with
+        match lock_phase t ~epoch0 ~src ~owner lock_keys with
         | `Fail -> `Fail
+        | `Down -> `Down
         | `Ok entries -> `Ok (entries, exec_reads))
   in
+  let release_keys keys =
+    let by_shard = Hashtbl.create 4 in
+    List.iter
+      (fun k ->
+        let s = Keyspace.shard k in
+        Hashtbl.replace by_shard s
+          (k :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
+      keys;
+    Hashtbl.fold (fun shard keys acc -> (shard, keys) :: acc) by_shard []
+    |> List.sort compare
+    |> List.iter
+      (fun (shard, keys) ->
+        let primary = primary_of t ~shard in
+        if not t.crashed.(primary) then
+          match t.flavor with
+          | Drtmr ->
+              ignore
+                (one_sided_many_t t ~src
+                   (List.map
+                      (fun k ->
+                        ( primary,
+                          Rdma.Write,
+                          16,
+                          fun () -> unlock t ~node:primary k ~owner ))
+                      keys))
+          | _ ->
+              (* Epoch-free: the abort must land across a bump. *)
+              ignore
+                (rpc_t t ~src ~dst:primary
+                   ~req_bytes:(Wire.abort_b ~n_locks:(List.length keys))
+                   ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                   ~handler_ns:t.hw.host_rpc_ns
+                   (fun () ->
+                     List.iter
+                       (fun k -> unlock t ~node:primary k ~owner)
+                       keys)))
+  in
   match lock_result with
-  | `Fail -> Types.Aborted
+  | `Fail -> `Aborted
+  | `Down ->
+      (* A `Down shard's lock request may still have taken its locks at
+         a live primary after the coordinator stopped listening (the
+         response was dropped at an epoch bump). Release the whole
+         requested footprint — unlock is owner-guarded, so releasing a
+         lock never taken is a no-op. *)
+      release_keys lock_keys;
+      `Retry
   | `Ok (locked_entries, read_results_pre) -> (
       let abort_all () =
-        let by_shard = Hashtbl.create 4 in
-        List.iter
-          (fun (k, _, _) ->
-            let s = Keyspace.shard k in
-            Hashtbl.replace by_shard s
-              (k :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
-          locked_entries;
-        Hashtbl.fold (fun shard keys acc -> (shard, keys) :: acc) by_shard []
-        |> List.sort compare
-        |> List.iter
-          (fun (shard, keys) ->
-            let primary = Config.primary t.cfg ~shard in
-            match t.flavor with
-            | Drtmr ->
-                ignore
-                  (one_sided_many t ~src
-                     (List.map
-                        (fun k ->
-                          ( primary,
-                            Rdma.Write,
-                            16,
-                            fun () -> unlock t ~node:primary k ~owner ))
-                        keys))
-            | _ ->
-                ignore
-                  (rpc t ~src ~dst:primary
-                     ~req_bytes:(Wire.abort_b ~n_locks:(List.length keys))
-                     ~resp_bytes:(fun _ -> Wire.small_resp_b)
-                     ~handler_ns:t.hw.host_rpc_ns
-                     (fun () ->
-                       List.iter (fun k -> unlock t ~node:primary k ~owner) keys)))
+        release_keys (List.map (fun (k, _, _) -> k) locked_entries)
       in
       let read_results = read_results_pre in
       (* Lock-time versions must match the execution-read versions for
@@ -977,7 +1287,7 @@ let rec run_txn t ~node (txn : Types.t) =
       if not lock_matches_read then begin
         Xenic_stats.Counter.incr (counters t) "lock_version_conflicts";
         abort_all ();
-        Types.Aborted
+        `Aborted
       end
       else
       let values = read_results @ locked_entries in
@@ -994,9 +1304,9 @@ let rec run_txn t ~node (txn : Types.t) =
       match txn.exec view with
       | Types.More { read; lock } ->
           abort_all ();
-          if List.length txn.read_set > 256 then Types.Aborted
+          if List.length txn.read_set > 256 then `Aborted
           else
-            run_txn t ~node
+            attempt t ~node ~epoch0
               {
                 txn with
                 Types.read_set = List.sort_uniq compare (txn.read_set @ read);
@@ -1012,81 +1322,210 @@ let rec run_txn t ~node (txn : Types.t) =
             | None -> None)
           (Types.validate_set txn)
       in
-      let valid = checks = [] || validate_phase t ~src ~owner checks in
-      if not valid then begin
-        Xenic_stats.Counter.incr (counters t) "validate_conflicts";
-        abort_all ();
-        Types.Aborted
-      end
-      else if ops = [] && lock_keys = [] then begin
-        oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops:[];
-        Types.Committed
-      end
-      else if ops = [] then begin
-        (* Locked but nothing to write (e.g. DrTM+R read-only): release. *)
-        abort_all ();
-        oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops:[];
-        Types.Committed
-      end
-      else begin
-        let lock_versions = List.map (fun (k, _, seq) -> (k, seq)) locked_entries in
-        let seq_ops = seq_ops_of ~lock_versions ops in
-        let seq_ops_by_shard = group_ops_by_shard seq_ops in
-        log_phase t ~src seq_ops_by_shard;
-        let locked_by_shard =
-          List.map
-            (fun (shard, _) ->
-              ( shard,
+      let valid =
+        if checks = [] then `Valid
+        else validate_phase t ~epoch0 ~src ~owner checks
+      in
+      match valid with
+      | `Down ->
+          abort_all ();
+          `Retry
+      | `Invalid ->
+          Xenic_stats.Counter.incr (counters t) "validate_conflicts";
+          abort_all ();
+          `Aborted
+      | `Valid ->
+          if ops = [] && lock_keys = [] then begin
+            oracle_commit t ~id:owner ~read_results ~locked_entries
+              ~seq_ops:[];
+            `Committed
+          end
+          else if ops = [] then begin
+            (* Locked but nothing to write (e.g. DrTM+R read-only):
+               release. *)
+            abort_all ();
+            oracle_commit t ~id:owner ~read_results ~locked_entries
+              ~seq_ops:[];
+            `Committed
+          end
+          else begin
+            let lock_versions =
+              List.map (fun (k, _, seq) -> (k, seq)) locked_entries
+            in
+            let seq_ops = seq_ops_of ~lock_versions ops in
+            let seq_ops_by_shard = group_ops_by_shard seq_ops in
+            let locked_by_shard =
+              List.map
+                (fun (shard, _) ->
+                  ( shard,
+                    List.filter_map
+                      (fun (k, _, _) ->
+                        if Keyspace.shard k = shard then Some k else None)
+                      locked_entries ))
+                seq_ops_by_shard
+            in
+            (* Release locks on keys that were locked but not written
+               (DrTM+R read-set locks). *)
+            let release_residual () =
+              let written = List.map (fun (op, _) -> Op.key op) seq_ops in
+              let residual =
                 List.filter_map
                   (fun (k, _, _) ->
-                    if Keyspace.shard k = shard then Some k else None)
-                  locked_entries ))
-            seq_ops_by_shard
-        in
-        commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard;
-        (* Release locks on keys that were locked but not written
-           (DrTM+R read-set locks). *)
-        let written = List.map (fun (op, _) -> Op.key op) seq_ops in
-        let residual =
-          List.filter_map
-            (fun (k, _, _) -> if List.mem k written then None else Some k)
-            locked_entries
-        in
-        if residual <> [] then begin
-          let by_shard = Hashtbl.create 4 in
-          List.iter
-            (fun k ->
-              let s = Keyspace.shard k in
-              Hashtbl.replace by_shard s
-                (k :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
-            residual;
-          Hashtbl.fold (fun shard keys acc -> (shard, keys) :: acc) by_shard []
-          |> List.sort compare
-          |> List.iter
-            (fun (shard, keys) ->
-              let primary = Config.primary t.cfg ~shard in
-              match t.flavor with
-              | Drtmr ->
-                  ignore
-                    (one_sided_many t ~src
-                       (List.map
-                          (fun k ->
-                            ( primary,
-                              Rdma.Write,
-                              16,
-                              fun () -> unlock t ~node:primary k ~owner ))
-                          keys))
-              | _ ->
-                  ignore
-                    (rpc t ~src ~dst:primary
-                       ~req_bytes:(Wire.abort_b ~n_locks:(List.length keys))
-                       ~resp_bytes:(fun _ -> Wire.small_resp_b)
-                       ~handler_ns:t.hw.host_rpc_ns
-                       (fun () ->
-                         List.iter
-                           (fun k -> unlock t ~node:primary k ~owner)
-                           keys)))
-        end;
-        oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops;
-        Types.Committed
+                    if List.mem k written then None else Some k)
+                  locked_entries
+              in
+              if residual <> [] then release_keys residual
+            in
+            if not (armed t) then begin
+              log_phase t ~src ~decision:(ref Dcommit) seq_ops_by_shard;
+              commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard;
+              release_residual ();
+              oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops;
+              `Committed
+            end
+            else if not (fence_acquire t ~src ~epoch0) then begin
+              (* Configuration moved (or we crashed) between validation
+                 and commit: abort before the first LOG byte. *)
+              Xenic_stats.Counter.incr (counters t) "fence_refusals";
+              abort_all ();
+              `Retry
+            end
+            else begin
+              let decision = ref Dpending in
+              log_phase t ~src ~decision seq_ops_by_shard;
+              if t.crashed.(src) then begin
+                (* Died mid-LOG: never decide; backups discard. *)
+                decision := Dabort;
+                fence_release t;
+                `Aborted
+              end
+              else begin
+                (* Commit point: decide and hand COMMIT to the fabric
+                   in one atomic step. *)
+                decision := Dcommit;
+                oracle_commit t ~id:owner ~read_results ~locked_entries
+                  ~seq_ops;
+                commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard;
+                release_residual ();
+                fence_release t;
+                `Committed
+              end
+            end
+          end)
+
+let run_txn t ~node (txn : Types.t) =
+  if not (armed t) then
+    match attempt t ~node ~epoch0:t.epoch txn with
+    | `Committed -> Types.Committed
+    | `Aborted -> Types.Aborted
+    | `Retry -> assert false
+  else
+    let rec go att backoff =
+      if t.crashed.(node) then Types.Aborted
+      else
+        match attempt t ~node ~epoch0:t.epoch txn with
+        | `Committed -> Types.Committed
+        | `Aborted -> Types.Aborted
+        | `Retry ->
+            Xenic_stats.Counter.incr (counters t) "txn_retries";
+            if att >= t.p.max_retries then Types.Aborted
+            else begin
+              Process.sleep t.engine backoff;
+              go (att + 1) (backoff *. 2.0)
+            end
+    in
+    go 1 t.p.retry_backoff_ns
+
+(* -- Reconfiguration ------------------------------------------------ *)
+
+let node_alive t ~node = t.alive.(node) && not t.crashed.(node)
+
+let current_primary t ~shard = t.primaries.(shard)
+
+(* Break locks held at surviving nodes by coordinators that died
+   between their lock phase and release; the owner token encodes the
+   coordinator id. *)
+let sweep_dead_owner_locks t =
+  Array.iter
+    (fun node ->
+      if not t.crashed.(node.id) then
+        Hashtbl.fold (fun k owner acc -> (k, owner) :: acc) node.locks []
+        |> List.sort compare
+        |> List.iter (fun (k, owner) ->
+               let coord = owner / 1_000_000_000 in
+               if t.crashed.(coord) then begin
+                 Xenic_stats.Counter.incr (counters t) "recovery_lock_sweeps";
+                 Hashtbl.remove node.locks k
+               end))
+    t.nodes
+
+(* Membership-driven recovery: wait out in-flight commits behind the
+   fence, break dead coordinators' locks, drain each successor's backup
+   log (every record is decided, so this terminates), and flip the
+   primary map. Stores are fully replicated, so promotion is just a
+   routing change. *)
+let recover t =
+  let rec wait_fence () =
+    if t.inflight_commits > 0 then begin
+      Process.sleep t.engine 1_000.0;
+      wait_fence ()
+    end
+  in
+  wait_fence ();
+  sweep_dead_owner_locks t;
+  Array.iteri
+    (fun shard p ->
+      if t.crashed.(p) then begin
+        match
+          List.find_opt
+            (fun n -> t.alive.(n) && not t.crashed.(n))
+            (Config.replicas t.cfg ~shard)
+        with
+        | None -> invalid_arg "recover: no live replica"
+        | Some np ->
+            let log = t.nodes.(np).log in
+            let rec drain () =
+              if
+                Xenic_store.Hostlog.used_b log > 0
+                || Xenic_store.Hostlog.appended log
+                   > Xenic_store.Hostlog.applied log
+              then begin
+                Process.sleep t.engine 1_000.0;
+                drain ()
+              end
+            in
+            drain ();
+            t.primaries.(shard) <- np;
+            Xenic_stats.Counter.incr (counters t) "recovery_promotions"
       end)
+    t.primaries;
+  t.recovery_waiting <- t.recovery_waiting - 1
+
+let attach_membership t m =
+  t.membership <- Some m;
+  Membership.on_reconfigure m (fun ~epoch:_ ~dead ->
+      (* Synchronous with the declaration: freeze routing atomically,
+         then recover in the background. *)
+      t.epoch <- t.epoch + 1;
+      List.iter
+        (fun n ->
+          t.alive.(n) <- false;
+          t.crashed.(n) <- true)
+        dead;
+      t.recovery_waiting <- t.recovery_waiting + 1;
+      Process.spawn t.engine (fun () -> recover t))
+
+let crash_node t ~node =
+  if not t.crashed.(node) then begin
+    Xenic_stats.Counter.incr (counters t) "node_crashes";
+    t.crashed.(node) <- true;
+    match t.membership with
+    | Some m -> Membership.fail_node m ~node
+    | None ->
+        (* Nothing would ever declare the node: remove it from routing
+           immediately. *)
+        t.alive.(node) <- false
+  end
+
+let stop_background t =
+  match t.membership with Some m -> Membership.stop m | None -> ()

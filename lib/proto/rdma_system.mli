@@ -35,6 +35,16 @@ type params = {
   bucket_b : int;  (** Slots per bucket (B in Table 2). *)
   log_capacity_b : int;
   btree_op_ns : float;
+  req_timeout_ns : float option;
+      (** [Some d]: arm per-request deadlines — a coordinator whose
+          RPC or verb to a dead node times out fails the attempt,
+          releases its locks on surviving primaries, and retries
+          against post-promotion routing. [None] (default): legacy
+          behavior. Must sit well above the worst-case round-trip. *)
+  retry_backoff_ns : float;
+      (** Initial coordinator backoff after a dead-peer retry; doubles
+          per attempt. *)
+  max_retries : int;  (** Attempts before reporting Aborted. *)
 }
 
 val default_params : params
@@ -75,6 +85,32 @@ val peek_range :
   t -> node:int -> lo:Keyspace.t -> hi:Keyspace.t -> (Keyspace.t * bytes) list
 
 val host_utilization : t -> float
+
+(** {2 Reconfiguration}
+
+    Mirrors {!Xenic_system}'s mid-run fault handling: with
+    [req_timeout_ns] armed and a membership attached, a node can crash
+    at an arbitrary instant; coordinators time out against it, LOG
+    records carry a coordinator-resolved commit decision (backups apply
+    only decided commits), and lease expiry drives an epoch bump, a
+    dead-owner lock sweep, successor log drains, and primary-map
+    promotion. Stores are fully replicated, so promotion is a routing
+    change only. *)
+
+(** Crash a node at the current instant; routing changes when the
+    membership lease expires (or immediately without a membership). *)
+val crash_node : t -> node:int -> unit
+
+val node_alive : t -> node:int -> bool
+
+val current_primary : t -> shard:int -> int
+
+(** Subscribe to a membership service: declared deaths bump the routing
+    epoch and drive recovery automatically. *)
+val attach_membership : t -> Membership.t -> unit
+
+(** Stop background services (the attached membership's loops). *)
+val stop_background : t -> unit
 
 val quiesce : t -> unit
 

@@ -17,6 +17,9 @@ type t = {
   audit : unit -> string list;
   nic_util : unit -> float;
   host_util : unit -> float;
+  crash_node : node:int -> unit;
+  node_alive : node:int -> bool;
+  stop_background : unit -> unit;
 }
 
 let of_xenic x =
@@ -41,6 +44,9 @@ let of_xenic x =
         (Xenic_system.host_app_utilization x
         +. Xenic_system.host_worker_utilization x)
         /. 2.0);
+    crash_node = (fun ~node -> Xenic_system.crash_node x ~node);
+    node_alive = (fun ~node -> Xenic_system.node_alive x ~node);
+    stop_background = (fun () -> Xenic_system.stop_background x);
   }
 
 let of_rdma r =
@@ -61,4 +67,7 @@ let of_rdma r =
     audit = (fun () -> Rdma_system.audit r);
     nic_util = (fun () -> 0.0);
     host_util = (fun () -> Rdma_system.host_utilization r);
+    crash_node = (fun ~node -> Rdma_system.crash_node r ~node);
+    node_alive = (fun ~node -> Rdma_system.node_alive r ~node);
+    stop_background = (fun () -> Rdma_system.stop_background r);
   }

@@ -22,6 +22,12 @@ type t = {
       (** Post-[quiesce] protocol-invariant audit; [] = clean. *)
   nic_util : unit -> float;  (** SmartNIC core utilization (0 for RDMA). *)
   host_util : unit -> float;
+  crash_node : node:int -> unit;
+      (** Mid-run fault injection; see {!Xenic_system.crash_node}. *)
+  node_alive : node:int -> bool;
+  stop_background : unit -> unit;
+      (** Stop background services (membership loops) so the engine can
+          drain. *)
 }
 
 val of_xenic : Xenic_system.t -> t

@@ -15,6 +15,16 @@ type params = {
   d_max : int option;
   log_capacity_b : int;
   btree_op_ns : float;
+  req_timeout_ns : float option;
+      (* [Some t]: arm per-request timeouts of [t] ns and the fault-
+         tolerant commit path (epoch fencing, retry with backoff).
+         [None] (default): the legacy no-failure fast path. The timeout
+         must sit well above the worst-case request latency so a firing
+         timeout implies a dead peer, never a slow one — a timeout
+         against a live primary would leak its acquired locks until the
+         next reconfiguration sweep. *)
+  retry_backoff_ns : float;  (* initial backoff after a crash-abort *)
+  max_retries : int;  (* crash-retry attempts before giving up *)
 }
 
 let default_params =
@@ -29,14 +39,28 @@ let default_params =
     d_max = Some 8;
     log_capacity_b = 4 * 1024 * 1024;
     btree_op_ns = 300.0;
+    req_timeout_ns = None;
+    retry_backoff_ns = 30_000.0;
+    max_retries = 10;
   }
 
 type log_kind = Lrec_log | Lrec_commit
+
+(* Commit decision for a LOG record, shared (one ref per transaction)
+   between the coordinator and every backup that holds a copy. Backups
+   apply only decided-committed records: a worker finding [Dpending]
+   waits for the coordinator to decide, so a crash between partial LOG
+   appends and the commit point cannot diverge the replicas — the
+   coordinator resolves every record it caused to be appended, to
+   [Dabort] if it bails out. Legacy (no-timeout) runs create records
+   already decided, which preserves the original eager-apply behavior. *)
+type decision = Dpending | Dcommit | Dabort
 
 type log_record = {
   lr_kind : log_kind;
   lr_shard : int;
   lr_ops : (Op.t * int) list;  (* op, new version *)
+  lr_decision : decision ref;
   mutable lr_stamp : int;
       (* log-append order, for ordered-table write ordering; assigned
          by the append (delivery to workers is deferred, so the stamp
@@ -70,8 +94,27 @@ type t = {
   metrics : Metrics.t;
   primaries : int array;  (* shard -> current primary node *)
   alive : bool array;
+      (* routing view: false once a node is removed from the
+         configuration — immediately by [fail_node], or at lease expiry
+         when membership is attached *)
+  crashed : bool array;
+      (* instantaneous view: true from the crash instant on. A crashed
+         node's inbound messages are dropped at dispatch (its NIC is
+         gone), so its in-flight requests die by timeout even before
+         the failure detector declares it. *)
+  mutable epoch : int;  (* bumped on every reconfiguration *)
+  mutable inflight_commits : int;
+      (* transactions past the commit fence (LOG under way); recovery
+         waits for zero before changing routing *)
+  mutable recovery_waiting : int;
+      (* pending reconfigurations; while nonzero the commit fence
+         admits no new transaction *)
+  mutable membership : Membership.t option;
   mutable oracle : Oracle.t option;
 }
+
+(* Timeout/fault machinery armed? *)
+let armed t = Option.is_some t.p.req_timeout_ns
 
 (* Current primary routing (reconfiguration-aware, §4.2.1). *)
 let primary_of t ~shard = t.primaries.(shard)
@@ -140,9 +183,75 @@ let request t ~src ~dst ~req_bytes ~resp_bytes (handler : unit -> 'r) : 'r =
                 });
         })
 
+(* Request with a response deadline (armed mode only; legacy params
+   fall through to the blocking [request]). The caller waits on an ivar
+   with a cancellable timeout: if the response never arrives — dead
+   destination, or crashed self dropping the response — the timer
+   resumes the caller exactly once with [`Timeout]. When [epoch0] is
+   given the request is epoch-fenced: a destination seeing a newer
+   configuration rejects it, and a response landing after a
+   reconfiguration is dropped, both reported as [`Stale]. *)
+let request_t t ?epoch0 ~src ~dst ~req_bytes ~resp_bytes (handler : unit -> 'r)
+    : [ `Ok of 'r | `Timeout | `Stale ] =
+  match t.p.req_timeout_ns with
+  | None -> `Ok (request t ~src ~dst ~req_bytes ~resp_bytes handler)
+  | Some timeout_ns ->
+      if t.crashed.(dst) then begin
+        (* The coordinator cannot know the peer is gone; it pays the
+           full timeout, exactly as if the request had been dropped. *)
+        Xenic_stats.Counter.incr (counters t) "req_timeouts";
+        Process.sleep t.engine timeout_ns;
+        `Timeout
+      end
+      else begin
+        let nic = t.nodes.(src).nic in
+        Smartnic.core_work nic ~bytes:0;
+        let iv = Ivar.create ~name:"rpc" t.engine in
+        let settle v = if not (Ivar.is_filled iv) then Ivar.fill iv v in
+        let stale () =
+          match epoch0 with Some e -> t.epoch <> e | None -> false
+        in
+        send t ~src ~dst
+          {
+            bytes = req_bytes;
+            deliver =
+              (fun () ->
+                if stale () then begin
+                  Xenic_stats.Counter.incr (counters t) "stale_epoch_rejects";
+                  send t ~src:dst ~dst:src
+                    {
+                      bytes = Wire.small_resp_b;
+                      deliver = (fun () -> settle `Stale);
+                    }
+                end
+                else
+                  let r = handler () in
+                  send t ~src:dst ~dst:src
+                    {
+                      bytes = resp_bytes r;
+                      deliver =
+                        (fun () ->
+                          Smartnic.core_work nic ~bytes:0;
+                          if stale () then begin
+                            Xenic_stats.Counter.incr (counters t)
+                              "stale_epoch_drops";
+                            settle `Stale
+                          end
+                          else settle (`Ok r));
+                    });
+          };
+        match Ivar.read_timeout iv ~timeout_ns with
+        | Some r -> r
+        | None ->
+            Xenic_stats.Counter.incr (counters t) "req_timeouts";
+            `Timeout
+      end
+
 (* One-way message with a handler at the destination NIC. *)
 let notify t ~src ~dst ~bytes (handler : unit -> unit) =
-  send t ~src ~dst { bytes; deliver = handler }
+  if t.crashed.(dst) && dst <> src then
+    Xenic_stats.Counter.incr (counters t) "msgs_dropped"
+  else send t ~src ~dst { bytes; deliver = handler }
 
 (* ------------------------------------------------------------------ *)
 (* NIC-side helpers *)
@@ -214,8 +323,13 @@ let execute_handler t node ~owner ~locks ~reads () =
                     Printf.sprintf "exec-lock n%d owner=%d ver=%d" node.id owner seq);
                 acquire ((k, seq) :: acc) rest
             | `Locked ->
+                dbg t k (fun () ->
+                    Printf.sprintf "exec-lock-CONFLICT n%d owner=%d" node.id owner);
                 List.iter
-                  (fun (k', _) -> Xenic_store.Nic_index.unlock idx k' ~owner)
+                  (fun (k', _) ->
+                    dbg t k' (fun () ->
+                        Printf.sprintf "exec-lockfail-release n%d owner=%d" node.id owner);
+                    Xenic_store.Nic_index.unlock idx k' ~owner)
                   acc;
                 `Fail)
       in
@@ -246,7 +360,10 @@ let execute_handler t node ~owner ~locks ~reads () =
           | `Ok values -> `Ok (lock_versions, values)
           | `Fail ->
               List.iter
-                (fun (k, _) -> Xenic_store.Nic_index.unlock idx k ~owner)
+                (fun (k, _) ->
+                  dbg t k (fun () ->
+                      Printf.sprintf "exec-readfail-release n%d owner=%d" node.id owner);
+                  Xenic_store.Nic_index.unlock idx k ~owner)
                 lock_versions;
               `Fail))
 
@@ -281,15 +398,24 @@ let validate_handler t node ~owner ~checks () =
       if not ok then Xenic_stats.Counter.incr (counters t) "validate_conflicts";
       ok)
 
-(* LOG: append the write set to a backup's host-memory log via DMA. *)
-let log_handler t node ~shard ~seq_ops () =
+(* LOG: append the write set to a backup's host-memory log via DMA.
+   [decision] is the transaction's shared commit decision; a resent
+   (duplicate) record shares it, and the seq guard in [Storage.apply]
+   makes the duplicate apply idempotent. *)
+let log_handler t node ~decision ~shard ~seq_ops () =
   with_core node (fun () ->
       Smartnic.core_work_held node.nic ~ops:1 ~bytes:0;
       let ops = List.map fst seq_ops in
       let bytes = Wire.log_record_b ~ops in
       dma_io t node `Write ~bytes;
       let record =
-        { lr_kind = Lrec_log; lr_shard = shard; lr_ops = seq_ops; lr_stamp = 0 }
+        {
+          lr_kind = Lrec_log;
+          lr_shard = shard;
+          lr_ops = seq_ops;
+          lr_decision = decision;
+          lr_stamp = 0;
+        }
       in
       record.lr_stamp <- Xenic_store.Hostlog.append node.log ~bytes record)
 
@@ -306,6 +432,7 @@ let commit_handler t node ~owner ~shard ~seq_ops ~locked () =
           lr_kind = Lrec_commit;
           lr_shard = shard;
           lr_ops = seq_ops;
+          lr_decision = ref Dcommit;  (* a COMMIT record is the decision *)
           lr_stamp = 0;
         }
       in
@@ -343,7 +470,10 @@ let abort_handler t node ~owner ~locked () =
   with_core node (fun () ->
       Smartnic.core_work_held node.nic ~ops:(List.length locked) ~bytes:0;
       List.iter
-        (fun k -> Xenic_store.Nic_index.unlock (idx_for t node k) k ~owner)
+        (fun k ->
+          dbg t k (fun () ->
+              Printf.sprintf "abort-unlock n%d owner=%d" node.id owner);
+          Xenic_store.Nic_index.unlock (idx_for t node k) k ~owner)
         locked)
 
 (* ------------------------------------------------------------------ *)
@@ -357,34 +487,52 @@ let worker_loop t node source =
   Process.spawn t.engine (fun () ->
       let rec loop () =
         let record, bytes = Xenic_store.Hostlog.poll source in
-        Resource.acquire node.workers;
-        List.iter
-          (fun (op, seq) ->
-            Process.sleep t.engine (apply_cost t node (op, seq));
-            let seq =
-              if Keyspace.ordered (Op.key op) then record.lr_stamp else seq
-            in
-            dbg t (Op.key op) (fun () ->
-                Printf.sprintf "worker-apply n%d kind=%s seq=%d val=%Ld" node.id
-                  (match record.lr_kind with Lrec_log -> "log" | Lrec_commit -> "commit")
-                  seq
-                  (match op with Op.Put (_, v) -> Bytes.get_int64_le v 0 | _ -> -1L));
-            Storage.apply node.storage op ~seq)
-          record.lr_ops;
-        Resource.release node.workers;
-        Xenic_store.Hostlog.ack source ~bytes;
-        (* The host piggybacks a log ack to the NIC so it can unpin
-           committed cache entries (§4.2 step 7). *)
-        (if record.lr_kind = Lrec_commit then
-           match node.indexes.(record.lr_shard) with
-           | Some idx ->
-               List.iter
-                 (fun (op, _) ->
-                   let k = Op.key op in
-                   if not (Keyspace.ordered k) then
-                     Xenic_store.Nic_index.host_applied idx k)
-                 record.lr_ops
-           | None -> ());
+        (* Wait out an undecided record: the coordinator that caused the
+           append always resolves it (to Dabort if it bails out after a
+           crash), so the wait is bounded by an ack round trip. *)
+        let rec decide () =
+          match !(record.lr_decision) with
+          | Dcommit -> true
+          | Dabort ->
+              Xenic_stats.Counter.incr (counters t) "log_discards";
+              false
+          | Dpending ->
+              Process.sleep t.engine 500.0;
+              decide ()
+        in
+        if not (decide ()) then
+          (* Aborted before the commit point: reclaim the space, apply
+             nothing — every replica discards the same record. *)
+          Xenic_store.Hostlog.ack source ~bytes
+        else begin
+          Resource.acquire node.workers;
+          List.iter
+            (fun (op, seq) ->
+              Process.sleep t.engine (apply_cost t node (op, seq));
+              let seq =
+                if Keyspace.ordered (Op.key op) then record.lr_stamp else seq
+              in
+              dbg t (Op.key op) (fun () ->
+                  Printf.sprintf "worker-apply n%d kind=%s seq=%d val=%Ld" node.id
+                    (match record.lr_kind with Lrec_log -> "log" | Lrec_commit -> "commit")
+                    seq
+                    (match op with Op.Put (_, v) -> Bytes.get_int64_le v 0 | _ -> -1L));
+              Storage.apply node.storage op ~seq)
+            record.lr_ops;
+          Resource.release node.workers;
+          Xenic_store.Hostlog.ack source ~bytes;
+          (* The host piggybacks a log ack to the NIC so it can unpin
+             committed cache entries (§4.2 step 7). *)
+          match node.indexes.(record.lr_shard) with
+          | Some idx when record.lr_kind = Lrec_commit ->
+              List.iter
+                (fun (op, _) ->
+                  let k = Op.key op in
+                  if not (Keyspace.ordered k) then
+                    Xenic_store.Nic_index.host_applied idx k)
+                record.lr_ops
+          | Some _ | None -> ()
+        end;
         loop ()
       in
       loop ())
@@ -397,8 +545,18 @@ let dispatch_loop t node =
       let rx = Xenic_net.Fabric.rx t.fabric node.id in
       let rec loop () =
         let pkt = Mailbox.recv rx in
-        Smartnic.pkt_io node.nic;
-        List.iter (fun m -> Process.spawn t.engine m.deliver) pkt.Xenic_net.Packet.msgs;
+        (* A crashed node's NIC is gone: every frame addressed to it is
+           lost, including responses to its own in-flight requests. The
+           sender's timeout is what notices. *)
+        if t.crashed.(node.id) then
+          Xenic_stats.Counter.add (counters t) "msgs_dropped"
+            (List.length pkt.Xenic_net.Packet.msgs)
+        else begin
+          Smartnic.pkt_io node.nic;
+          List.iter
+            (fun m -> Process.spawn t.engine m.deliver)
+            pkt.Xenic_net.Packet.msgs
+        end;
         loop ()
       in
       loop ())
@@ -451,6 +609,11 @@ let create engine hw cfg p =
       metrics = Metrics.create ();
       primaries = Array.init cfg.Config.nodes (fun s -> s);
       alive = Array.make cfg.Config.nodes true;
+      crashed = Array.make cfg.Config.nodes false;
+      epoch = 0;
+      inflight_commits = 0;
+      recovery_waiting = 0;
+      membership = None;
       oracle = None;
     }
   in
@@ -553,10 +716,14 @@ let seq_ops_of ~lock_versions ops =
     ops
 
 (* Send LOG to every backup of every written shard; await all
-   responses. [reply_node] receives the responses (the coordinator NIC,
-   or under multi-hop the original coordinator rather than the
-   executing primary). *)
-let log_phase t ~src ~seq_ops_by_shard =
+   responses. [decision] is stamped into every appended record.
+
+   In armed mode a LOG that times out against a backup is retried until
+   the backup is seen crashed (its copy died with it and it can never
+   be promoted past the declaration, so the transaction's durability is
+   unaffected) — LOG must not fail once the commit fence is held, since
+   the decision has effectively been taken. *)
+let log_phase t ~src ~decision ~seq_ops_by_shard =
   let requests =
     List.concat_map
       (fun (shard, seq_ops) ->
@@ -566,23 +733,47 @@ let log_phase t ~src ~seq_ops_by_shard =
       seq_ops_by_shard
   in
   let ops_bytes seq_ops = Wire.write_ops_b ~ops:(List.map fst seq_ops) in
-  ignore
-    (Process.parallel t.engine
-       (List.map
-          (fun (shard, backup, seq_ops) () ->
-            request t ~src ~dst:backup ~req_bytes:(ops_bytes seq_ops)
-              ~resp_bytes:(fun () -> Wire.small_resp_b)
-              (log_handler t t.nodes.(backup) ~shard ~seq_ops))
-          requests))
+  let one (shard, backup, seq_ops) () =
+    let rec attempt n =
+      match
+        request_t t ~src ~dst:backup ~req_bytes:(ops_bytes seq_ops)
+          ~resp_bytes:(fun () -> Wire.small_resp_b)
+          (log_handler t t.nodes.(backup) ~decision ~shard ~seq_ops)
+      with
+      | `Ok () | `Stale -> ()
+      | `Timeout ->
+          if t.crashed.(src) then
+            (* The coordinator itself died mid-LOG: responses into it
+               are dropped, so the timeout says nothing about the
+               backup. Stop retrying — the shared decision resolves to
+               abort right after the phase, and backups discard. *)
+            Xenic_stats.Counter.incr (counters t) "log_from_dead_coord"
+          else if t.crashed.(backup) then
+            Xenic_stats.Counter.incr (counters t) "log_to_dead_backup"
+          else if n >= 8 then
+            (* With req_timeout_ns far above worst-case latency this is
+               unreachable; failing loud beats silently diverging a
+               live replica. *)
+            failwith "xenic: LOG to a live backup timed out repeatedly"
+          else attempt (n + 1)
+    in
+    attempt 1
+  in
+  ignore (Process.parallel t.engine (List.map one requests))
 
 (* Asynchronous COMMIT to each written shard's primary (fire and
-   forget with a small ack frame for wire accounting). *)
+   forget with a small ack frame for wire accounting). [locks_by_shard]
+   records where each shard's locks were acquired; the commit fence
+   guarantees routing has not changed since, so the acquisition node is
+   still the primary (or has crashed, in which case the notify is
+   dropped and the new values survive via the decided backup records). *)
 let commit_phase t ~src ~owner ~locks_by_shard ~seq_ops_by_shard =
   List.iter
     (fun (shard, seq_ops) ->
-      let primary = primary_of t ~shard in
-      let locked =
-        Option.value ~default:[] (List.assoc_opt shard locks_by_shard)
+      let primary, locked =
+        match List.find_opt (fun (s, _, _) -> s = shard) locks_by_shard with
+        | Some (_, node, ks) -> (node, ks)
+        | None -> (primary_of t ~shard, [])
       in
       let bytes = Wire.write_ops_b ~ops:(List.map fst seq_ops) in
       notify t ~src ~dst:primary ~bytes (fun () ->
@@ -591,19 +782,46 @@ let commit_phase t ~src ~owner ~locks_by_shard ~seq_ops_by_shard =
               Smartnic.core_work t.nodes.(src).nic ~bytes:0)))
     seq_ops_by_shard
 
+(* Release locks at the node they were acquired at (which may no longer
+   be the shard's primary after a promotion; a fresh primary's index
+   never saw these locks). Releases to crashed nodes are skipped — the
+   lock state died with the NIC. *)
 let abort_everywhere t ~src ~owner ~locks_by_shard =
   List.iter
-    (fun (shard, locked) ->
-      if locked <> [] then
-        let primary = primary_of t ~shard in
+    (fun (_shard, primary, locked) ->
+      if locked <> [] && not t.crashed.(primary) then
         notify t ~src ~dst:primary
           ~bytes:(Wire.abort_b ~n_locks:(List.length locked))
           (abort_handler t t.nodes.(primary) ~owner ~locked))
     locks_by_shard
 
+(* The commit fence: entered before the first LOG byte is sent, so that
+   recovery (which waits for [inflight_commits = 0]) can never change
+   routing or rebuild an index while a transaction is between LOG and
+   COMMIT. Refused — the caller aborts cleanly and retries — when the
+   configuration moved on from [epoch0] or a reconfiguration is
+   waiting. *)
+let rec fence_acquire t ~src ~epoch0 =
+  if t.crashed.(src) || t.epoch <> epoch0 then false
+  else if t.recovery_waiting > 0 then begin
+    Process.sleep t.engine 1_000.0;
+    fence_acquire t ~src ~epoch0
+  end
+  else begin
+    t.inflight_commits <- t.inflight_commits + 1;
+    true
+  end
+
+let fence_release t = t.inflight_commits <- t.inflight_commits - 1
+
 (* -- Standard distributed commit (§4.2), coordinator-side NIC ------- *)
 
-let execute_phase t ~src ~owner ~reads_by_shard ~locks_by_shard =
+(* Per-shard EXECUTE. Results carry the primary the request targeted,
+   so a later abort can release locks where they were acquired even if
+   routing has moved on. [`Dead]: the primary timed out or the request
+   crossed a reconfiguration — the transaction should retry against
+   fresh routing rather than count a conflict. *)
+let execute_phase t ~epoch0 ~src ~owner ~reads_by_shard ~locks_by_shard =
   let shards =
     List.sort_uniq compare (List.map fst reads_by_shard @ List.map fst locks_by_shard)
   in
@@ -613,7 +831,7 @@ let execute_phase t ~src ~owner ~reads_by_shard ~locks_by_shard =
     let primary = primary_of t ~shard in
     if t.p.features.smart_ops then
       let r =
-        request t ~src ~dst:primary
+        request_t t ~epoch0 ~src ~dst:primary
           ~req_bytes:
             (Wire.execute_req_b ~n_reads:(List.length reads)
                ~n_locks:(List.length locks) ~state_bytes:0)
@@ -629,7 +847,10 @@ let execute_phase t ~src ~owner ~reads_by_shard ~locks_by_shard =
                        values))
           (execute_handler t t.nodes.(primary) ~owner ~locks ~reads)
       in
-      (shard, r)
+      match r with
+      | `Ok `Fail -> (shard, primary, `Fail)
+      | `Ok (`Ok x) -> (shard, primary, `Ok x)
+      | `Timeout | `Stale -> (shard, primary, `Dead)
     else begin
       (* DrTM+H-restricted operation set: one request per lock, one per
          read (§5.7 baseline). *)
@@ -637,39 +858,49 @@ let execute_phase t ~src ~owner ~reads_by_shard ~locks_by_shard =
         Process.parallel t.engine
           (List.map
              (fun k () ->
-               request t ~src ~dst:primary ~req_bytes:Wire.lock_req_b
+               request_t t ~epoch0 ~src ~dst:primary ~req_bytes:Wire.lock_req_b
                  ~resp_bytes:(fun _ -> Wire.small_resp_b)
                  (execute_handler t t.nodes.(primary) ~owner ~locks:[ k ]
                     ~reads:[]))
              locks)
       in
-      let failed =
-        List.exists (function `Fail -> true | `Ok _ -> false) lock_results
+      let acquired =
+        List.concat_map
+          (function `Ok (`Ok (lv, _)) -> List.map fst lv | _ -> [])
+          lock_results
       in
-      if failed then begin
-        (* Release the locks this shard did acquire. *)
-        let acquired =
-          List.concat_map
-            (function `Ok (lv, _) -> List.map fst lv | `Fail -> [])
-            lock_results
-        in
-        if acquired <> [] then
+      let release () =
+        if acquired <> [] && not t.crashed.(primary) then
           notify t ~src ~dst:primary
             ~bytes:(Wire.abort_b ~n_locks:(List.length acquired))
-            (abort_handler t t.nodes.(primary) ~owner ~locked:acquired);
-        (shard, `Fail)
+            (abort_handler t t.nodes.(primary) ~owner ~locked:acquired)
+      in
+      if
+        List.exists
+          (function `Timeout | `Stale -> true | `Ok _ -> false)
+          lock_results
+      then begin
+        release ();
+        (shard, primary, `Dead)
+      end
+      else if
+        List.exists (function `Ok `Fail -> true | _ -> false) lock_results
+      then begin
+        (* Release the locks this shard did acquire. *)
+        release ();
+        (shard, primary, `Fail)
       end
       else begin
         let lock_versions =
           List.concat_map
-            (function `Ok (lv, _) -> lv | `Fail -> [])
+            (function `Ok (`Ok (lv, _)) -> lv | _ -> [])
             lock_results
         in
         let read_results =
           Process.parallel t.engine
             (List.map
                (fun k () ->
-                 request t ~src ~dst:primary ~req_bytes:Wire.read_req_b
+                 request_t t ~epoch0 ~src ~dst:primary ~req_bytes:Wire.read_req_b
                    ~resp_bytes:(fun r ->
                      match r with
                      | `Fail -> Wire.small_resp_b
@@ -686,48 +917,74 @@ let execute_phase t ~src ~owner ~reads_by_shard ~locks_by_shard =
                       ~reads:[ k ]))
                reads)
         in
-        if List.exists (function `Fail -> true | _ -> false) read_results
-        then begin
-          if lock_versions <> [] then
+        let release_locked () =
+          if lock_versions <> [] && not t.crashed.(primary) then
             notify t ~src ~dst:primary
               ~bytes:(Wire.abort_b ~n_locks:(List.length lock_versions))
               (abort_handler t t.nodes.(primary) ~owner
-                 ~locked:(List.map fst lock_versions));
-          (shard, `Fail)
+                 ~locked:(List.map fst lock_versions))
+        in
+        if
+          List.exists
+            (function `Timeout | `Stale -> true | `Ok _ -> false)
+            read_results
+        then begin
+          release_locked ();
+          (shard, primary, `Dead)
+        end
+        else if
+          List.exists (function `Ok `Fail -> true | _ -> false) read_results
+        then begin
+          release_locked ();
+          (shard, primary, `Fail)
         end
         else
           let values =
             List.concat_map
-              (function `Ok (_, vs) -> vs | `Fail -> [])
+              (function `Ok (`Ok (_, vs)) -> vs | _ -> [])
               read_results
           in
-          (shard, `Ok (lock_versions, values))
+          (shard, primary, `Ok (lock_versions, values))
       end
     end
   in
   Process.parallel t.engine (List.map one shards)
 
-let validate_phase t ~src ~owner ~checks_by_shard =
+let validate_phase t ~epoch0 ~src ~owner ~checks_by_shard =
   let one (shard, checks) () =
     let primary = primary_of t ~shard in
+    let as_verdict = function
+      | `Ok true -> `Valid
+      | `Ok false -> `Invalid
+      | `Timeout | `Stale -> `Dead
+    in
     if t.p.features.smart_ops then
-      request t ~src ~dst:primary
-        ~req_bytes:(Wire.validate_req_b ~n_checks:(List.length checks))
-        ~resp_bytes:(fun _ -> Wire.small_resp_b)
-        (validate_handler t t.nodes.(primary) ~owner ~checks)
+      as_verdict
+        (request_t t ~epoch0 ~src ~dst:primary
+           ~req_bytes:(Wire.validate_req_b ~n_checks:(List.length checks))
+           ~resp_bytes:(fun _ -> Wire.small_resp_b)
+           (validate_handler t t.nodes.(primary) ~owner ~checks))
     else
-      List.for_all
-        (fun ok -> ok)
-        (Process.parallel t.engine
-           (List.map
-              (fun check () ->
-                request t ~src ~dst:primary
-                  ~req_bytes:(Wire.validate_req_b ~n_checks:1)
-                  ~resp_bytes:(fun _ -> Wire.small_resp_b)
-                  (validate_handler t t.nodes.(primary) ~owner ~checks:[ check ]))
-              checks))
+      let verdicts =
+        Process.parallel t.engine
+          (List.map
+             (fun check () ->
+               as_verdict
+                 (request_t t ~epoch0 ~src ~dst:primary
+                    ~req_bytes:(Wire.validate_req_b ~n_checks:1)
+                    ~resp_bytes:(fun _ -> Wire.small_resp_b)
+                    (validate_handler t t.nodes.(primary) ~owner
+                       ~checks:[ check ])))
+             checks)
+      in
+      if List.exists (fun v -> v = `Dead) verdicts then `Dead
+      else if List.exists (fun v -> v = `Invalid) verdicts then `Invalid
+      else `Valid
   in
-  List.for_all (fun ok -> ok) (Process.parallel t.engine (List.map one checks_by_shard))
+  let verdicts = Process.parallel t.engine (List.map one checks_by_shard) in
+  if List.exists (fun v -> v = `Dead) verdicts then `Dead
+  else if List.exists (fun v -> v = `Invalid) verdicts then `Invalid
+  else `Valid
 
 (* Run the transaction's execution function at the right place. The
    caller is on the coordinator NIC. *)
@@ -762,9 +1019,15 @@ let group_by_shard_checks checks =
 
 let profile = Sys.getenv_opt "XENIC_PROFILE" <> None
 
-let distributed_txn t node (txn : Types.t) id =
+(* One attempt of the standard distributed commit. [`Retry]: the
+   attempt ran into a dead or reconfigured peer — locks on surviving
+   primaries have been released; the caller should back off and retry
+   against fresh routing (armed mode only). *)
+let distributed_txn t node (txn : Types.t) id :
+    [ `Committed | `Aborted | `Retry ] =
   let owner = owner_token id in
   let src = node.id in
+  let epoch0 = t.epoch in
   let t0 = Engine.now t.engine in
   let mark name t_prev =
     let now = Engine.now t.engine in
@@ -774,81 +1037,103 @@ let distributed_txn t node (txn : Types.t) id =
   let reads_by_shard = group_by_shard txn.read_set in
   let locks_by_shard_keys = group_by_shard txn.write_set in
   let results =
-    execute_phase t ~src ~owner ~reads_by_shard
+    execute_phase t ~epoch0 ~src ~owner ~reads_by_shard
       ~locks_by_shard:locks_by_shard_keys
   in
   let t1 = mark "execute" t0 in
-  let failed = List.exists (fun (_, r) -> r = `Fail) results in
-  let acquired =
+  let acquired_of results =
     List.filter_map
-      (fun (shard, r) ->
+      (fun (shard, primary, r) ->
         match r with
-        | `Ok (lv, _) when lv <> [] -> Some (shard, List.map fst lv)
+        | `Ok (lv, _) when lv <> [] -> Some (shard, primary, List.map fst lv)
         | _ -> None)
       results
   in
-  if failed then begin
+  let acquired = acquired_of results in
+  (* A `Dead shard's EXECUTE may still have locked its keys at a live
+     primary after the coordinator stopped listening (the response was
+     dropped at an epoch bump). Broaden the abort to the whole
+     requested footprint at current routing — unlock is owner-guarded,
+     so releasing a lock never taken is a no-op. *)
+  let broaden acquired requested =
+    List.fold_left
+      (fun acc (shard, keys) ->
+        match List.partition (fun (s, _, _) -> s = shard) acc with
+        | [ (_, p, ks) ], rest ->
+            let missing = List.filter (fun k -> not (List.mem k ks)) keys in
+            (shard, p, missing @ ks) :: rest
+        | _, rest ->
+            if keys = [] then acc else (shard, primary_of t ~shard, keys) :: rest)
+      acquired requested
+  in
+  if List.exists (fun (_, _, r) -> r = `Dead) results then begin
+    abort_everywhere t ~src ~owner
+      ~locks_by_shard:(broaden acquired locks_by_shard_keys);
+    `Retry
+  end
+  else if List.exists (fun (_, _, r) -> r = `Fail) results then begin
     abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-    Types.Aborted
+    `Aborted
   end
   else begin
     let lock_versions =
       List.concat_map
-        (fun (_, r) -> match r with `Ok (lv, _) -> lv | `Fail -> [])
+        (fun (_, _, r) -> match r with `Ok (lv, _) -> lv | _ -> [])
         results
     in
     let values =
       List.concat_map
-        (fun (_, r) -> match r with `Ok (_, vs) -> vs | `Fail -> [])
+        (fun (_, _, r) -> match r with `Ok (_, vs) -> vs | _ -> [])
         results
     in
     let merge_acquired acquired extra =
       List.fold_left
-        (fun acc (shard, ks) ->
-          let prev = Option.value ~default:[] (List.assoc_opt shard acc) in
-          (shard, ks @ prev) :: List.remove_assoc shard acc)
+        (fun acc (shard, primary, ks) ->
+          match List.partition (fun (s, _, _) -> s = shard) acc with
+          | [ (_, p, prev) ], rest -> (shard, p, ks @ prev) :: rest
+          | _, rest -> (shard, primary, ks) :: rest)
         acquired extra
     in
     (* Multi-shot execution (§4.2 step 3): each round may request more
        keys; the coordinator issues further EXECUTE requests and
        re-invokes the function over the extended view. *)
     let max_rounds = 8 in
-    let rec rounds ~values ~lock_versions ~acquired ~locked_keys ~round =
+    let rec rounds ~values ~lock_versions ~acquired ~locked_keys ~requested
+        ~round =
       match run_exec t node txn (view_of values) with
       | Types.More _ when round >= max_rounds ->
           Xenic_stats.Counter.incr (counters t) "multishot_overflow";
           abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-          Types.Aborted
+          `Aborted
       | Types.More { read; lock } -> (
           Xenic_stats.Counter.incr (counters t) "multishot_rounds";
           let read = List.filter (fun k -> not (List.mem k locked_keys)) read in
           let lock = List.filter (fun k -> not (List.mem k locked_keys)) lock in
           let extra =
-            execute_phase t ~src ~owner ~reads_by_shard:(group_by_shard read)
+            execute_phase t ~epoch0 ~src ~owner
+              ~reads_by_shard:(group_by_shard read)
               ~locks_by_shard:(group_by_shard lock)
           in
-          let extra_acquired =
-            List.filter_map
-              (fun (shard, r) ->
-                match r with
-                | `Ok (lv, _) when lv <> [] -> Some (shard, List.map fst lv)
-                | _ -> None)
-              extra
-          in
-          let acquired = merge_acquired acquired extra_acquired in
-          if List.exists (fun (_, r) -> r = `Fail) extra then begin
+          let acquired = merge_acquired acquired (acquired_of extra) in
+          let requested = group_by_shard lock @ requested in
+          if List.exists (fun (_, _, r) -> r = `Dead) extra then begin
+            abort_everywhere t ~src ~owner
+              ~locks_by_shard:(broaden acquired requested);
+            `Retry
+          end
+          else if List.exists (fun (_, _, r) -> r = `Fail) extra then begin
             abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-            Types.Aborted
+            `Aborted
           end
           else
             let extra_lv =
               List.concat_map
-                (fun (_, r) -> match r with `Ok (lv, _) -> lv | `Fail -> [])
+                (fun (_, _, r) -> match r with `Ok (lv, _) -> lv | _ -> [])
                 extra
             in
             let extra_vals =
               List.concat_map
-                (fun (_, r) -> match r with `Ok (_, vs) -> vs | `Fail -> [])
+                (fun (_, _, r) -> match r with `Ok (_, vs) -> vs | _ -> [])
                 extra
             in
             rounds
@@ -856,6 +1141,7 @@ let distributed_txn t node (txn : Types.t) id =
               ~lock_versions:(lock_versions @ extra_lv)
               ~acquired
               ~locked_keys:(locked_keys @ lock)
+              ~requested
               ~round:(round + 1))
       | Types.Done ops ->
           let t2 = mark "exec-fn" t1 in
@@ -868,57 +1154,120 @@ let distributed_txn t node (txn : Types.t) id =
               values
           in
           let valid =
-            checks = []
-            || validate_phase t ~src ~owner
-                 ~checks_by_shard:(group_by_shard_checks checks)
+            if checks = [] then `Valid
+            else
+              validate_phase t ~epoch0 ~src ~owner
+                ~checks_by_shard:(group_by_shard_checks checks)
           in
           let t3 = mark "validate" t2 in
-          if not valid then begin
-            abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-            Types.Aborted
-          end
-          else if ops = [] && locked_keys = [] then begin
-            oracle_commit t ~id ~values ~lock_versions ~seq_ops:[];
-            Types.Committed
-          end
-          else if ops = [] then begin
-            (* Locked but nothing written: release and commit. *)
-            abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-            oracle_commit t ~id ~values ~lock_versions ~seq_ops:[];
-            Types.Committed
-          end
-          else begin
-            let seq_ops = seq_ops_of ~lock_versions ops in
-            let seq_ops_by_shard =
-              group_by_shard (List.map (fun (op, _) -> Op.key op) seq_ops)
-              |> List.map (fun (shard, keys) ->
-                     ( shard,
-                       List.filter
-                         (fun (op, _) -> List.mem (Op.key op) keys)
-                         seq_ops ))
-            in
-            log_phase t ~src ~seq_ops_by_shard;
-            ignore (mark "log" t3);
-            commit_phase t ~src ~owner ~locks_by_shard:acquired
-              ~seq_ops_by_shard;
-            (* Release any locked keys that were not written. *)
-            let written = List.map (fun (op, _) -> Op.key op) seq_ops in
-            let residual =
-              List.filter_map
-                (fun (shard, ks) ->
-                  match List.filter (fun k -> not (List.mem k written)) ks with
-                  | [] -> None
-                  | ks -> Some (shard, ks))
-                acquired
-            in
-            if residual <> [] then
-              abort_everywhere t ~src ~owner ~locks_by_shard:residual;
-            oracle_commit t ~id ~values ~lock_versions ~seq_ops;
-            Types.Committed
-          end
+          match valid with
+          | `Dead ->
+              abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+              `Retry
+          | `Invalid ->
+              abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+              `Aborted
+          | `Valid ->
+              if ops = [] && locked_keys = [] then begin
+                oracle_commit t ~id ~values ~lock_versions ~seq_ops:[];
+                `Committed
+              end
+              else if ops = [] then begin
+                (* Locked but nothing written: release and commit. *)
+                abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+                oracle_commit t ~id ~values ~lock_versions ~seq_ops:[];
+                `Committed
+              end
+              else begin
+                let seq_ops = seq_ops_of ~lock_versions ops in
+                let seq_ops_by_shard =
+                  group_by_shard (List.map (fun (op, _) -> Op.key op) seq_ops)
+                  |> List.map (fun (shard, keys) ->
+                         ( shard,
+                           List.filter
+                             (fun (op, _) -> List.mem (Op.key op) keys)
+                             seq_ops ))
+                in
+                if not (armed t) then begin
+                  (* Legacy fast path: no fence, records born decided. *)
+                  log_phase t ~src ~decision:(ref Dcommit) ~seq_ops_by_shard;
+                  ignore (mark "log" t3);
+                  commit_phase t ~src ~owner ~locks_by_shard:acquired
+                    ~seq_ops_by_shard;
+                  (* Release any locked keys that were not written. *)
+                  let written = List.map (fun (op, _) -> Op.key op) seq_ops in
+                  let residual =
+                    List.filter_map
+                      (fun (shard, primary, ks) ->
+                        match
+                          List.filter (fun k -> not (List.mem k written)) ks
+                        with
+                        | [] -> None
+                        | ks -> Some (shard, primary, ks))
+                      acquired
+                  in
+                  if residual <> [] then
+                    abort_everywhere t ~src ~owner ~locks_by_shard:residual;
+                  oracle_commit t ~id ~values ~lock_versions ~seq_ops;
+                  `Committed
+                end
+                else if not (fence_acquire t ~src ~epoch0) then begin
+                  (* Configuration moved (or we crashed) between
+                     validation and commit: abort cleanly before any
+                     LOG byte is sent, so no replica diverges. *)
+                  Xenic_stats.Counter.incr (counters t) "fence_refusals";
+                  abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
+                  `Retry
+                end
+                else begin
+                  let decision = ref Dpending in
+                  log_phase t ~src ~decision ~seq_ops_by_shard;
+                  ignore (mark "log" t3);
+                  if t.crashed.(src) then begin
+                    (* We died mid-LOG: never decide. Backups discard
+                       the pending records; our locks die with us or
+                       are swept at the declaration. *)
+                    decision := Dabort;
+                    fence_release t;
+                    `Aborted
+                  end
+                  else begin
+                    (* Commit point: one atomic step — no suspension
+                       between deciding and handing COMMIT to the
+                       fabric, so a crash cannot split them. *)
+                    decision := Dcommit;
+                    oracle_commit t ~id ~values ~lock_versions ~seq_ops;
+                    commit_phase t ~src ~owner ~locks_by_shard:acquired
+                      ~seq_ops_by_shard;
+                    let written = List.map (fun (op, _) -> Op.key op) seq_ops in
+                    let residual =
+                      List.filter_map
+                        (fun (shard, primary, ks) ->
+                          match
+                            List.filter (fun k -> not (List.mem k written)) ks
+                          with
+                          | [] -> None
+                          | ks -> Some (shard, primary, ks))
+                        acquired
+                    in
+                    if residual <> [] then
+                      abort_everywhere t ~src ~owner ~locks_by_shard:residual;
+                    fence_release t;
+                    `Committed
+                  end
+                end
+              end
     in
-    rounds ~values ~lock_versions ~acquired ~locked_keys:txn.write_set ~round:1
+    rounds ~values ~lock_versions ~acquired ~locked_keys:txn.write_set
+      ~requested:locks_by_shard_keys ~round:1
   end
+
+(* Collapse an attempt result on a path that only runs un-armed
+   (multi-hop, legacy dispatch), where [`Retry] cannot occur. *)
+let legacy_outcome = function
+  | `Committed -> Types.Committed
+  | `Aborted -> Types.Aborted
+  | `Retry -> assert false
 
 (* -- Multi-hop OCC (§4.2.3) ----------------------------------------- *)
 
@@ -928,6 +1277,10 @@ let distributed_txn t node (txn : Types.t) id =
    with one of them local — or a single remote shard. *)
 let multihop_eligible t node (txn : Types.t) =
   t.p.features.multihop
+  (* The multi-hop ack fan-in (LOG responses routed to P1) is not
+     crash-safe; when timeouts are armed, everything takes the standard
+     distributed path, whose phases are individually retryable. *)
+  && not (armed t)
   && List.for_all (fun k -> List.mem k txn.write_set) txn.read_set
   && txn.write_set <> []
   &&
@@ -1059,7 +1412,8 @@ let multihop_txn t node (txn : Types.t) id =
                           Wire.write_ops_b ~ops:(List.map fst seq_ops)
                         in
                         notify t ~src:p2 ~dst:backup ~bytes (fun () ->
-                            log_handler t t.nodes.(backup) ~shard ~seq_ops ();
+                            log_handler t t.nodes.(backup)
+                              ~decision:(ref Dcommit) ~shard ~seq_ops ();
                             notify t ~src:backup ~dst:src
                               ~bytes:Wire.small_resp_b (fun () ->
                                 Smartnic.core_work node.nic ~bytes:0;
@@ -1083,7 +1437,7 @@ let multihop_txn t node (txn : Types.t) id =
             (* Single-round restriction: replay through the standard
                distributed path, which supports multi-shot execution. *)
             Xenic_stats.Counter.incr (counters t) "multihop_escalations";
-            distributed_txn t node txn id
+            legacy_outcome (distributed_txn t node txn id)
           end
           else Types.Aborted
       | `Ok (p1_seq_ops, p2_seq_ops, remote_lockv, remote_values) ->
@@ -1116,9 +1470,11 @@ let multihop_txn t node (txn : Types.t) id =
 (* Local transactions execute optimistically on the host against the
    host-side structures; write transactions then lock/validate at the
    local NIC index before replicating. *)
-let local_txn t node ~shard (txn : Types.t) id =
+let local_txn t node ~shard (txn : Types.t) id :
+    [ `Committed | `Aborted | `Retry ] =
   let owner = owner_token id in
   let src = node.id in
+  let epoch0 = t.epoch in
   Resource.acquire node.app;
   let values =
     List.map
@@ -1142,9 +1498,9 @@ let local_txn t node ~shard (txn : Types.t) id =
          yet, so simply replay through the distributed protocol. *)
       Xenic_stats.Counter.incr (counters t) "multihop_escalations";
       Smartnic.host_msg node.nic;
-      let outcome = distributed_txn t node txn id in
+      let result = distributed_txn t node txn id in
       Smartnic.host_msg node.nic;
-      outcome
+      result
   | Types.Done ops ->
   if ops = [] && txn.write_set = [] then begin
     (* Read-only local transaction: re-check versions at the host. *)
@@ -1158,11 +1514,11 @@ let local_txn t node ~shard (txn : Types.t) id =
     in
     if ok then begin
       oracle_commit t ~id ~values ~lock_versions:[] ~seq_ops:[];
-      Types.Committed
+      `Committed
     end
     else begin
       Xenic_stats.Counter.incr (counters t) "validate_conflicts_local_ro";
-      Types.Aborted
+      `Aborted
     end
   end
   else begin
@@ -1229,58 +1585,122 @@ let local_txn t node ~shard (txn : Types.t) id =
     match lock_result with
     | `Fail ->
         Smartnic.host_msg node.nic;
-        Types.Aborted
+        `Aborted
     | `Ok lock_versions ->
         let seq_ops = seq_ops_of ~lock_versions ops in
-        log_phase t ~src ~seq_ops_by_shard:[ (shard, seq_ops) ];
-        (* Committed: report to the host; apply the commit at our own
-           NIC asynchronously. *)
-        Process.spawn t.engine (fun () ->
-            commit_handler t node ~owner ~shard ~seq_ops
-              ~locked:txn.write_set ());
-        Smartnic.host_msg node.nic;
-        oracle_commit t ~id ~values ~lock_versions ~seq_ops;
-        Types.Committed
+        if not (armed t) then begin
+          log_phase t ~src ~decision:(ref Dcommit)
+            ~seq_ops_by_shard:[ (shard, seq_ops) ];
+          (* Committed: report to the host; apply the commit at our own
+             NIC asynchronously. *)
+          Process.spawn t.engine (fun () ->
+              commit_handler t node ~owner ~shard ~seq_ops
+                ~locked:txn.write_set ());
+          Smartnic.host_msg node.nic;
+          oracle_commit t ~id ~values ~lock_versions ~seq_ops;
+          `Committed
+        end
+        else if not (fence_acquire t ~src ~epoch0) then begin
+          Xenic_stats.Counter.incr (counters t) "fence_refusals";
+          abort_handler t node ~owner ~locked:txn.write_set ();
+          Smartnic.host_msg node.nic;
+          `Retry
+        end
+        else begin
+          let decision = ref Dpending in
+          log_phase t ~src ~decision ~seq_ops_by_shard:[ (shard, seq_ops) ];
+          if t.crashed.(src) then begin
+            (* Crashed mid-LOG: the pending backup records are
+               discarded; our locks die with the NIC. *)
+            decision := Dabort;
+            fence_release t;
+            `Aborted
+          end
+          else begin
+            decision := Dcommit;
+            oracle_commit t ~id ~values ~lock_versions ~seq_ops;
+            Process.spawn t.engine (fun () ->
+                commit_handler t node ~owner ~shard ~seq_ops
+                  ~locked:txn.write_set ());
+            fence_release t;
+            Smartnic.host_msg node.nic;
+            `Committed
+          end
+        end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Entry point *)
 
+let node_alive t ~node = t.alive.(node) && not t.crashed.(node)
+
 let run_txn t ~node (txn : Types.t) =
   let n = t.nodes.(node) in
-  n.txn_seq <- n.txn_seq + 1;
-  let id = { Types.coord = node; seq = n.txn_seq } in
-  if not t.alive.(node) then invalid_arg "run_txn: coordinator is dead";
-  match Types.single_shard txn with
-  | Some s when primary_of t ~shard:s = node ->
-      Xenic_stats.Counter.incr (counters t) "txns_local";
-      local_txn t n ~shard:s txn id
-  | _ ->
-      if multihop_eligible t n txn then begin
-        Xenic_stats.Counter.incr (counters t) "txns_multihop";
-        multihop_txn t n txn id
-      end
-      else begin
-        Xenic_stats.Counter.incr (counters t) "txns_distributed";
-        (* Host -> coordinator NIC crossing, protocol on the NIC, and
-           the Committed/Aborted report back to the host. *)
-        Smartnic.host_msg n.nic;
-        let outcome = distributed_txn t n txn id in
-        Smartnic.host_msg n.nic;
-        outcome
-      end
+  (* One attempt against current routing. Each attempt gets a fresh id
+     so lock owner tokens never collide across retries. *)
+  let dispatch () =
+    n.txn_seq <- n.txn_seq + 1;
+    let id = { Types.coord = node; seq = n.txn_seq } in
+    match Types.single_shard txn with
+    | Some s when primary_of t ~shard:s = node ->
+        Xenic_stats.Counter.incr (counters t) "txns_local";
+        local_txn t n ~shard:s txn id
+    | _ ->
+        if multihop_eligible t n txn then begin
+          Xenic_stats.Counter.incr (counters t) "txns_multihop";
+          (match multihop_txn t n txn id with
+          | Types.Committed -> `Committed
+          | Types.Aborted -> `Aborted)
+        end
+        else begin
+          Xenic_stats.Counter.incr (counters t) "txns_distributed";
+          (* Host -> coordinator NIC crossing, protocol on the NIC, and
+             the Committed/Aborted report back to the host. *)
+          Smartnic.host_msg n.nic;
+          let result = distributed_txn t n txn id in
+          Smartnic.host_msg n.nic;
+          result
+        end
+  in
+  if not (armed t) then begin
+    if not t.alive.(node) then invalid_arg "run_txn: coordinator is dead";
+    legacy_outcome (dispatch ())
+  end
+  else
+    (* Armed: retry attempts that ran into a dead peer, with
+       exponential backoff so reconfiguration can complete. *)
+    let rec go attempt backoff =
+      if not (node_alive t ~node) then Types.Aborted
+      else
+        match dispatch () with
+        | `Committed -> Types.Committed
+        | `Aborted -> Types.Aborted
+        | `Retry ->
+            Xenic_stats.Counter.incr (counters t) "txn_retries";
+            if attempt >= t.p.max_retries then Types.Aborted
+            else begin
+              Process.sleep t.engine backoff;
+              go (attempt + 1) (backoff *. 2.0)
+            end
+    in
+    go 1 t.p.retry_backoff_ns
 
 let quiesce t =
-  (* Wait until all logs are drained and async commits applied. *)
+  (* Wait until all logs are drained and async commits applied. Crashed
+     nodes are excluded: their state died with them (their logs do
+     still drain — coordinators resolve every record's decision — but
+     nothing downstream depends on it). *)
   let rec wait () =
     let pending =
       Array.exists
         (fun n ->
-          Xenic_store.Hostlog.used_b n.log > 0
-          || Xenic_store.Hostlog.appended n.log > Xenic_store.Hostlog.applied n.log
-          || Xenic_store.Hostlog.used_b n.commit_log > 0
-          || Xenic_store.Hostlog.appended n.commit_log
-             > Xenic_store.Hostlog.applied n.commit_log)
+          (not t.crashed.(n.id))
+          && (Xenic_store.Hostlog.used_b n.log > 0
+             || Xenic_store.Hostlog.appended n.log
+                > Xenic_store.Hostlog.applied n.log
+             || Xenic_store.Hostlog.used_b n.commit_log > 0
+             || Xenic_store.Hostlog.appended n.commit_log
+                > Xenic_store.Hostlog.applied n.commit_log))
         t.nodes
     in
     if pending then begin
@@ -1296,6 +1716,8 @@ let audit t =
   let issues = ref [] in
   Array.iter
     (fun node ->
+      if t.crashed.(node.id) then ()
+      else begin
       Array.iteri
         (fun shard idx_opt ->
           match idx_opt with
@@ -1320,17 +1742,29 @@ let audit t =
             :: !issues
       in
       drained "backup log" node.log;
-      drained "commit log" node.commit_log)
+      drained "commit log" node.commit_log
+      end)
     t.nodes;
   List.rev !issues
 
 (* -- Reconfiguration (§4.2.1) --------------------------------------- *)
 
-let fail_node t ~node = t.alive.(node) <- false
+(* Immediate, manual removal (for tests that promote between load
+   phases): the node vanishes from routing and stops responding at
+   once. With a membership service attached, its lease is failed too,
+   so the declared view converges with ours. *)
+let fail_node t ~node =
+  t.alive.(node) <- false;
+  t.crashed.(node) <- true;
+  match t.membership with
+  | Some m -> Membership.fail_node m ~node
+  | None -> ()
 
 let promote t ~shard =
   match
-    List.find_opt (fun n -> t.alive.(n)) (Config.replicas t.cfg ~shard)
+    List.find_opt
+      (fun n -> t.alive.(n) && not t.crashed.(n))
+      (Config.replicas t.cfg ~shard)
   with
   | None -> invalid_arg "promote: no live replica"
   | Some new_primary ->
@@ -1351,6 +1785,111 @@ let promote t ~shard =
       node.indexes.(shard) <- Some idx;
       t.primaries.(shard) <- new_primary;
       new_primary
+
+(* Locks held at surviving primaries by coordinators that died between
+   EXECUTE and their abort/commit: the owner token encodes the
+   coordinator, so they are identifiable and safe to break once the
+   owner is declared dead. *)
+let sweep_dead_owner_locks t =
+  Array.iter
+    (fun node ->
+      if not t.crashed.(node.id) then
+        Array.iter
+          (fun idx_opt ->
+            match idx_opt with
+            | None -> ()
+            | Some idx ->
+                List.iter
+                  (fun (k, owner) ->
+                    let coord = owner / 1_000_000_000 in
+                    if t.crashed.(coord) then begin
+                      Xenic_stats.Counter.incr (counters t)
+                        "recovery_lock_sweeps";
+                      Xenic_store.Nic_index.unlock idx k ~owner
+                    end)
+                  (Xenic_store.Nic_index.locked_keys idx))
+          node.indexes)
+    t.nodes
+
+(* Membership-driven recovery. Routing was frozen synchronously at the
+   declaration (epoch bump + crashed flags); here we wait for in-flight
+   commits to resolve — the fence refuses new ones while
+   [recovery_waiting > 0] — then break dead coordinators' locks, drain
+   each successor's backup log, and promote. The brief write stall is
+   the throughput dip the fault experiment measures. *)
+let recover t =
+  let rec wait_fence () =
+    if t.inflight_commits > 0 then begin
+      Process.sleep t.engine 1_000.0;
+      wait_fence ()
+    end
+  in
+  wait_fence ();
+  sweep_dead_owner_locks t;
+  Array.iteri
+    (fun shard p ->
+      if t.crashed.(p) then begin
+        (match
+           List.find_opt
+             (fun n -> t.alive.(n) && not t.crashed.(n))
+             (Config.replicas t.cfg ~shard)
+         with
+        | None -> invalid_arg "recover: no live replica"
+        | Some np ->
+            (* Drain the successor's backup log before the index
+               rebuild snapshots its host table: every record is
+               already decided (fence), so this terminates. *)
+            let log = t.nodes.(np).log in
+            let rec drain () =
+              if
+                Xenic_store.Hostlog.used_b log > 0
+                || Xenic_store.Hostlog.appended log
+                   > Xenic_store.Hostlog.applied log
+              then begin
+                Process.sleep t.engine 1_000.0;
+                drain ()
+              end
+            in
+            drain ());
+        ignore (promote t ~shard);
+        Xenic_stats.Counter.incr (counters t) "recovery_promotions"
+      end)
+    t.primaries;
+  t.recovery_waiting <- t.recovery_waiting - 1
+
+let attach_membership t m =
+  t.membership <- Some m;
+  Membership.on_reconfigure m (fun ~epoch:_ ~dead ->
+      (* Runs synchronously inside the manager's expiry check: routing
+         freezes in one atomic step — no request started under the old
+         epoch can cross it — then recovery proceeds in the
+         background. *)
+      t.epoch <- t.epoch + 1;
+      List.iter
+        (fun n ->
+          t.alive.(n) <- false;
+          t.crashed.(n) <- true)
+        dead;
+      t.recovery_waiting <- t.recovery_waiting + 1;
+      Process.spawn t.engine (fun () -> recover t))
+
+(* Fault injection: the node's NIC and host stop responding at this
+   instant, but nothing is declared yet — requests into it time out
+   until the membership lease expires and drives reconfiguration. *)
+let crash_node t ~node =
+  if not t.crashed.(node) then begin
+    Xenic_stats.Counter.incr (counters t) "node_crashes";
+    t.crashed.(node) <- true;
+    match t.membership with
+    | Some m -> Membership.fail_node m ~node
+    | None ->
+        (* No membership service: nothing would ever declare the node,
+           so remove it from routing immediately. *)
+        t.alive.(node) <- false
+  end
+
+let stop_background t =
+  match t.membership with Some m -> Membership.stop m | None -> ()
 
 let current_primary t ~shard = t.primaries.(shard)
 

@@ -28,6 +28,18 @@ type params = {
   d_max : int option;
   log_capacity_b : int;
   btree_op_ns : float;  (** Host cost of one ordered-table operation. *)
+  req_timeout_ns : float option;
+      (** [Some d]: arm per-request response deadlines — a coordinator
+          whose EXECUTE/VALIDATE/LOG times out treats the peer as dead,
+          releases its locks on surviving primaries, and retries
+          against post-promotion routing. Must sit well above the
+          worst-case round-trip so a firing timeout implies a dead
+          peer, not a slow one. [None] (default): legacy behavior —
+          requests block forever, faults only between load phases. *)
+  retry_backoff_ns : float;
+      (** Initial coordinator backoff after a dead-peer retry; doubles
+          per attempt. *)
+  max_retries : int;  (** Attempts before reporting Aborted. *)
 }
 
 val default_params : params
@@ -79,17 +91,54 @@ val peek_range :
 
 (** {2 Reconfiguration (§4.2.1)}
 
-    Planned failover: when the membership service declares a node dead,
-    each shard it was primary of is promoted onto a live backup. The
-    new primary rebuilds its caching index over its replica — lock
-    state lives only in the (dead) primary's NIC, so the rebuilt index
-    starts lock-free, and hints resynchronize from the host table.
-    Coordinators route by the current primary map. In-flight-crash
-    request timeouts are out of scope; promote between load phases. *)
+    Failover: when the membership service declares a node dead, each
+    shard it was primary of is promoted onto a live backup. The new
+    primary rebuilds its caching index over its replica — lock state
+    lives only in the (dead) primary's NIC, so the rebuilt index starts
+    lock-free, and hints resynchronize from the host table.
+    Coordinators route by the current primary map.
 
-(** Mark a node dead: it stops being chosen as a backup for LOG
-    replication and cannot coordinate. *)
+    Mid-run faults are handled when [req_timeout_ns] is armed and a
+    membership service is attached ({!attach_membership}):
+
+    - A node can crash at an arbitrary instant ({!crash_node}); its
+      inbound traffic is dropped, so requests into it time out at the
+      coordinator, which aborts, releases locks on surviving primaries,
+      and retries with exponential backoff.
+    - LOG records carry a per-transaction commit decision resolved by
+      the coordinator; backups apply only decided-commit records, so a
+      coordinator crash mid-replication never diverges replicas.
+    - When the crashed node's lease expires, the membership service
+      declares it dead; the system bumps its routing epoch (stale
+      responses are dropped, stale requests rejected), waits for
+      in-flight commits to resolve behind a fence, breaks locks held by
+      dead coordinators, drains each successor's backup log, and
+      promotes. Writes stall briefly during recovery — the throughput
+      dip the fault experiment measures. *)
+
+(** Mark a node dead immediately, bypassing lease expiry: it stops
+    responding, is removed from routing, and — with a membership
+    attached — its lease is failed too. For tests that promote between
+    load phases. *)
 val fail_node : t -> node:int -> unit
+
+(** Crash a node at the current instant without declaring it: it stops
+    responding, but routing only changes once the membership lease
+    expires (or immediately, if no membership is attached). This is the
+    mid-run fault-injection entry point. *)
+val crash_node : t -> node:int -> unit
+
+(** A node is alive if it has not been declared dead or crashed. *)
+val node_alive : t -> node:int -> bool
+
+(** Subscribe this system to a membership service: declared deaths bump
+    the routing epoch and drive recovery (lock sweep + promotion)
+    automatically. The membership must cover the same node ids. *)
+val attach_membership : t -> Membership.t -> unit
+
+(** Stop background services (the attached membership's loops, if any)
+    so the simulation can drain. No-op without a membership. *)
+val stop_background : t -> unit
 
 (** Promote the first live replica of [shard] to primary; returns the
     new primary's node id. *)

@@ -21,5 +21,13 @@ val is_filled : 'a t -> bool
     already filled. *)
 val read : 'a t -> 'a
 
+(** [read_timeout t ~timeout_ns] blocks like {!read} but gives up after
+    [timeout_ns] simulated nanoseconds, returning [None]. The wait is
+    cancellable: a fill after the timeout does not resume the caller
+    (and a timed-out wait is not reported by the strict-engine check),
+    while a fill before the timeout defuses the timer — the caller is
+    resumed exactly once either way. *)
+val read_timeout : 'a t -> timeout_ns:float -> 'a option
+
 (** The value if filled. *)
 val peek : 'a t -> 'a option

@@ -1,8 +1,13 @@
+(* Receivers park as cells rather than bare continuations so a blocked
+   receive can be cancelled by a timeout without double-resuming: the
+   first of {send, timer} to run flips [live] and wins. *)
+type 'a waiter = { mutable live : bool; k : 'a -> unit }
+
 type 'a t = {
   engine : Engine.t;
   name : string;
   items : 'a Queue.t;
-  waiters : ('a -> unit) Queue.t;
+  waiters : 'a waiter Queue.t;
 }
 
 let create ?(name = "<mailbox>") engine =
@@ -20,15 +25,38 @@ let create ?(name = "<mailbox>") engine =
 
 let length t = Queue.length t.items
 
-let send t v =
+(* Oldest still-live waiter, discarding timed-out cells. *)
+let rec take_waiter t =
   match Queue.take_opt t.waiters with
-  | Some resume -> Engine.after t.engine 0.0 (fun () -> resume v)
+  | None -> None
+  | Some w -> if w.live then Some w else take_waiter t
+
+let send t v =
+  match take_waiter t with
+  | Some w ->
+      w.live <- false;
+      Engine.after t.engine 0.0 (fun () -> w.k v)
   | None -> Queue.add v t.items
 
 let recv t =
   match Queue.take_opt t.items with
   | Some v -> v
-  | None -> Process.suspend (fun resume -> Queue.add resume t.waiters)
+  | None ->
+      Process.suspend (fun resume ->
+          Queue.add { live = true; k = resume } t.waiters)
+
+let recv_timeout t ~timeout_ns =
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None ->
+      Process.suspend (fun resume ->
+          let w = { live = true; k = (fun v -> resume (Some v)) } in
+          Queue.add w t.waiters;
+          Engine.after t.engine timeout_ns (fun () ->
+              if w.live then begin
+                w.live <- false;
+                resume None
+              end))
 
 let recv_opt t = Queue.take_opt t.items
 

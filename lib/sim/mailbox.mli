@@ -21,6 +21,12 @@ val send : 'a t -> 'a -> unit
 (** Dequeue the oldest message, blocking until one is available. *)
 val recv : 'a t -> 'a
 
+(** [recv_timeout t ~timeout_ns] blocks like {!recv} but gives up after
+    [timeout_ns] simulated nanoseconds, returning [None]. A message
+    arriving after the timeout goes to the next receiver (or queues)
+    instead of the timed-out one; the caller is resumed exactly once. *)
+val recv_timeout : 'a t -> timeout_ns:float -> 'a option
+
 (** Dequeue without blocking. *)
 val recv_opt : 'a t -> 'a option
 

@@ -18,6 +18,14 @@ val spawn_at : Engine.t -> delay:float -> (unit -> unit) -> unit
 (** Block the calling process for [delay] simulated nanoseconds. *)
 val sleep : Engine.t -> float -> unit
 
+(** [with_timeout engine ~timeout_ns f] runs [f] as a child process and
+    blocks like {!sleep} until it finishes — returning [Some result] —
+    or until [timeout_ns] simulated nanoseconds elapse, returning
+    [None]. On timeout the child keeps running (cooperative processes
+    cannot be killed); its eventual completion is discarded. The caller
+    is resumed exactly once either way. *)
+val with_timeout : Engine.t -> timeout_ns:float -> (unit -> 'a) -> 'a option
+
 (** [suspend register] parks the calling process. [register] receives a
     one-shot [resume] function; calling [resume v] (typically from an
     event or another process) makes [suspend] return [v]. *)

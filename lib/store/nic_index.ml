@@ -214,11 +214,18 @@ let version t io k =
 let try_lock t io k ~owner =
   match Hashtbl.find_opt t.entries k with
   | Some e -> (
-      io.nic_mem ();
       match e.lock with
-      | Some o when o <> owner -> `Locked
+      | Some o when o <> owner ->
+          io.nic_mem ();
+          `Locked
       | _ ->
+          (* Take the lock before charging the NIC-memory latency: the
+             charge can suspend, and [evict] would drop a still-unlocked
+             entry out of the table mid-grant, leaving this lock on a
+             dangling record invisible to later acquirers. A held lock
+             pins the entry. *)
           e.lock <- Some owner;
+          io.nic_mem ();
           `Acquired e.seq)
   | None -> (
       (* Allocate an index entry; fetch the current version from the

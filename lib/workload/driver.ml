@@ -27,7 +27,7 @@ type state = {
 }
 
 let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
-    ?coordinators (sys : System.t) spec ~concurrency ~target =
+    ?coordinators ?(faults = []) (sys : System.t) spec ~concurrency ~target =
   let engine = sys.System.engine in
   let metrics = Metrics.create () in
   let warmup = int_of_float (float_of_int target *. warmup_frac) in
@@ -48,12 +48,29 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
     | Some cs -> cs
     | None -> List.init nodes (fun n -> n)
   in
+  let start = Engine.now engine in
+  List.iter
+    (fun (t_ns, node) ->
+      if t_ns < 0.0 then invalid_arg "Driver.run: negative fault time";
+      Engine.at engine (start +. t_ns) (fun () ->
+          sys.System.crash_node ~node))
+    faults;
+  (* Once every slot has exited, stop background services (membership
+     lease loops) so the engine can drain and [Engine.run] returns. *)
+  let active_slots = ref (concurrency * List.length coordinators) in
+  let slot_done () =
+    decr active_slots;
+    if !active_slots = 0 then sys.System.stop_background ()
+  in
   List.iter (fun node ->
     for _slot = 1 to concurrency do
       let rng = Rng.split root in
       Process.spawn engine (fun () ->
           let rec loop () =
-            if st.committed < st.target then begin
+            (* A slot whose coordinator node has crashed or been declared
+               dead retires; surviving nodes drive the rest of the run. *)
+            if st.committed < st.target && sys.System.node_alive ~node
+            then begin
               let cls, txn = spec.generate rng ~node in
               let t0 = Engine.now engine in
               let outcome = sys.System.run_txn ~node txn in
@@ -80,7 +97,8 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
               loop ()
             end
           in
-          loop ())
+          loop ();
+          slot_done ())
     done) coordinators;
   ignore (Engine.run engine);
   Process.spawn engine (fun () -> sys.System.quiesce ());
@@ -96,18 +114,38 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
            (String.concat "\n" issues))
   end;
   let duration = st.last_commit -. st.window_started in
-  let duration = if duration <= 0.0 then 1.0 else duration in
-  {
-    tput_per_server =
-      float_of_int st.window_committed /. (duration /. 1e9)
-      /. float_of_int (List.length coordinators);
-    median_latency_us = Metrics.median_latency metrics /. 1_000.0;
-    p99_latency_us = Metrics.p99_latency metrics /. 1_000.0;
-    abort_rate = Metrics.abort_rate metrics;
-    committed = Metrics.committed metrics;
-    aborted = Metrics.aborted metrics;
-    duration_ns = duration;
-    metrics;
-  }
+  if st.window_committed = 0 then
+    (* Empty measurement window (warmup >= target, or no commit landed
+       after warmup): report an explicit zero-commit result instead of
+       inventing a window length. *)
+    {
+      tput_per_server = 0.0;
+      median_latency_us = Metrics.median_latency metrics /. 1_000.0;
+      p99_latency_us = Metrics.p99_latency metrics /. 1_000.0;
+      abort_rate = Metrics.abort_rate metrics;
+      committed = Metrics.committed metrics;
+      aborted = Metrics.aborted metrics;
+      duration_ns = 0.0;
+      metrics;
+    }
+  else if duration <= 0.0 then
+    invalid_arg
+      (Printf.sprintf
+         "Driver.run (%s): %d commits in a non-positive measurement \
+          window (%.1f ns)"
+         spec.name st.window_committed duration)
+  else
+    {
+      tput_per_server =
+        float_of_int st.window_committed /. (duration /. 1e9)
+        /. float_of_int (List.length coordinators);
+      median_latency_us = Metrics.median_latency metrics /. 1_000.0;
+      p99_latency_us = Metrics.p99_latency metrics /. 1_000.0;
+      abort_rate = Metrics.abort_rate metrics;
+      committed = Metrics.committed metrics;
+      aborted = Metrics.aborted metrics;
+      duration_ns = duration;
+      metrics;
+    }
 
 let class_committed result ~cls = Metrics.committed_class result.metrics ~cls

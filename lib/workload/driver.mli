@@ -27,12 +27,23 @@ type result = {
 (** [run sys spec ~concurrency ~target] drives the system until
     [target] transactions have committed. [seed] defaults to 1;
     aborted attempts back off [abort_backoff_ns] (default 3us) before
-    retrying. *)
+    retrying.
+
+    [faults] schedules mid-run crashes: each [(t_ns, node)] crashes
+    [node] at [t_ns] simulated nanoseconds after the run starts (via
+    the system's [crash_node]). Slots coordinated at a crashed or
+    declared-dead node retire; surviving nodes finish the run. Raises
+    [Invalid_argument] on a negative fault time.
+
+    If no commit lands inside the measurement window (e.g. warmup
+    consumed every commit), the result reports zero throughput and a
+    zero-length window rather than a fabricated one. *)
 val run :
   ?seed:int64 ->
   ?warmup_frac:float ->
   ?abort_backoff_ns:float ->
   ?coordinators:int list ->
+  ?faults:(float * int) list ->
   Xenic_proto.System.t ->
   spec ->
   concurrency:int ->

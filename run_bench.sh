@@ -1,9 +1,12 @@
 #!/bin/sh
 # Regenerate bench_output.txt experiment by experiment (each invocation
-# flushes on exit).
+# flushes on exit). Alongside the text report, every experiment writes
+# its scalar metrics to a machine-readable BENCH_<id>.json in the
+# repository root.
 set -x
 : > /root/repo/bench_output.txt
-for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 micro; do
+rm -f /root/repo/BENCH_*.json
+for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro; do
   timeout 2400 dune exec bench/main.exe -- "$exp" >> /root/repo/bench_output.txt 2>&1
 done
 touch /root/repo/.bench_done

@@ -97,6 +97,24 @@ let test_membership_failure_detection () =
   | [ (1, [ 2 ]) ] -> ()
   | _ -> Alcotest.failf "unexpected events (%d)" (List.length !events)
 
+(* [stop] must let the engine drain: a started membership's renewal
+   and expiry loops otherwise keep the event queue non-empty forever,
+   so an unbounded [Engine.run] would never return. *)
+let test_membership_stop () =
+  let engine = Xenic_sim.Engine.create ~strict:true () in
+  let cfg = Config.make ~nodes:3 ~replication:2 in
+  let m = Membership.create engine cfg ~lease_ns:50_000.0 in
+  Membership.start m;
+  Xenic_sim.Engine.after engine 200_000.0 (fun () -> Membership.stop m);
+  ignore (Xenic_sim.Engine.run engine);
+  (* Loops exit at their next wakeup, within lease/2 of the stop. *)
+  Alcotest.(check bool) "queue drained shortly after stop" true
+    (Xenic_sim.Engine.now engine < 300_000.0);
+  Alcotest.(check bool) "no one declared dead" true
+    (List.for_all (Membership.is_alive m) [ 0; 1; 2 ]);
+  Membership.stop m;
+  ignore (Xenic_sim.Engine.run engine)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "xenic_cluster"
@@ -118,5 +136,8 @@ let () =
           Alcotest.test_case "ordered tables" `Quick test_storage_ordered;
         ] );
       ( "membership",
-        [ Alcotest.test_case "failure detection" `Quick test_membership_failure_detection ] );
+        [
+          Alcotest.test_case "failure detection" `Quick test_membership_failure_detection;
+          Alcotest.test_case "stop drains" `Quick test_membership_stop;
+        ] );
     ]
