@@ -90,6 +90,10 @@ type point = {
   median_us : float;
   p99_us : float;
   abort_rate : float;
+  sys_metrics : Metrics.t;
+      (* The system's own metrics (phase histograms, abort-reason
+         taxonomy) — distinct from the driver's measurement-window
+         metrics. *)
 }
 
 let sweep ?(concurrencies = [ 1; 2; 4; 8; 16; 32 ]) ~target ~load ~spec mk_sys =
@@ -106,6 +110,7 @@ let sweep ?(concurrencies = [ 1; 2; 4; 8; 16; 32 ]) ~target ~load ~spec mk_sys =
         median_us = result.Xenic_workload.Driver.median_latency_us;
         p99_us = result.Xenic_workload.Driver.p99_latency_us;
         abort_rate = result.Xenic_workload.Driver.abort_rate;
+        sys_metrics = sys.System.metrics;
       })
     concurrencies
 
@@ -138,6 +143,66 @@ let print_sweep ~title series =
                  Xenic_stats.Table.cellf ~decimals:1 p.median_us;
                ])
              points))
+    series;
+  Xenic_stats.Table.print t
+
+(* Merge the protocol-side metrics of every sweep point into one view
+   per system, so phase/abort tables cover the whole sweep. *)
+let merged_sys_metrics points =
+  let m = Metrics.create () in
+  List.iter (fun p -> Metrics.merge ~into:m p.sys_metrics) points;
+  m
+
+(* Per-phase latency breakdown and abort-reason tables over
+   [(system name, protocol metrics)] pairs. *)
+let print_phase_breakdown ~title series =
+  let t =
+    Xenic_stats.Table.create
+      ~title:(title ^ " -- per-phase latency breakdown")
+      ~columns:[ "system"; "phase"; "count"; "mean us"; "med us"; "p99 us" ]
+  in
+  List.iter
+    (fun (name, m) ->
+      List.iter
+        (fun (phase, h) ->
+          json_num
+            (Printf.sprintf "%s / %s phase %s mean us" title name phase)
+            (Xenic_stats.Histogram.mean h /. 1_000.0);
+          Xenic_stats.Table.add_row t
+            [
+              name;
+              phase;
+              string_of_int (Xenic_stats.Histogram.count h);
+              Xenic_stats.Table.cellf ~decimals:2
+                (Xenic_stats.Histogram.mean h /. 1_000.0);
+              Xenic_stats.Table.cellf ~decimals:2
+                (Xenic_stats.Histogram.median h /. 1_000.0);
+              Xenic_stats.Table.cellf ~decimals:2
+                (Xenic_stats.Histogram.p99 h /. 1_000.0);
+            ])
+        (Metrics.phase_stats m))
+    series;
+  Xenic_stats.Table.print t
+
+let print_abort_reasons ~title series =
+  let t =
+    Xenic_stats.Table.create
+      ~title:(title ^ " -- aborts by reason")
+      ~columns:
+        ("system"
+        :: List.map Metrics.abort_reason_name Metrics.all_abort_reasons)
+  in
+  List.iter
+    (fun (name, m) ->
+      List.iter
+        (fun (reason, n) ->
+          json_int (Printf.sprintf "%s / %s aborts %s" title name reason) n)
+        (Metrics.abort_reason_counts m);
+      Xenic_stats.Table.add_row t
+        (name
+        :: List.map
+             (fun (_, n) -> string_of_int n)
+             (Metrics.abort_reason_counts m)))
     series;
   Xenic_stats.Table.print t
 

@@ -39,6 +39,11 @@ let run_benchmark ?app_threads ?worker_threads ~title ~load ~spec ~store_cfg
       (systems ?app_threads ?worker_threads ~store_cfg ~buckets ~cache ())
   in
   Common.print_sweep ~title series;
+  let merged =
+    List.map (fun (n, pts) -> (n, Common.merged_sys_metrics pts)) series
+  in
+  Common.print_phase_breakdown ~title merged;
+  Common.print_abort_reasons ~title merged;
   let xenic_peak = Common.peak (List.assoc "Xenic" series) in
   let best_alt =
     List.fold_left
@@ -116,6 +121,7 @@ let run_tpcc_full () =
                 median_us = result.Driver.median_latency_us;
                 p99_us = result.Driver.p99_latency_us;
                 abort_rate = result.Driver.abort_rate;
+                sys_metrics = sys.System.metrics;
               })
             (concurrencies ())
         in
@@ -127,6 +133,11 @@ let run_tpcc_full () =
   in
   Common.print_sweep
     ~title:"Fig 8b: full TPC-C mix (tput = new orders/s per server)" series;
+  let merged =
+    List.map (fun (n, pts) -> (n, Common.merged_sys_metrics pts)) series
+  in
+  Common.print_phase_breakdown ~title:"Fig 8b: full TPC-C mix" merged;
+  Common.print_abort_reasons ~title:"Fig 8b: full TPC-C mix" merged;
   (* §5.3: 50 Gbps single-link comparison against DrTM+R's published
      150k new orders/s/server result. *)
   let hw50 = Xenic_params.Hw.testbed_50g in

@@ -4,7 +4,7 @@
      dune exec bench/main.exe
 
    or a subset by id: fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault
-   micro. Pass --quick (or set XENIC_QUICK=1) for reduced run sizes.
+   micro trace. Pass --quick (or set XENIC_QUICK=1) for reduced run sizes.
    Each experiment also writes its scalar metrics to BENCH_<id>.json
    in the current directory. *)
 
@@ -20,6 +20,7 @@ let experiments =
     ("fig9", "optimization ablations", Exp_fig9.run);
     ("fault", "mid-run node crash: dip and recovery", Exp_fault.run);
     ("micro", "wall-clock data structure microbenches", Exp_micro.run);
+    ("trace", "deterministic phase/utilization tracing", Exp_trace.run);
   ]
 
 let () =

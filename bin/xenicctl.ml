@@ -64,7 +64,10 @@ let build_system kind ~nodes ~replication ~store_cfg ~buckets ~cache =
         (Rdma_system.create engine hw cfg flavor
            { Rdma_system.default_params with buckets })
 
-let run_cmd system workload nodes replication concurrency target scale seed =
+(* Shared driver for the [run] and [trace] subcommands; [trace_out]
+   attaches an execution trace and writes it as Chrome trace JSON. *)
+let execute ?trace_out system workload nodes replication concurrency target
+    scale seed =
   let sb = { Smallbank.default_params with accounts_per_node = scale } in
   let rw = { Retwis.default_params with keys_per_node = scale } in
   let tp =
@@ -115,8 +118,14 @@ let run_cmd system workload nodes replication concurrency target scale seed =
     | Tpcc_no -> "tpcc-neworder")
     sys.System.name nodes replication;
   load sys;
+  let trace =
+    match trace_out with
+    | None -> None
+    | Some _ -> Some (Xenic_sim.Trace.create sys.System.engine)
+  in
   let result =
-    Driver.run ~seed:(Int64.of_int seed) sys (spec sys) ~concurrency ~target
+    Driver.run ~seed:(Int64.of_int seed) ?trace sys (spec sys) ~concurrency
+      ~target
   in
   Printf.printf
     "%s: %.0f txn/s/server, median %.1fus, p99 %.1fus, abort rate %.1f%%\n"
@@ -125,7 +134,48 @@ let run_cmd system workload nodes replication concurrency target scale seed =
     (100.0 *. result.Driver.abort_rate);
   List.iter
     (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v)
-    (Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics))
+    (Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics));
+  match (trace_out, trace) with
+  | Some path, Some tr ->
+      Xenic_sim.Trace.write_chrome_json tr path;
+      Printf.printf "wrote %d trace events (%d dropped) to %s\n"
+        (Xenic_sim.Trace.count tr)
+        (Xenic_sim.Trace.dropped tr)
+        path;
+      let m = sys.System.metrics in
+      let t =
+        Xenic_stats.Table.create ~title:"Per-phase latency breakdown"
+          ~columns:[ "phase"; "count"; "mean us"; "med us"; "p99 us" ]
+      in
+      List.iter
+        (fun (phase, h) ->
+          Xenic_stats.Table.add_row t
+            [
+              phase;
+              string_of_int (Xenic_stats.Histogram.count h);
+              Xenic_stats.Table.cellf ~decimals:2
+                (Xenic_stats.Histogram.mean h /. 1_000.0);
+              Xenic_stats.Table.cellf ~decimals:2
+                (Xenic_stats.Histogram.median h /. 1_000.0);
+              Xenic_stats.Table.cellf ~decimals:2
+                (Xenic_stats.Histogram.p99 h /. 1_000.0);
+            ])
+        (Metrics.phase_stats m);
+      Xenic_stats.Table.print t;
+      let ar =
+        Xenic_stats.Table.create ~title:"Aborts by reason"
+          ~columns:[ "reason"; "count" ]
+      in
+      List.iter
+        (fun (reason, n) ->
+          Xenic_stats.Table.add_row ar [ reason; string_of_int n ])
+        (Metrics.abort_reason_counts m);
+      Xenic_stats.Table.print ar
+  | _ -> ()
+
+let run_cmd = execute ?trace_out:None
+
+let trace_cmd out = execute ~trace_out:out
 
 let cmd =
   let system =
@@ -148,11 +198,36 @@ let cmd =
     Arg.(value & opt int 20_000 & info [ "scale" ] ~doc:"Keys/accounts per node (drives TPC-C warehouses).")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload RNG seed.") in
-  let term =
+  let out =
+    Arg.(
+      value
+      & opt string "xenic_trace.json"
+      & info [ "out"; "o" ]
+          ~doc:"Trace output path (Chrome trace_event JSON).")
+  in
+  let run_term =
     Term.(
       const run_cmd $ system $ workload $ nodes $ replication $ concurrency
       $ target $ scale $ seed)
   in
-  Cmd.v (Cmd.info "xenicctl" ~doc:"Run Xenic-reproduction benchmarks") term
+  let trace_term =
+    Term.(
+      const trace_cmd $ out $ system $ workload $ nodes $ replication
+      $ concurrency $ target $ scale $ seed)
+  in
+  Cmd.group
+    (Cmd.info "xenicctl" ~doc:"Run Xenic-reproduction benchmarks")
+    [
+      Cmd.v
+        (Cmd.info "run" ~doc:"Run a benchmark and print summary metrics.")
+        run_term;
+      Cmd.v
+        (Cmd.info "trace"
+           ~doc:
+             "Run a benchmark with the execution trace attached; write \
+              Chrome trace JSON and print the per-phase latency breakdown \
+              and abort-reason taxonomy.")
+        trace_term;
+    ]
 
 let () = exit (Cmd.eval cmd)

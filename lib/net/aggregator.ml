@@ -5,6 +5,11 @@ type 'm pending = {
   mutable bytes : int;
   mutable count : int;
   mutable timer_armed : bool;
+  (* Bumped on every flush. A window timer captures the generation it
+     was armed in and becomes a no-op if the batch it was guarding was
+     already flushed (e.g. by the size trigger) — otherwise the stale
+     timer would cut the next batch's aggregation window short. *)
+  mutable gen : int;
 }
 
 type 'm t = {
@@ -23,7 +28,7 @@ let create fabric ~src ~enabled =
     enabled;
     dests =
       Array.init (Fabric.nodes fabric) (fun _ ->
-          { msgs = []; bytes = 0; count = 0; timer_armed = false });
+          { msgs = []; bytes = 0; count = 0; timer_armed = false; gen = 0 });
     frames = 0;
     messages = 0;
   }
@@ -37,7 +42,9 @@ let flush t dst =
       (List.rev p.msgs);
     p.msgs <- [];
     p.bytes <- 0;
-    p.count <- 0
+    p.count <- 0;
+    p.gen <- p.gen + 1;
+    p.timer_armed <- false
   end
 
 let push t ~dst ~bytes msg =
@@ -58,9 +65,12 @@ let push t ~dst ~bytes msg =
       if p.bytes >= hw.mtu_b || p.count >= hw.agg_max_msgs then flush t dst
       else if not p.timer_armed then begin
         p.timer_armed <- true;
+        let gen = p.gen in
         Engine.after (Fabric.engine t.fabric) hw.agg_window_ns (fun () ->
-            p.timer_armed <- false;
-            flush t dst)
+            if p.gen = gen then begin
+              p.timer_armed <- false;
+              flush t dst
+            end)
       end
     end
   end

@@ -70,6 +70,10 @@ let loopback t ~node msgs =
   let packet = { Packet.src = node; dst = node; wire_bytes = 0; msgs } in
   Mailbox.send t.node_arr.(node).inbox packet
 
+let link_busy t ~node =
+  Resource.in_use t.node_arr.(node).tx
+  + Resource.in_use t.node_arr.(node).rx_link
+
 let frames_sent t = t.frames
 
 let bytes_sent t = t.bytes

@@ -36,6 +36,10 @@ val loopback : 'm t -> node:int -> 'm list -> unit
     covers the verb's headers and data only. *)
 val transfer : 'm t -> src:int -> dst:int -> payload_bytes:int -> unit
 
+(** Link units (TX + RX) of [node] held right now, in [0, 2]; for
+    utilization-timeline sampling. *)
+val link_busy : 'm t -> node:int -> int
+
 (** Wire accounting: total frames and bytes transmitted. *)
 val frames_sent : 'm t -> int
 

@@ -117,3 +117,8 @@ let utilization t =
       0.0 t.queues
   in
   total /. float_of_int (Array.length t.queues)
+
+let queues_busy t =
+  Array.fold_left
+    (fun acc q -> acc + Resource.in_use q.engine_res)
+    0 t.queues

@@ -82,6 +82,7 @@ type t = {
   mutable inflight_commits : int;  (* txns between LOG start and COMMIT *)
   mutable recovery_waiting : int;  (* pending recoveries gating the fence *)
   mutable membership : Membership.t option;
+  mutable trace : Trace.t option;
 }
 
 let engine t = t.engine
@@ -93,6 +94,27 @@ let flavor t = t.flavor
 let metrics t = t.metrics
 
 let counters t = Metrics.counters t.metrics
+
+let set_trace t tr = t.trace <- tr
+
+(* Phase/recovery events for the trace (no-ops with tracing off). *)
+let trace_instant t ~cat ~name ~pid ~tid args =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.instant tr ~cat ~name ~pid ~tid ~args ()
+
+(* Close one protocol phase: record its latency sample and, when
+   tracing, a span on the coordinator's track. Returns the new phase
+   start. *)
+let phase_mark t ~src ~seq name t_prev =
+  let now = Engine.now t.engine in
+  Metrics.record_phase t.metrics ~phase:name (now -. t_prev);
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.span tr ~cat:"txn" ~name ~pid:src ~tid:seq ~ts:t_prev
+        ~dur:(now -. t_prev) ());
+  now
 
 let store t ~node ~shard =
   match t.nodes.(node).stores.(shard) with
@@ -471,6 +493,7 @@ let create engine hw cfg flavor p =
       inflight_commits = 0;
       recovery_waiting = 0;
       membership = None;
+      trace = None;
     }
   in
   Array.iter
@@ -515,6 +538,21 @@ let peek_range t ~node ~lo ~hi =
 let host_utilization t =
   Array.fold_left (fun acc n -> acc +. Resource.utilization n.host) 0.0 t.nodes
   /. float_of_int (Array.length t.nodes)
+
+(* Instantaneous-occupancy gauges for the trace sampler (RDMA baselines
+   have no SmartNIC: links and host pools only). *)
+let util_sources t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun n ->
+         [
+           ( Printf.sprintf "node%d link" n.id,
+             fun () ->
+               float_of_int (Xenic_net.Fabric.link_busy t.fabric ~node:n.id) );
+           ( Printf.sprintf "node%d host pool" n.id,
+             fun () -> float_of_int (Resource.in_use n.host) );
+           ( Printf.sprintf "node%d worker pool" n.id,
+             fun () -> float_of_int (Resource.in_use n.workers) );
+         ])
 
 let quiesce t =
   let rec wait () =
@@ -1177,11 +1215,15 @@ let fence_acquire t ~src ~epoch0 =
 let fence_release t = t.inflight_commits <- t.inflight_commits - 1
 
 let rec attempt t ~node ~epoch0 (txn : Types.t) :
-    [ `Committed | `Aborted | `Retry ] =
+    [ `Committed
+    | `Aborted of Metrics.abort_reason
+    | `Retry of Metrics.abort_reason ] =
   let n = t.nodes.(node) in
   n.txn_seq <- n.txn_seq + 1;
   let owner = (node * 1_000_000_000) + n.txn_seq in
   let src = node in
+  let t0 = Engine.now t.engine in
+  let mark name t_prev = phase_mark t ~src ~seq:n.txn_seq name t_prev in
   (* DrTM+R locks every accessed key; the others lock only writes. *)
   let lock_keys =
     match t.flavor with
@@ -1206,7 +1248,7 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
   in
   if List.exists (fun r -> r = `Down) exec_reads_r then
     (* No locks are held yet: a dead primary just fails the attempt. *)
-    `Retry
+    `Retry Metrics.Timeout
   else
   let exec_reads =
     List.filter_map (function `Ok e -> Some e | `Down -> None) exec_reads_r
@@ -1260,7 +1302,7 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
                        keys)))
   in
   match lock_result with
-  | `Fail -> `Aborted
+  | `Fail -> `Aborted Metrics.Lock_conflict
   | `Down ->
       (* A `Down shard's lock request may still have taken its locks at
          a live primary after the coordinator stopped listening (the
@@ -1268,8 +1310,9 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
          requested footprint — unlock is owner-guarded, so releasing a
          lock never taken is a no-op. *)
       release_keys lock_keys;
-      `Retry
+      `Retry Metrics.Timeout
   | `Ok (locked_entries, read_results_pre) -> (
+      let t1 = mark "execute" t0 in
       let abort_all () =
         release_keys (List.map (fun (k, _, _) -> k) locked_entries)
       in
@@ -1287,7 +1330,7 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
       if not lock_matches_read then begin
         Xenic_stats.Counter.incr (counters t) "lock_version_conflicts";
         abort_all ();
-        `Aborted
+        `Aborted Metrics.Validation_failure
       end
       else
       let values = read_results @ locked_entries in
@@ -1304,7 +1347,10 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
       match txn.exec view with
       | Types.More { read; lock } ->
           abort_all ();
-          if List.length txn.read_set > 256 then `Aborted
+          if List.length txn.read_set > 256 then
+            (* Footprint growth the lock acquisition could not keep up
+               with (same taxonomy as Xenic's round-budget overflow). *)
+            `Aborted Metrics.Lock_conflict
           else
             attempt t ~node ~epoch0
               {
@@ -1313,6 +1359,7 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
                 write_set = List.sort_uniq compare (txn.write_set @ lock);
               }
       | Types.Done ops ->
+      let t2 = mark "exec-fn" t1 in
       (* Validate read-only keys. *)
       let checks =
         List.filter_map
@@ -1326,14 +1373,15 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
         if checks = [] then `Valid
         else validate_phase t ~epoch0 ~src ~owner checks
       in
+      let t3 = mark "validate" t2 in
       match valid with
       | `Down ->
           abort_all ();
-          `Retry
+          `Retry Metrics.Timeout
       | `Invalid ->
           Xenic_stats.Counter.incr (counters t) "validate_conflicts";
           abort_all ();
-          `Aborted
+          `Aborted Metrics.Validation_failure
       | `Valid ->
           if ops = [] && lock_keys = [] then begin
             oracle_commit t ~id:owner ~read_results ~locked_entries
@@ -1378,9 +1426,11 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
             in
             if not (armed t) then begin
               log_phase t ~src ~decision:(ref Dcommit) seq_ops_by_shard;
+              let t4 = mark "log" t3 in
               commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard;
               release_residual ();
               oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops;
+              ignore (mark "commit" t4);
               `Committed
             end
             else if not (fence_acquire t ~src ~epoch0) then begin
@@ -1388,16 +1438,17 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
                  and commit: abort before the first LOG byte. *)
               Xenic_stats.Counter.incr (counters t) "fence_refusals";
               abort_all ();
-              `Retry
+              `Retry Metrics.Stale_epoch
             end
             else begin
               let decision = ref Dpending in
               log_phase t ~src ~decision seq_ops_by_shard;
+              let t4 = mark "log" t3 in
               if t.crashed.(src) then begin
                 (* Died mid-LOG: never decide; backups discard. *)
                 decision := Dabort;
                 fence_release t;
-                `Aborted
+                `Aborted Metrics.Crashed_owner
               end
               else begin
                 (* Commit point: decide and hand COMMIT to the fabric
@@ -1408,27 +1459,49 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
                 commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard;
                 release_residual ();
                 fence_release t;
+                ignore (mark "commit" t4);
                 `Committed
               end
             end
           end)
 
 let run_txn t ~node (txn : Types.t) =
+  let t_start = Engine.now t.engine in
+  (* One taxonomy reason per [Types.Aborted] returned to the caller, so
+     reason counts always sum to this metrics object's
+     aborted-transaction count. *)
+  let abort_with reason =
+    Metrics.record t.metrics ~latency_ns:(Engine.now t.engine -. t_start)
+      Types.Aborted;
+    Metrics.record_abort_reason t.metrics reason;
+    trace_instant t ~cat:"txn" ~name:"abort" ~pid:node
+      ~tid:t.nodes.(node).txn_seq
+      [ ("reason", Metrics.abort_reason_name reason) ];
+    Types.Aborted
+  in
+  let commit () =
+    Metrics.record t.metrics ~latency_ns:(Engine.now t.engine -. t_start)
+      Types.Committed;
+    Types.Committed
+  in
   if not (armed t) then
     match attempt t ~node ~epoch0:t.epoch txn with
-    | `Committed -> Types.Committed
-    | `Aborted -> Types.Aborted
-    | `Retry -> assert false
+    | `Committed -> commit ()
+    | `Aborted reason -> abort_with reason
+    | `Retry _ -> assert false
   else
     let rec go att backoff =
-      if t.crashed.(node) then Types.Aborted
+      if t.crashed.(node) then abort_with Metrics.Crashed_owner
       else
         match attempt t ~node ~epoch0:t.epoch txn with
-        | `Committed -> Types.Committed
-        | `Aborted -> Types.Aborted
-        | `Retry ->
+        | `Committed -> commit ()
+        | `Aborted reason -> abort_with reason
+        | `Retry reason ->
             Xenic_stats.Counter.incr (counters t) "txn_retries";
-            if att >= t.p.max_retries then Types.Aborted
+            trace_instant t ~cat:"txn" ~name:"retry" ~pid:node
+              ~tid:t.nodes.(node).txn_seq
+              [ ("reason", Metrics.abort_reason_name reason) ];
+            if att >= t.p.max_retries then abort_with reason
             else begin
               Process.sleep t.engine backoff;
               go (att + 1) (backoff *. 2.0)
@@ -1472,6 +1545,8 @@ let recover t =
     end
   in
   wait_fence ();
+  trace_instant t ~cat:"recovery" ~name:"recovery-start" ~pid:0 ~tid:0
+    [ ("epoch", string_of_int t.epoch) ];
   sweep_dead_owner_locks t;
   Array.iteri
     (fun shard p ->
@@ -1496,10 +1571,14 @@ let recover t =
             in
             drain ();
             t.primaries.(shard) <- np;
+            trace_instant t ~cat:"recovery" ~name:"promote" ~pid:np ~tid:0
+              [ ("shard", string_of_int shard) ];
             Xenic_stats.Counter.incr (counters t) "recovery_promotions"
       end)
     t.primaries;
-  t.recovery_waiting <- t.recovery_waiting - 1
+  t.recovery_waiting <- t.recovery_waiting - 1;
+  trace_instant t ~cat:"recovery" ~name:"recovery-done" ~pid:0 ~tid:0
+    [ ("epoch", string_of_int t.epoch) ]
 
 let attach_membership t m =
   t.membership <- Some m;
@@ -1507,6 +1586,8 @@ let attach_membership t m =
       (* Synchronous with the declaration: freeze routing atomically,
          then recover in the background. *)
       t.epoch <- t.epoch + 1;
+      trace_instant t ~cat:"recovery" ~name:"epoch-bump" ~pid:0 ~tid:0
+        [ ("epoch", string_of_int t.epoch) ];
       List.iter
         (fun n ->
           t.alive.(n) <- false;
@@ -1518,6 +1599,7 @@ let attach_membership t m =
 let crash_node t ~node =
   if not t.crashed.(node) then begin
     Xenic_stats.Counter.incr (counters t) "node_crashes";
+    trace_instant t ~cat:"recovery" ~name:"crash" ~pid:node ~tid:0 [];
     t.crashed.(node) <- true;
     match t.membership with
     | Some m -> Membership.fail_node m ~node

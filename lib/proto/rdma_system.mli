@@ -86,6 +86,15 @@ val peek_range :
 
 val host_utilization : t -> float
 
+(** Attach (or detach, with [None]) a trace: protocol phases become
+    spans on the coordinator's track, aborts/retries/recovery steps
+    become instant events. *)
+val set_trace : t -> Xenic_sim.Trace.t option -> unit
+
+(** Instantaneous-occupancy gauges (links, host pools) for
+    {!Xenic_sim.Trace.sampler}. *)
+val util_sources : t -> (string * (unit -> float)) list
+
 (** {2 Reconfiguration}
 
     Mirrors {!Xenic_system}'s mid-run fault handling: with

@@ -20,6 +20,8 @@ type t = {
   crash_node : node:int -> unit;
   node_alive : node:int -> bool;
   stop_background : unit -> unit;
+  set_trace : Xenic_sim.Trace.t option -> unit;
+  util_sources : unit -> (string * (unit -> float)) list;
 }
 
 let of_xenic x =
@@ -47,6 +49,8 @@ let of_xenic x =
     crash_node = (fun ~node -> Xenic_system.crash_node x ~node);
     node_alive = (fun ~node -> Xenic_system.node_alive x ~node);
     stop_background = (fun () -> Xenic_system.stop_background x);
+    set_trace = (fun tr -> Xenic_system.set_trace x tr);
+    util_sources = (fun () -> Xenic_system.util_sources x);
   }
 
 let of_rdma r =
@@ -70,4 +74,6 @@ let of_rdma r =
     crash_node = (fun ~node -> Rdma_system.crash_node r ~node);
     node_alive = (fun ~node -> Rdma_system.node_alive r ~node);
     stop_background = (fun () -> Rdma_system.stop_background r);
+    set_trace = (fun tr -> Rdma_system.set_trace r tr);
+    util_sources = (fun () -> Rdma_system.util_sources r);
   }

@@ -28,6 +28,10 @@ type t = {
   stop_background : unit -> unit;
       (** Stop background services (membership loops) so the engine can
           drain. *)
+  set_trace : Xenic_sim.Trace.t option -> unit;
+      (** Attach/detach an execution trace; see {!Xenic_system.set_trace}. *)
+  util_sources : unit -> (string * (unit -> float)) list;
+      (** Instantaneous-occupancy gauges for {!Xenic_sim.Trace.sampler}. *)
 }
 
 val of_xenic : Xenic_system.t -> t

@@ -111,6 +111,7 @@ type t = {
          admits no new transaction *)
   mutable membership : Membership.t option;
   mutable oracle : Oracle.t option;
+  mutable trace : Trace.t option;
 }
 
 (* Timeout/fault machinery armed? *)
@@ -142,6 +143,14 @@ let config t = t.cfg
 let metrics t = t.metrics
 
 let counters t = Metrics.counters t.metrics
+
+let set_trace t tr = t.trace <- tr
+
+(* Phase/recovery events for the trace (no-ops with tracing off). *)
+let trace_instant t ~cat ~name ~pid ~tid args =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.instant tr ~cat ~name ~pid ~tid ~args ()
 
 (* Temporary debugging hook: trace every protocol event touching a key. *)
 let debug_key : int option ref = ref None
@@ -615,6 +624,7 @@ let create engine hw cfg p =
       recovery_waiting = 0;
       membership = None;
       oracle = None;
+      trace = None;
     }
   in
   Array.iter
@@ -1019,21 +1029,34 @@ let group_by_shard_checks checks =
 
 let profile = Sys.getenv_opt "XENIC_PROFILE" <> None
 
+(* Close one protocol phase: record its latency histogram sample and,
+   when tracing, a span on the coordinator's track keyed by the
+   transaction's sequence number. Returns the new phase start. *)
+let phase_mark t ~src ~seq name t_prev =
+  let now = Engine.now t.engine in
+  if profile then Printf.printf "phase %-10s %7.0fns\n%!" name (now -. t_prev);
+  Metrics.record_phase t.metrics ~phase:name (now -. t_prev);
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.span tr ~cat:"txn" ~name ~pid:src ~tid:seq ~ts:t_prev
+        ~dur:(now -. t_prev) ());
+  now
+
 (* One attempt of the standard distributed commit. [`Retry]: the
    attempt ran into a dead or reconfigured peer — locks on surviving
    primaries have been released; the caller should back off and retry
-   against fresh routing (armed mode only). *)
+   against fresh routing (armed mode only). Aborts and retries carry
+   their taxonomy reason. *)
 let distributed_txn t node (txn : Types.t) id :
-    [ `Committed | `Aborted | `Retry ] =
+    [ `Committed
+    | `Aborted of Metrics.abort_reason
+    | `Retry of Metrics.abort_reason ] =
   let owner = owner_token id in
   let src = node.id in
   let epoch0 = t.epoch in
   let t0 = Engine.now t.engine in
-  let mark name t_prev =
-    let now = Engine.now t.engine in
-    if profile then Printf.printf "phase %-10s %7.0fns\n%!" name (now -. t_prev);
-    now
-  in
+  let mark name t_prev = phase_mark t ~src ~seq:id.Types.seq name t_prev in
   let reads_by_shard = group_by_shard txn.read_set in
   let locks_by_shard_keys = group_by_shard txn.write_set in
   let results =
@@ -1069,11 +1092,11 @@ let distributed_txn t node (txn : Types.t) id :
   if List.exists (fun (_, _, r) -> r = `Dead) results then begin
     abort_everywhere t ~src ~owner
       ~locks_by_shard:(broaden acquired locks_by_shard_keys);
-    `Retry
+    `Retry Metrics.Timeout
   end
   else if List.exists (fun (_, _, r) -> r = `Fail) results then begin
     abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-    `Aborted
+    `Aborted Metrics.Lock_conflict
   end
   else begin
     let lock_versions =
@@ -1104,7 +1127,10 @@ let distributed_txn t node (txn : Types.t) id :
       | Types.More _ when round >= max_rounds ->
           Xenic_stats.Counter.incr (counters t) "multishot_overflow";
           abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-          `Aborted
+          (* A round-budget overflow is footprint growth the lock
+             acquisition could not keep up with; taxonomy-wise it is a
+             lock-conflict abort (see DESIGN.md §8). *)
+          `Aborted Metrics.Lock_conflict
       | Types.More { read; lock } -> (
           Xenic_stats.Counter.incr (counters t) "multishot_rounds";
           let read = List.filter (fun k -> not (List.mem k locked_keys)) read in
@@ -1119,11 +1145,11 @@ let distributed_txn t node (txn : Types.t) id :
           if List.exists (fun (_, _, r) -> r = `Dead) extra then begin
             abort_everywhere t ~src ~owner
               ~locks_by_shard:(broaden acquired requested);
-            `Retry
+            `Retry Metrics.Timeout
           end
           else if List.exists (fun (_, _, r) -> r = `Fail) extra then begin
             abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-            `Aborted
+            `Aborted Metrics.Lock_conflict
           end
           else
             let extra_lv =
@@ -1163,10 +1189,10 @@ let distributed_txn t node (txn : Types.t) id :
           match valid with
           | `Dead ->
               abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-              `Retry
+              `Retry Metrics.Timeout
           | `Invalid ->
               abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-              `Aborted
+              `Aborted Metrics.Validation_failure
           | `Valid ->
               if ops = [] && locked_keys = [] then begin
                 oracle_commit t ~id ~values ~lock_versions ~seq_ops:[];
@@ -1191,7 +1217,7 @@ let distributed_txn t node (txn : Types.t) id :
                 if not (armed t) then begin
                   (* Legacy fast path: no fence, records born decided. *)
                   log_phase t ~src ~decision:(ref Dcommit) ~seq_ops_by_shard;
-                  ignore (mark "log" t3);
+                  let t4 = mark "log" t3 in
                   commit_phase t ~src ~owner ~locks_by_shard:acquired
                     ~seq_ops_by_shard;
                   (* Release any locked keys that were not written. *)
@@ -1209,6 +1235,7 @@ let distributed_txn t node (txn : Types.t) id :
                   if residual <> [] then
                     abort_everywhere t ~src ~owner ~locks_by_shard:residual;
                   oracle_commit t ~id ~values ~lock_versions ~seq_ops;
+                  ignore (mark "commit" t4);
                   `Committed
                 end
                 else if not (fence_acquire t ~src ~epoch0) then begin
@@ -1217,19 +1244,19 @@ let distributed_txn t node (txn : Types.t) id :
                      LOG byte is sent, so no replica diverges. *)
                   Xenic_stats.Counter.incr (counters t) "fence_refusals";
                   abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
-                  `Retry
+                  `Retry Metrics.Stale_epoch
                 end
                 else begin
                   let decision = ref Dpending in
                   log_phase t ~src ~decision ~seq_ops_by_shard;
-                  ignore (mark "log" t3);
+                  let t4 = mark "log" t3 in
                   if t.crashed.(src) then begin
                     (* We died mid-LOG: never decide. Backups discard
                        the pending records; our locks die with us or
                        are swept at the declaration. *)
                     decision := Dabort;
                     fence_release t;
-                    `Aborted
+                    `Aborted Metrics.Crashed_owner
                   end
                   else begin
                     (* Commit point: one atomic step — no suspension
@@ -1253,6 +1280,7 @@ let distributed_txn t node (txn : Types.t) id :
                     if residual <> [] then
                       abort_everywhere t ~src ~owner ~locks_by_shard:residual;
                     fence_release t;
+                    ignore (mark "commit" t4);
                     `Committed
                   end
                 end
@@ -1261,13 +1289,6 @@ let distributed_txn t node (txn : Types.t) id :
     rounds ~values ~lock_versions ~acquired ~locked_keys:txn.write_set
       ~requested:locks_by_shard_keys ~round:1
   end
-
-(* Collapse an attempt result on a path that only runs un-armed
-   (multi-hop, legacy dispatch), where [`Retry] cannot occur. *)
-let legacy_outcome = function
-  | `Committed -> Types.Committed
-  | `Aborted -> Types.Aborted
-  | `Retry -> assert false
 
 (* -- Multi-hop OCC (§4.2.3) ----------------------------------------- *)
 
@@ -1299,9 +1320,12 @@ let multihop_eligible t node (txn : Types.t) =
    sends P1 the local shard's new values. P1 commits locally and sends
    P2 its COMMIT. One network message delay shorter than the
    request/response pattern (Fig 7). *)
-let multihop_txn t node (txn : Types.t) id =
+let multihop_txn t node (txn : Types.t) id :
+    [ `Committed | `Aborted of Metrics.abort_reason ] =
   let owner = owner_token id in
   let src = node.id in
+  let t0 = Engine.now t.engine in
+  let mark name t_prev = phase_mark t ~src ~seq:id.Types.seq name t_prev in
   let is_local k = primary_of t ~shard:(Keyspace.shard k) = src in
   let local_keys, remote_keys = List.partition is_local txn.write_set in
   let local_reads, remote_reads = List.partition is_local txn.read_set in
@@ -1323,8 +1347,9 @@ let multihop_txn t node (txn : Types.t) id =
     else execute_handler t node ~owner ~locks:local_keys ~reads:local_reads ()
   in
   match local_result with
-  | `Fail -> Types.Aborted
+  | `Fail -> `Aborted Metrics.Lock_conflict
   | `Ok (local_lockv, local_values) -> (
+      let t1 = mark "execute" t0 in
       (* Expected completions at P1: one LOG response per backup of
          each written shard, plus P2's ExecDone. *)
       let result =
@@ -1430,17 +1455,22 @@ let multihop_txn t node (txn : Types.t) id =
                         maybe_finish ())))
       in
       match result with
-      | `Fail | `Multishot ->
+      | `Fail | `Multishot -> (
           if local_lockv <> [] then
             abort_handler t node ~owner ~locked:(List.map fst local_lockv) ();
           if result = `Multishot then begin
             (* Single-round restriction: replay through the standard
-               distributed path, which supports multi-shot execution. *)
+               distributed path, which supports multi-shot execution.
+               The replay only runs un-armed (multi-hop eligibility
+               requires it), so [`Retry] cannot occur. *)
             Xenic_stats.Counter.incr (counters t) "multihop_escalations";
-            legacy_outcome (distributed_txn t node txn id)
+            match distributed_txn t node txn id with
+            | `Retry _ -> assert false
+            | (`Committed | `Aborted _) as r -> r
           end
-          else Types.Aborted
+          else `Aborted Metrics.Lock_conflict)
       | `Ok (p1_seq_ops, p2_seq_ops, remote_lockv, remote_values) ->
+          let t2 = mark "log" t1 in
           (* Committed. Apply the local commit at our own NIC and send
              COMMIT to P2 asynchronously. *)
           (match (p1_seq_ops, local_shard) with
@@ -1463,7 +1493,8 @@ let multihop_txn t node (txn : Types.t) id =
             ~values:(local_values @ remote_values)
             ~lock_versions:(local_lockv @ remote_lockv)
             ~seq_ops:(p1_seq_ops @ p2_seq_ops);
-          Types.Committed)
+          ignore (mark "commit" t2);
+          `Committed)
 
 (* -- Local fast path (§4.2.4) --------------------------------------- *)
 
@@ -1471,10 +1502,14 @@ let multihop_txn t node (txn : Types.t) id =
    host-side structures; write transactions then lock/validate at the
    local NIC index before replicating. *)
 let local_txn t node ~shard (txn : Types.t) id :
-    [ `Committed | `Aborted | `Retry ] =
+    [ `Committed
+    | `Aborted of Metrics.abort_reason
+    | `Retry of Metrics.abort_reason ] =
   let owner = owner_token id in
   let src = node.id in
   let epoch0 = t.epoch in
+  let t0 = Engine.now t.engine in
+  let mark name t_prev = phase_mark t ~src ~seq:id.Types.seq name t_prev in
   Resource.acquire node.app;
   let values =
     List.map
@@ -1492,6 +1527,7 @@ let local_txn t node ~shard (txn : Types.t) id :
   Process.sleep t.engine txn.host_exec_ns;
   let exec_result = txn.exec (view_of values) in
   Resource.release node.app;
+  let t1 = mark "execute" t0 in
   match exec_result with
   | Types.More _ ->
       (* Multi-shot transactions leave the fast path; no locks are held
@@ -1512,13 +1548,14 @@ let local_txn t node ~shard (txn : Types.t) id :
           | None -> seq = 0)
         values
     in
+    ignore (mark "validate" t1);
     if ok then begin
       oracle_commit t ~id ~values ~lock_versions:[] ~seq_ops:[];
       `Committed
     end
     else begin
       Xenic_stats.Counter.incr (counters t) "validate_conflicts_local_ro";
-      `Aborted
+      `Aborted Metrics.Validation_failure
     end
   end
   else begin
@@ -1545,10 +1582,10 @@ let local_txn t node ~shard (txn : Types.t) id :
                     List.iter
                       (fun (k', _) -> Xenic_store.Nic_index.unlock idx k' ~owner)
                       acc;
-                    `Fail)
+                    `Lock_fail)
           in
           match acquire [] txn.write_set with
-          | `Fail -> `Fail
+          | `Lock_fail -> `Lock_fail
           | `Ok lockv ->
               (* Validate the host-read versions against the NIC's
                  authoritative metadata. *)
@@ -1579,18 +1616,23 @@ let local_txn t node ~shard (txn : Types.t) id :
                   (fun (k, _) -> Xenic_store.Nic_index.unlock idx k ~owner)
                   lockv;
                 Xenic_stats.Counter.incr (counters t) "validate_conflicts_local_w";
-                `Fail
+                `Validate_fail
               end)
     in
     match lock_result with
-    | `Fail ->
+    | `Lock_fail ->
         Smartnic.host_msg node.nic;
-        `Aborted
+        `Aborted Metrics.Lock_conflict
+    | `Validate_fail ->
+        Smartnic.host_msg node.nic;
+        `Aborted Metrics.Validation_failure
     | `Ok lock_versions ->
+        let t2 = mark "validate" t1 in
         let seq_ops = seq_ops_of ~lock_versions ops in
         if not (armed t) then begin
           log_phase t ~src ~decision:(ref Dcommit)
             ~seq_ops_by_shard:[ (shard, seq_ops) ];
+          ignore (mark "log" t2);
           (* Committed: report to the host; apply the commit at our own
              NIC asynchronously. *)
           Process.spawn t.engine (fun () ->
@@ -1604,17 +1646,18 @@ let local_txn t node ~shard (txn : Types.t) id :
           Xenic_stats.Counter.incr (counters t) "fence_refusals";
           abort_handler t node ~owner ~locked:txn.write_set ();
           Smartnic.host_msg node.nic;
-          `Retry
+          `Retry Metrics.Stale_epoch
         end
         else begin
           let decision = ref Dpending in
           log_phase t ~src ~decision ~seq_ops_by_shard:[ (shard, seq_ops) ];
+          ignore (mark "log" t2);
           if t.crashed.(src) then begin
             (* Crashed mid-LOG: the pending backup records are
                discarded; our locks die with the NIC. *)
             decision := Dabort;
             fence_release t;
-            `Aborted
+            `Aborted Metrics.Crashed_owner
           end
           else begin
             decision := Dcommit;
@@ -1636,6 +1679,7 @@ let node_alive t ~node = t.alive.(node) && not t.crashed.(node)
 
 let run_txn t ~node (txn : Types.t) =
   let n = t.nodes.(node) in
+  let t_start = Engine.now t.engine in
   (* One attempt against current routing. Each attempt gets a fresh id
      so lock owner tokens never collide across retries. *)
   let dispatch () =
@@ -1649,8 +1693,8 @@ let run_txn t ~node (txn : Types.t) =
         if multihop_eligible t n txn then begin
           Xenic_stats.Counter.incr (counters t) "txns_multihop";
           (match multihop_txn t n txn id with
-          | Types.Committed -> `Committed
-          | Types.Aborted -> `Aborted)
+          | `Committed -> `Committed
+          | `Aborted reason -> `Aborted reason)
         end
         else begin
           Xenic_stats.Counter.incr (counters t) "txns_distributed";
@@ -1662,22 +1706,43 @@ let run_txn t ~node (txn : Types.t) =
           result
         end
   in
+  (* One taxonomy reason is counted per [Types.Aborted] returned to the
+     caller (never per internal attempt), so reason counts always sum
+     to this metrics object's aborted-transaction count. *)
+  let abort_with reason =
+    Metrics.record t.metrics ~latency_ns:(Engine.now t.engine -. t_start)
+      Types.Aborted;
+    Metrics.record_abort_reason t.metrics reason;
+    trace_instant t ~cat:"txn" ~name:"abort" ~pid:node ~tid:n.txn_seq
+      [ ("reason", Metrics.abort_reason_name reason) ];
+    Types.Aborted
+  in
+  let commit () =
+    Metrics.record t.metrics ~latency_ns:(Engine.now t.engine -. t_start)
+      Types.Committed;
+    Types.Committed
+  in
   if not (armed t) then begin
     if not t.alive.(node) then invalid_arg "run_txn: coordinator is dead";
-    legacy_outcome (dispatch ())
+    match dispatch () with
+    | `Committed -> commit ()
+    | `Aborted reason -> abort_with reason
+    | `Retry _ -> assert false
   end
   else
     (* Armed: retry attempts that ran into a dead peer, with
        exponential backoff so reconfiguration can complete. *)
     let rec go attempt backoff =
-      if not (node_alive t ~node) then Types.Aborted
+      if not (node_alive t ~node) then abort_with Metrics.Crashed_owner
       else
         match dispatch () with
-        | `Committed -> Types.Committed
-        | `Aborted -> Types.Aborted
-        | `Retry ->
+        | `Committed -> commit ()
+        | `Aborted reason -> abort_with reason
+        | `Retry reason ->
             Xenic_stats.Counter.incr (counters t) "txn_retries";
-            if attempt >= t.p.max_retries then Types.Aborted
+            trace_instant t ~cat:"txn" ~name:"retry" ~pid:node ~tid:n.txn_seq
+              [ ("reason", Metrics.abort_reason_name reason) ];
+            if attempt >= t.p.max_retries then abort_with reason
             else begin
               Process.sleep t.engine backoff;
               go (attempt + 1) (backoff *. 2.0)
@@ -1825,6 +1890,8 @@ let recover t =
     end
   in
   wait_fence ();
+  trace_instant t ~cat:"recovery" ~name:"recovery-start" ~pid:0 ~tid:0
+    [ ("epoch", string_of_int t.epoch) ];
   sweep_dead_owner_locks t;
   Array.iteri
     (fun shard p ->
@@ -1851,11 +1918,15 @@ let recover t =
               end
             in
             drain ());
-        ignore (promote t ~shard);
+        let np = promote t ~shard in
+        trace_instant t ~cat:"recovery" ~name:"promote" ~pid:np ~tid:0
+          [ ("shard", string_of_int shard) ];
         Xenic_stats.Counter.incr (counters t) "recovery_promotions"
       end)
     t.primaries;
-  t.recovery_waiting <- t.recovery_waiting - 1
+  t.recovery_waiting <- t.recovery_waiting - 1;
+  trace_instant t ~cat:"recovery" ~name:"recovery-done" ~pid:0 ~tid:0
+    [ ("epoch", string_of_int t.epoch) ]
 
 let attach_membership t m =
   t.membership <- Some m;
@@ -1865,6 +1936,8 @@ let attach_membership t m =
          epoch can cross it — then recovery proceeds in the
          background. *)
       t.epoch <- t.epoch + 1;
+      trace_instant t ~cat:"recovery" ~name:"epoch-bump" ~pid:0 ~tid:0
+        [ ("epoch", string_of_int t.epoch) ];
       List.iter
         (fun n ->
           t.alive.(n) <- false;
@@ -1879,6 +1952,7 @@ let attach_membership t m =
 let crash_node t ~node =
   if not t.crashed.(node) then begin
     Xenic_stats.Counter.incr (counters t) "node_crashes";
+    trace_instant t ~cat:"recovery" ~name:"crash" ~pid:node ~tid:0 [];
     t.crashed.(node) <- true;
     match t.membership with
     | Some m -> Membership.fail_node m ~node
@@ -1904,3 +1978,23 @@ let host_app_utilization t =
 let host_worker_utilization t =
   Array.fold_left (fun acc n -> acc +. Resource.utilization n.workers) 0.0 t.nodes
   /. float_of_int (Array.length t.nodes)
+
+(* Instantaneous-occupancy gauges for the trace sampler: one source per
+   node per resource class (NIC cores, DMA queues, links, host pools). *)
+let util_sources t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun n ->
+         [
+           ( Printf.sprintf "node%d nic cores" n.id,
+             fun () -> float_of_int (Resource.in_use (Smartnic.cores n.nic)) );
+           ( Printf.sprintf "node%d dma queues" n.id,
+             fun () ->
+               float_of_int (Xenic_pcie.Dma.queues_busy (Smartnic.dma n.nic)) );
+           ( Printf.sprintf "node%d link" n.id,
+             fun () ->
+               float_of_int (Xenic_net.Fabric.link_busy t.fabric ~node:n.id) );
+           ( Printf.sprintf "node%d app pool" n.id,
+             fun () -> float_of_int (Resource.in_use n.app) );
+           ( Printf.sprintf "node%d worker pool" n.id,
+             fun () -> float_of_int (Resource.in_use n.workers) );
+         ])

@@ -153,6 +153,17 @@ val host_app_utilization : t -> float
 
 val host_worker_utilization : t -> float
 
+(** Attach (or detach, with [None]) a trace: protocol phases become
+    spans on the coordinator's track, aborts/retries/recovery steps
+    become instant events. [None] (the default) costs one pointer
+    compare per candidate event. *)
+val set_trace : t -> Xenic_sim.Trace.t option -> unit
+
+(** Instantaneous-occupancy gauges — one per node per resource class
+    (NIC cores, DMA queues, links, host pools) — for
+    {!Xenic_sim.Trace.sampler}. *)
+val util_sources : t -> (string * (unit -> float)) list
+
 (** Drain in-flight asynchronous work (commit application). Call after
     load generation stops, before checking invariants. *)
 val quiesce : t -> unit

@@ -48,6 +48,8 @@ let servers t = t.servers
 
 let queue_length t = Queue.length t.waiters
 
+let in_use t = t.busy
+
 let account t =
   let now = Engine.now t.engine in
   t.busy_time <- t.busy_time +. (float_of_int t.busy *. (now -. t.last_change));

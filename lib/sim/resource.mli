@@ -20,6 +20,10 @@ val servers : t -> int
 (** Currently queued acquirers. *)
 val queue_length : t -> int
 
+(** Server units held right now (instantaneous occupancy, for
+    utilization-timeline sampling). *)
+val in_use : t -> int
+
 (** Block until a server unit is available, then take it. *)
 val acquire : t -> unit
 

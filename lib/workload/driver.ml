@@ -27,14 +27,28 @@ type state = {
 }
 
 let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
-    ?coordinators ?(faults = []) (sys : System.t) spec ~concurrency ~target =
+    ?coordinators ?(faults = []) ?trace ?(sample_period_ns = 10_000.0)
+    (sys : System.t) spec ~concurrency ~target =
   let engine = sys.System.engine in
   let metrics = Metrics.create () in
+  sys.System.set_trace trace;
+  let stop_sampler =
+    match trace with
+    | None -> fun () -> ()
+    | Some tr ->
+        Trace.sampler tr ~period_ns:sample_period_ns ~pid:0
+          ~sources:(sys.System.util_sources ())
+  in
   let warmup = int_of_float (float_of_int target *. warmup_frac) in
+  let start = Engine.now engine in
   let st =
     {
       committed = 0;
-      window_started = 0.0;
+      (* With zero warmup the [committed = warmup] anchor below can
+         never fire (the counter is already past it on the first
+         commit), so the window must start at the run start — anchoring
+         at 0.0 inflates the duration on a reused engine. *)
+      window_started = (if warmup = 0 then start else 0.0);
       window_committed = 0;
       last_commit = 0.0;
       warmup;
@@ -48,7 +62,6 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
     | Some cs -> cs
     | None -> List.init nodes (fun n -> n)
   in
-  let start = Engine.now engine in
   List.iter
     (fun (t_ns, node) ->
       if t_ns < 0.0 then invalid_arg "Driver.run: negative fault time";
@@ -60,7 +73,10 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
   let active_slots = ref (concurrency * List.length coordinators) in
   let slot_done () =
     decr active_slots;
-    if !active_slots = 0 then sys.System.stop_background ()
+    if !active_slots = 0 then begin
+      stop_sampler ();
+      sys.System.stop_background ()
+    end
   in
   List.iter (fun node ->
     for _slot = 1 to concurrency do

@@ -35,6 +35,11 @@ type result = {
     declared-dead node retire; surviving nodes finish the run. Raises
     [Invalid_argument] on a negative fault time.
 
+    [trace] attaches a deterministic trace for the run: protocol
+    phases become spans, aborts/retries/recovery become instants, and
+    a resource-utilization sampler polls the system's occupancy gauges
+    every [sample_period_ns] (default 10us) until the last slot exits.
+
     If no commit lands inside the measurement window (e.g. warmup
     consumed every commit), the result reports zero throughput and a
     zero-length window rather than a fabricated one. *)
@@ -44,6 +49,8 @@ val run :
   ?abort_backoff_ns:float ->
   ?coordinators:int list ->
   ?faults:(float * int) list ->
+  ?trace:Xenic_sim.Trace.t ->
+  ?sample_period_ns:float ->
   Xenic_proto.System.t ->
   spec ->
   concurrency:int ->

@@ -3,10 +3,26 @@
 # flushes on exit). Alongside the text report, every experiment writes
 # its scalar metrics to a machine-readable BENCH_<id>.json in the
 # repository root.
+#
+# A crashing or timed-out experiment must not be silent: its exit code
+# is checked, the failure is reported in both the log and stderr, and
+# the script exits nonzero listing every experiment that died.
 set -x
 : > /root/repo/bench_output.txt
 rm -f /root/repo/BENCH_*.json
-for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro; do
+failed=""
+for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace; do
   timeout 2400 dune exec bench/main.exe -- "$exp" >> /root/repo/bench_output.txt 2>&1
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    failed="$failed $exp"
+    echo "FAILED: experiment $exp exited with status $status" \
+      >> /root/repo/bench_output.txt
+    echo "run_bench.sh: experiment $exp failed (exit $status)" >&2
+  fi
 done
 touch /root/repo/.bench_done
+if [ -n "$failed" ]; then
+  echo "run_bench.sh: failed experiments:$failed" >&2
+  exit 1
+fi

@@ -42,6 +42,62 @@ let test_metrics () =
   Metrics.merge ~into:m m2;
   Alcotest.(check int) "merged" 4 (Metrics.committed m)
 
+let test_metrics_abort_accounting () =
+  (* Regression: aborted attempts must feed the abort-latency histogram
+     and per-class abort counts — they used to be dropped entirely. *)
+  let m = Metrics.create () in
+  Metrics.record m ~latency_ns:4_000.0 Types.Aborted;
+  Metrics.record m ~latency_ns:5_000.0 Types.Aborted;
+  Metrics.record m ~latency_ns:6_000.0 Types.Aborted;
+  Alcotest.(check (float 200.0))
+    "median abort latency" 5_000.0 (Metrics.median_abort_latency m);
+  Alcotest.(check bool)
+    "abort p0 >= min" true
+    (Metrics.abort_latency_quantile m 0.0 >= 4_000.0 *. 0.97);
+  Metrics.record_class m ~cls:"pay" ~latency_ns:1_000.0 Types.Aborted;
+  Metrics.record_class m ~cls:"pay" ~latency_ns:1_000.0 Types.Committed;
+  Alcotest.(check int) "class aborts" 1 (Metrics.aborted_class m ~cls:"pay");
+  Alcotest.(check int) "class commits" 1 (Metrics.committed_class m ~cls:"pay")
+
+let test_metrics_abort_reasons () =
+  let m = Metrics.create () in
+  Metrics.record_abort_reason m Metrics.Lock_conflict;
+  Metrics.record_abort_reason m Metrics.Lock_conflict;
+  Metrics.record_abort_reason m Metrics.Stale_epoch;
+  Alcotest.(check int) "lock-conflict" 2
+    (Metrics.abort_reason_count m Metrics.Lock_conflict);
+  Alcotest.(check int) "stale-epoch" 1
+    (Metrics.abort_reason_count m Metrics.Stale_epoch);
+  Alcotest.(check int) "timeout" 0
+    (Metrics.abort_reason_count m Metrics.Timeout);
+  Alcotest.(check (list string))
+    "fixed reporting order"
+    [ "lock-conflict"; "validation-failure"; "timeout"; "stale-epoch";
+      "crashed-owner" ]
+    (List.map fst (Metrics.abort_reason_counts m));
+  (* Reasons, class counts and phase histograms survive a merge. *)
+  let m2 = Metrics.create () in
+  Metrics.record_abort_reason m2 Metrics.Timeout;
+  Metrics.record_phase m2 ~phase:"execute" 1_000.0;
+  Metrics.record_phase m2 ~phase:"execute" 3_000.0;
+  Metrics.merge ~into:m m2;
+  Alcotest.(check int) "merged timeout" 1
+    (Metrics.abort_reason_count m Metrics.Timeout);
+  Alcotest.(check int) "merged lock-conflict" 2
+    (Metrics.abort_reason_count m Metrics.Lock_conflict);
+  (match Metrics.phase_stats m with
+  | [ ("execute", h) ] ->
+      Alcotest.(check int) "merged phase samples" 2
+        (Xenic_stats.Histogram.count h)
+  | other ->
+      Alcotest.failf "expected one execute phase, got %d"
+        (List.length other));
+  Metrics.clear m;
+  Alcotest.(check int) "cleared reasons" 0
+    (Metrics.abort_reason_count m Metrics.Lock_conflict);
+  Alcotest.(check (list string)) "cleared phases" []
+    (List.map fst (Metrics.phase_stats m))
+
 let test_features_ladders () =
   Alcotest.(check int) "fig9a steps" 4 (List.length Features.fig9a_steps);
   Alcotest.(check int) "fig9b steps" 4 (List.length Features.fig9b_steps);
@@ -56,6 +112,12 @@ let () =
       ( "types",
         [ Alcotest.test_case "sets" `Quick test_txn_sets ] );
       ("wire", [ Alcotest.test_case "sizes" `Quick test_wire_sizes ]);
-      ("metrics", [ Alcotest.test_case "basics" `Quick test_metrics ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick test_metrics;
+          Alcotest.test_case "abort accounting" `Quick
+            test_metrics_abort_accounting;
+          Alcotest.test_case "abort reasons" `Quick test_metrics_abort_reasons;
+        ] );
       ("features", [ Alcotest.test_case "ladders" `Quick test_features_ladders ]);
     ]

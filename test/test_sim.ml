@@ -420,6 +420,38 @@ let test_aggregator_flush_all () =
   Alcotest.(check int) "two messages" 2 (Xenic_net.Aggregator.messages agg);
   ignore (Engine.run eng)
 
+let test_aggregator_stale_timer () =
+  (* Regression: a window timer armed for a batch that was then flushed
+     by the size trigger must not fire into the next batch — the stale
+     timer used to cut the successor's aggregation window short. *)
+  let eng = Engine.create () in
+  let hw = Xenic_params.Hw.testbed in
+  let fabric = Xenic_net.Fabric.create eng hw ~nodes:2 in
+  let agg = Xenic_net.Aggregator.create fabric ~src:0 ~enabled:true in
+  let w = hw.agg_window_ns in
+  Process.spawn eng (fun () ->
+      ignore (Mailbox.recv (Xenic_net.Fabric.rx fabric 1));
+      ignore (Mailbox.recv (Xenic_net.Fabric.rx fabric 1)));
+  Process.spawn eng (fun () ->
+      (* Batch A: arm the window timer, then overflow the MTU so the
+         size trigger flushes synchronously, leaving the timer stale. *)
+      Xenic_net.Aggregator.push agg ~dst:1 ~bytes:50 "a0";
+      for _ = 1 to 4 do
+        Xenic_net.Aggregator.push agg ~dst:1 ~bytes:400 "a"
+      done;
+      Alcotest.(check int) "batch A flushed by size" 1
+        (Xenic_net.Aggregator.frames agg);
+      (* Batch B starts mid-window of the stale timer; it must get its
+         own full aggregation window (flush at 1.5w), not be cut short
+         when the stale timer fires at w. *)
+      Process.sleep eng (0.5 *. w);
+      Xenic_net.Aggregator.push agg ~dst:1 ~bytes:50 "b");
+  ignore (Engine.run ~until:(1.25 *. w) eng);
+  Alcotest.(check int) "stale timer did not flush batch B" 1
+    (Xenic_net.Aggregator.frames agg);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "two frames" 2 (Xenic_net.Aggregator.frames agg)
+
 let test_fabric_accounting () =
   let eng = Engine.create () in
   let hw = Xenic_params.Hw.testbed in
@@ -570,6 +602,7 @@ let () =
           Alcotest.test_case "aggregation off" `Quick test_aggregator_disabled;
           Alcotest.test_case "mtu flush" `Quick test_aggregator_mtu_flush;
           Alcotest.test_case "flush all" `Quick test_aggregator_flush_all;
+          Alcotest.test_case "stale timer" `Quick test_aggregator_stale_timer;
           Alcotest.test_case "accounting" `Quick test_fabric_accounting;
         ] );
       ( "dma",

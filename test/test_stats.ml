@@ -33,6 +33,67 @@ let test_histogram_quantile_accuracy () =
         true (err < 0.05))
     [ 0.1; 0.5; 0.9; 0.99 ]
 
+let test_histogram_bucket_boundaries () =
+  (* Values straddling the unit-bucket/octave boundary (32 = 2^sub_bits)
+     and octave boundaries must all be recorded and keep quantiles
+     monotone — a regression guard for off-by-one bucket indexing. *)
+  let vals = [ 31.0; 32.0; 33.0; 63.0; 64.0; 65.0; 1023.0; 1024.0; 1025.0 ] in
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) vals;
+  Alcotest.(check int) "count" (List.length vals) (Histogram.count h);
+  Alcotest.(check (float 1e-6))
+    "total" (List.fold_left ( +. ) 0.0 vals) (Histogram.total h);
+  Alcotest.(check (float 1e-6)) "min" 31.0 (Histogram.min_value h);
+  Alcotest.(check (float 1e-6)) "max" 1025.0 (Histogram.max_value h);
+  let qs = List.map (fun q -> Histogram.quantile h q) [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "quantiles monotone" true (monotone qs);
+  (* Each recorded boundary value must be recoverable within the ~3%
+     relative bucket width. *)
+  List.iter
+    (fun v ->
+      let h1 = Histogram.create () in
+      Histogram.record h1 v;
+      let got = Histogram.median h1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "value %.0f within bucket error (got %.1f)" v got)
+        true
+        (abs_float (got -. v) /. v < 0.04))
+    vals
+
+let test_histogram_quantile_clamp () =
+  (* Quantiles must clamp to the observed min/max, never report a value
+     outside the recorded range (bucket upper bounds overshoot). *)
+  let h = Histogram.create () in
+  Histogram.record h 1000.0;
+  Histogram.record h 5000.0;
+  Alcotest.(check bool) "q=0 >= min" true (Histogram.quantile h 0.0 >= 1000.0);
+  Alcotest.(check bool) "q=1 <= max" true (Histogram.quantile h 1.0 <= 5000.0);
+  let s = Histogram.create () in
+  Histogram.record s 12_345.0;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "single-sample q=%.2f" q)
+        12_345.0 (Histogram.quantile s q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_histogram_merge_bounds () =
+  (* merge must carry count, total and the min/max clamps across. *)
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 50.0; 70.0 ];
+  List.iter (Histogram.record b) [ 5.0; 900.0 ];
+  Histogram.merge ~into:a b;
+  Alcotest.(check int) "count" 4 (Histogram.count a);
+  Alcotest.(check (float 1e-6)) "total" 1025.0 (Histogram.total a);
+  Alcotest.(check (float 1e-6)) "min" 5.0 (Histogram.min_value a);
+  Alcotest.(check (float 1e-6)) "max" 900.0 (Histogram.max_value a);
+  Alcotest.(check bool) "q=1 <= max" true (Histogram.quantile a 1.0 <= 900.0);
+  Alcotest.(check bool) "q=0 >= min" true (Histogram.quantile a 0.0 >= 5.0)
+
 let test_histogram_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   Histogram.record a 10.0;
@@ -103,6 +164,11 @@ let () =
           Alcotest.test_case "basics" `Quick test_histogram_basics;
           Alcotest.test_case "empty" `Quick test_histogram_empty;
           Alcotest.test_case "quantiles" `Quick test_histogram_quantile_accuracy;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "quantile clamp" `Quick
+            test_histogram_quantile_clamp;
+          Alcotest.test_case "merge bounds" `Quick test_histogram_merge_bounds;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           qt test_histogram_large_values_qcheck;
         ] );

@@ -1,0 +1,176 @@
+(* Tests for the execution-trace subsystem: buffer semantics, Chrome
+   JSON export, sampler lifecycle, same-seed byte-identical traces
+   through the full driver, and abort-reason taxonomy coverage across
+   all protocol stacks. *)
+
+open Xenic_sim
+open Xenic_cluster
+open Xenic_proto
+open Xenic_workload
+
+let hw = Xenic_params.Hw.testbed
+
+(* ------------------------------------------------------------------ *)
+(* Trace buffer + export *)
+
+let test_trace_buffer_order () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng in
+  Trace.span tr ~cat:"txn" ~name:"execute" ~pid:0 ~tid:1 ~ts:10.0 ~dur:5.0 ();
+  Trace.instant tr ~cat:"recovery" ~name:"crash" ~pid:2 ~tid:0 ();
+  Trace.counter tr ~name:"nic" ~pid:0 ~values:[ ("value", 0.5) ];
+  Alcotest.(check int) "count" 3 (Trace.count tr);
+  (match Trace.events tr with
+  | [ Trace.Span s; Trace.Instant i; Trace.Counter c ] ->
+      Alcotest.(check string) "span name" "execute" s.name;
+      Alcotest.(check (float 1e-9)) "span dur" 5.0 s.dur;
+      Alcotest.(check string) "instant name" "crash" i.name;
+      Alcotest.(check string) "counter name" "nic" c.name
+  | _ -> Alcotest.fail "unexpected event shapes/order");
+  let json = Trace.to_chrome_json tr in
+  List.iter
+    (fun sub ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("json contains " ^ sub) true (contains json sub))
+    [ "\"traceEvents\""; "\"ph\":\"X\""; "\"ph\":\"i\""; "\"ph\":\"C\"";
+      "\"execute\"" ]
+
+let test_trace_limit () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~limit:2 eng in
+  for i = 1 to 5 do
+    Trace.instant tr ~cat:"t" ~name:(string_of_int i) ~pid:0 ~tid:0 ()
+  done;
+  Alcotest.(check int) "kept" 2 (Trace.count tr);
+  Alcotest.(check int) "dropped" 3 (Trace.dropped tr);
+  (* The kept events are the first two, in order. *)
+  match Trace.events tr with
+  | [ Trace.Instant a; Trace.Instant b ] ->
+      Alcotest.(check string) "first" "1" a.name;
+      Alcotest.(check string) "second" "2" b.name
+  | _ -> Alcotest.fail "unexpected retained events"
+
+let test_trace_sampler () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng in
+  let gauge = ref 0.0 in
+  let stop =
+    Trace.sampler tr ~period_ns:100.0 ~pid:0
+      ~sources:[ ("g", fun () -> !gauge) ]
+  in
+  Engine.after eng 250.0 (fun () -> gauge := 3.0);
+  Engine.after eng 450.0 (fun () -> stop ());
+  (* The sampler must not keep the engine alive once stopped. *)
+  ignore (Engine.run eng);
+  let samples =
+    List.filter_map
+      (function
+        | Trace.Counter { values = [ ("value", v) ]; _ } -> Some v
+        | _ -> None)
+      (Trace.events tr)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "a handful of samples (%d)" (List.length samples))
+    true
+    (List.length samples >= 4 && List.length samples <= 7);
+  Alcotest.(check bool) "gauge change observed" true
+    (List.exists (fun v -> v > 2.0) samples)
+
+(* ------------------------------------------------------------------ *)
+(* Full-stack determinism + taxonomy *)
+
+let mk_xenic () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let p = { Smallbank.default_params with accounts_per_node = 50 } in
+  let segments, seg_size, d_max = Smallbank.store_cfg p in
+  ( System.of_xenic
+      (Xenic_system.create engine hw cfg
+         {
+           Xenic_system.default_params with
+           segments;
+           seg_size;
+           d_max;
+           cache_capacity = 512;
+         }),
+    p )
+
+let mk_rdma flavor () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let p = { Smallbank.default_params with accounts_per_node = 50 } in
+  ( System.of_rdma
+      (Rdma_system.create engine hw cfg flavor
+         { Rdma_system.default_params with buckets = Smallbank.chained_buckets p }),
+    p )
+
+let traced_run mk =
+  let sys, p = mk () in
+  Smallbank.load p sys;
+  let tr = Trace.create sys.System.engine in
+  ignore
+    (Driver.run ~seed:11L sys
+       (Smallbank.spec p ~nodes:4)
+       ~trace:tr ~concurrency:8 ~target:300);
+  (tr, sys)
+
+let test_trace_deterministic mk () =
+  let tr1, _ = traced_run mk in
+  let tr2, _ = traced_run mk in
+  Alcotest.(check bool) "trace nonempty" true (Trace.count tr1 > 0);
+  Alcotest.(check bool) "same-seed traces byte-identical" true
+    (String.equal (Trace.to_chrome_json tr1) (Trace.to_chrome_json tr2))
+
+(* Every abort the driver observes must carry exactly one taxonomy
+   reason — no "unknown" bucket exists, and counts must balance. *)
+let test_taxonomy_covers mk () =
+  let _, sys = traced_run mk in
+  let m = sys.System.metrics in
+  let reasons =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Metrics.abort_reason_counts m)
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "%s: reasons sum to aborted count" sys.System.name)
+    (Metrics.aborted m) reasons;
+  (* Phase histograms must be populated for the core commit phases. *)
+  let phases = List.map fst (Metrics.phase_stats m) in
+  List.iter
+    (fun ph ->
+      Alcotest.(check bool) (ph ^ " phase recorded") true (List.mem ph phases))
+    [ "execute"; "log"; "commit" ]
+
+let all_stacks =
+  [
+    ("xenic", mk_xenic);
+    ("drtmh", mk_rdma Rdma_system.Drtmh);
+    ("drtmh-nc", mk_rdma Rdma_system.Drtmh_nc);
+    ("fasst", mk_rdma Rdma_system.Fasst);
+    ("drtmr", mk_rdma Rdma_system.Drtmr);
+    ("farm", mk_rdma Rdma_system.Farm);
+  ]
+
+let () =
+  Alcotest.run "xenic_trace"
+    [
+      ( "buffer",
+        [
+          Alcotest.test_case "order" `Quick test_trace_buffer_order;
+          Alcotest.test_case "limit" `Quick test_trace_limit;
+          Alcotest.test_case "sampler" `Quick test_trace_sampler;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "xenic" `Quick (test_trace_deterministic mk_xenic);
+          Alcotest.test_case "drtmh" `Quick
+            (test_trace_deterministic (mk_rdma Rdma_system.Drtmh));
+        ] );
+      ( "taxonomy",
+        List.map
+          (fun (name, mk) ->
+            Alcotest.test_case name `Quick (test_taxonomy_covers mk))
+          all_stacks );
+    ]

@@ -157,6 +157,27 @@ let test_driver_warmup_excluded () =
   Alcotest.(check bool) "window smaller than target" true (r.Driver.committed < 400);
   Alcotest.(check bool) "window nonempty" true (r.Driver.committed > 100)
 
+let test_driver_zero_warmup_window () =
+  (* Regression: with warmup_frac = 0 the measurement window must be
+     anchored at the run's start, not at simulated time 0 — on a reused
+     engine the old anchor inflated the window (and deflated
+     throughput) by all previously elapsed simulated time. *)
+  let p = { Smallbank.default_params with accounts_per_node = 200 } in
+  let sys = mk_xenic (Smallbank.store_cfg p) 512 in
+  Smallbank.load p sys;
+  let spec = Smallbank.spec p ~nodes:4 in
+  ignore (Driver.run sys spec ~concurrency:4 ~target:300);
+  let engine = sys.System.engine in
+  let before = Engine.now engine in
+  Alcotest.(check bool) "engine already advanced" true (before > 0.0);
+  let r = Driver.run ~warmup_frac:0.0 sys spec ~concurrency:4 ~target:600 in
+  let elapsed = Engine.now engine -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "window (%.0fns) bounded by run's own elapsed (%.0fns)"
+       r.Driver.duration_ns elapsed)
+    true
+    (r.Driver.duration_ns > 0.0 && r.Driver.duration_ns <= elapsed)
+
 (* ------------------------------------------------------------------ *)
 (* §4.2.1-style recovery: after the primary dies, a backup's replica
    plus a freshly built caching index serve the shard with identical
@@ -302,6 +323,8 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_driver_determinism;
           Alcotest.test_case "warmup excluded" `Quick test_driver_warmup_excluded;
+          Alcotest.test_case "zero-warmup window" `Quick
+            test_driver_zero_warmup_window;
         ] );
       ( "recovery",
         [
