@@ -43,7 +43,16 @@ let run_system ~label mk_sys =
   let tr2, _, _ = traced_run mk_sys in
   let json1 = Trace.to_chrome_json tr1 in
   let json2 = Trace.to_chrome_json tr2 in
-  let deterministic = String.equal json1 json2 in
+  let drops = Trace.dropped tr1 + Trace.dropped tr2 in
+  (* A truncated buffer is not comparable: the surviving prefix can be
+     byte-identical while the runs diverged past the limit, so drops
+     fail the determinism bar outright. *)
+  let deterministic = String.equal json1 json2 && drops = 0 in
+  if drops > 0 then
+    Common.note
+      "%s: WARNING: %d trace events dropped (buffer limit) -- raise the \
+       trace limit or lower the target"
+      label drops;
   let path = Printf.sprintf "TRACE_%s.json" label in
   let oc = open_out path in
   output_string oc json1;
@@ -66,6 +75,7 @@ let run_system ~label mk_sys =
   Common.json_int (label ^ " trace spans") (span_count tr1);
   Common.json_int (label ^ " trace deterministic")
     (if deterministic then 1 else 0);
+  Common.json_int (label ^ " trace dropped") (Trace.dropped tr1);
   Common.json_int (label ^ " aborts with reason") reason_total;
   Common.json_int (label ^ " aborts total") (Metrics.aborted m);
   (label, m)

@@ -21,6 +21,7 @@ let experiments =
     ("fault", "mid-run node crash: dip and recovery", Exp_fault.run);
     ("micro", "wall-clock data structure microbenches", Exp_micro.run);
     ("trace", "deterministic phase/utilization tracing", Exp_trace.run);
+    ("profile", "time attribution and bottleneck report", Exp_profile.run);
   ]
 
 let () =

@@ -64,10 +64,12 @@ let build_system kind ~nodes ~replication ~store_cfg ~buckets ~cache =
         (Rdma_system.create engine hw cfg flavor
            { Rdma_system.default_params with buckets })
 
-(* Shared driver for the [run] and [trace] subcommands; [trace_out]
-   attaches an execution trace and writes it as Chrome trace JSON. *)
-let execute ?trace_out system workload nodes replication concurrency target
-    scale seed =
+(* Shared driver for the [run], [trace] and [profile] subcommands;
+   [trace_out] attaches an execution trace and writes it as Chrome trace
+   JSON; [profile_out] enables time attribution and writes the
+   bottleneck report plus the collapsed-stack flamegraph. *)
+let execute ?trace_out ?profile_out system workload nodes replication
+    concurrency target scale seed =
   let sb = { Smallbank.default_params with accounts_per_node = scale } in
   let rw = { Retwis.default_params with keys_per_node = scale } in
   let tp =
@@ -123,9 +125,10 @@ let execute ?trace_out system workload nodes replication concurrency target
     | None -> None
     | Some _ -> Some (Xenic_sim.Trace.create sys.System.engine)
   in
+  let profile = profile_out <> None in
   let result =
-    Driver.run ~seed:(Int64.of_int seed) ?trace sys (spec sys) ~concurrency
-      ~target
+    Driver.run ~seed:(Int64.of_int seed) ?trace ~profile sys (spec sys)
+      ~concurrency ~target
   in
   Printf.printf
     "%s: %.0f txn/s/server, median %.1fus, p99 %.1fus, abort rate %.1f%%\n"
@@ -135,6 +138,21 @@ let execute ?trace_out system workload nodes replication concurrency target
   List.iter
     (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v)
     (Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics));
+  (match (profile_out, result.Driver.profile) with
+  | Some base, Some prof ->
+      let report = Xenic_profile.Profile.report prof in
+      let folded = Xenic_profile.Profile.folded prof in
+      let write path contents =
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc
+      in
+      write (base ^ ".txt") report;
+      write (base ^ ".folded") folded;
+      print_string report;
+      Printf.printf "wrote bottleneck report to %s.txt, flamegraph to %s.folded\n"
+        base base
+  | _ -> ());
   match (trace_out, trace) with
   | Some path, Some tr ->
       Xenic_sim.Trace.write_chrome_json tr path;
@@ -142,6 +160,12 @@ let execute ?trace_out system workload nodes replication concurrency target
         (Xenic_sim.Trace.count tr)
         (Xenic_sim.Trace.dropped tr)
         path;
+      if Xenic_sim.Trace.dropped tr > 0 then
+        Printf.printf
+          "WARNING: %d trace events were dropped at the buffer limit; the \
+           trace is truncated and not comparable across runs. Lower the \
+           target or raise the trace limit.\n"
+          (Xenic_sim.Trace.dropped tr);
       let m = sys.System.metrics in
       let t =
         Xenic_stats.Table.create ~title:"Per-phase latency breakdown"
@@ -173,9 +197,27 @@ let execute ?trace_out system workload nodes replication concurrency target
       Xenic_stats.Table.print ar
   | _ -> ()
 
-let run_cmd = execute ?trace_out:None
+let run_cmd = execute ?trace_out:None ?profile_out:None
 
-let trace_cmd out = execute ~trace_out:out
+let trace_cmd out = execute ~trace_out:out ?profile_out:None
+
+let profile_cmd out = execute ?trace_out:None ~profile_out:out
+
+(* [bench diff]: compare two BENCH_*.json metric files with a relative
+   tolerance; exit nonzero when any metric is out of tolerance. *)
+let bench_diff_cmd a b tol =
+  match
+    ( Xenic_profile.Bench_diff.load_metrics a,
+      Xenic_profile.Bench_diff.load_metrics b )
+  with
+  | exception Failure e ->
+      Printf.eprintf "bench diff: %s\n" e;
+      exit 2
+  | ma, mb ->
+      let findings = Xenic_profile.Bench_diff.diff ~tol ma mb in
+      Printf.printf "bench diff: %s (reference) vs %s (candidate)\n" a b;
+      print_string (Xenic_profile.Bench_diff.render ~tol findings);
+      if Xenic_profile.Bench_diff.regressed findings then exit 1
 
 let cmd =
   let system =
@@ -215,6 +257,38 @@ let cmd =
       const trace_cmd $ out $ system $ workload $ nodes $ replication
       $ concurrency $ target $ scale $ seed)
   in
+  let profile_out =
+    Arg.(
+      value
+      & opt string "xenic_profile"
+      & info [ "out"; "o" ]
+          ~doc:
+            "Output path prefix: writes $(i,PREFIX).txt (bottleneck \
+             report) and $(i,PREFIX).folded (collapsed-stack flamegraph).")
+  in
+  let profile_term =
+    Term.(
+      const profile_cmd $ profile_out $ system $ workload $ nodes
+      $ replication $ concurrency $ target $ scale $ seed)
+  in
+  let diff_a =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"A.json" ~doc:"Reference BENCH_*.json file.")
+  in
+  let diff_b =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"B.json" ~doc:"Candidate BENCH_*.json file.")
+  in
+  let diff_tol =
+    Arg.(
+      value & opt float 0.05
+      & info [ "tol" ] ~doc:"Relative tolerance per metric.")
+  in
+  let bench_diff_term = Term.(const bench_diff_cmd $ diff_a $ diff_b $ diff_tol) in
   Cmd.group
     (Cmd.info "xenicctl" ~doc:"Run Xenic-reproduction benchmarks")
     [
@@ -228,6 +302,24 @@ let cmd =
               Chrome trace JSON and print the per-phase latency breakdown \
               and abort-reason taxonomy.")
         trace_term;
+      Cmd.v
+        (Cmd.info "profile"
+           ~doc:
+             "Run a benchmark with time attribution enabled; write the \
+              per-resource bottleneck report and the collapsed-stack \
+              flamegraph, and print the report.")
+        profile_term;
+      Cmd.group
+        (Cmd.info "bench" ~doc:"Benchmark artifact utilities.")
+        [
+          Cmd.v
+            (Cmd.info "diff"
+               ~doc:
+                 "Compare two BENCH_*.json metric files with a relative \
+                  tolerance; print per-metric deltas and exit nonzero if \
+                  any metric regressed out of tolerance.")
+            bench_diff_term;
+        ];
     ]
 
 let () = exit (Cmd.eval cmd)

@@ -66,11 +66,14 @@ let push t ~dst ~bytes msg =
       else if not p.timer_armed then begin
         p.timer_armed <- true;
         let gen = p.gen in
-        Engine.after (Fabric.engine t.fabric) hw.agg_window_ns (fun () ->
-            if p.gen = gen then begin
-              p.timer_armed <- false;
-              flush t dst
-            end)
+        (* Attribute a window-timer flush (and the frame's link time) to
+           the message that armed the window. *)
+        Engine.after (Fabric.engine t.fabric) hw.agg_window_ns
+          (Attrib.preserve (fun () ->
+               if p.gen = gen then begin
+                 p.timer_armed <- false;
+                 flush t dst
+               end))
       end
     end
   end

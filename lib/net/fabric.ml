@@ -74,6 +74,9 @@ let link_busy t ~node =
   Resource.in_use t.node_arr.(node).tx
   + Resource.in_use t.node_arr.(node).rx_link
 
+let resources t =
+  Array.to_list t.node_arr |> List.concat_map (fun n -> [ n.tx; n.rx_link ])
+
 let frames_sent t = t.frames
 
 let bytes_sent t = t.bytes

@@ -40,6 +40,11 @@ val transfer : 'm t -> src:int -> dst:int -> payload_bytes:int -> unit
     utilization-timeline sampling. *)
 val link_busy : 'm t -> node:int -> int
 
+(** Every link resource (per node: TX then RX), for the profiler's
+    bottleneck accounting. Names are already node-unique
+    ([tx<n>]/[rx<n>]). *)
+val resources : 'm t -> Xenic_sim.Resource.t list
+
 (** Wire accounting: total frames and bytes transmitted. *)
 val frames_sent : 'm t -> int
 

@@ -98,3 +98,5 @@ let rpc_recv_cost t ~node =
   Process.sleep (engine t) t.hw.rdma_target_write_pcie_ns
 
 let verbs_issued t = t.verbs
+
+let resources t = Array.to_list t.units

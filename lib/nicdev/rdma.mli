@@ -50,3 +50,7 @@ val rpc_recv_cost : 'm t -> node:int -> unit
 
 (** Verbs issued, by kind, for accounting. *)
 val verbs_issued : 'm t -> int
+
+(** The per-node NIC processing units, for the profiler. Names are
+    node-unique ([rdma<n>]). *)
+val resources : 'm t -> Xenic_sim.Resource.t list

@@ -43,3 +43,5 @@ let host_msg t = Process.sleep t.engine t.hw.host_nic_msg_ns
 let scaled_exec_ns t host_ns = host_ns /. t.hw.nic_core_speed_ratio
 
 let core_utilization t = Resource.utilization t.cores
+
+let resources t = [ t.cores; t.pkt_io_path ] @ Xenic_pcie.Dma.resources t.dma

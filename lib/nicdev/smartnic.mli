@@ -45,3 +45,7 @@ val scaled_exec_ns : t -> float -> float
 
 (** Aggregate core utilization in [0, 1]. *)
 val core_utilization : t -> float
+
+(** Core pool, packet-I/O path and DMA resources of this NIC, for the
+    profiler. Names are per-device; callers must node-prefix them. *)
+val resources : t -> Xenic_sim.Resource.t list

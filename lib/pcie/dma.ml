@@ -88,9 +88,12 @@ let submit t kind ~bytes ~queue k =
   if (not t.vectored) || q.pending_count >= t.hw.dma_vector_max then flush t q
   else if not q.timer_armed then begin
     q.timer_armed <- true;
-    Engine.after t.engine gather_delay_ns (fun () ->
-        q.timer_armed <- false;
-        flush t q)
+    (* Attribute a gather-timer flush (bus + engine service of the
+       whole vector) to the request that armed the timer. *)
+    Engine.after t.engine gather_delay_ns
+      (Attrib.preserve (fun () ->
+           q.timer_armed <- false;
+           flush t q))
   end
 
 let next_queue t =
@@ -122,3 +125,6 @@ let queues_busy t =
   Array.fold_left
     (fun acc q -> acc + Resource.in_use q.engine_res)
     0 t.queues
+
+let resources t =
+  (Array.to_list t.queues |> List.map (fun q -> q.engine_res)) @ [ t.bus ]

@@ -44,3 +44,8 @@ val utilization : t -> float
 (** Queue engines busy right now, in [0, hw.dma_queues]; for
     utilization-timeline sampling. *)
 val queues_busy : t -> int
+
+(** The queue engines (in index order) followed by the shared PCIe bus,
+    for the profiler's bottleneck accounting. Names are per-device
+    ([dmaq<i>], [pcie-bus]); callers must node-prefix them. *)
+val resources : t -> Xenic_sim.Resource.t list

@@ -1,0 +1,124 @@
+type finding = {
+  key : string;
+  a : float option;
+  b : float option;
+  rel : float option;
+  out_of_tol : bool;
+}
+
+(* The bench harness emits a fixed shape (see bench/common.ml
+   json_write): one "metrics" object whose entries are each on their own
+   line, `"key": token` with token a %.6g float, an integer, or null.
+   Parse exactly that — not general JSON. *)
+let load_metrics path =
+  let lines =
+    try
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+    with Sys_error e -> failwith (Printf.sprintf "bench diff: %s" e)
+  in
+  let metrics = ref [] in
+  let in_metrics = ref false in
+  let parse_entry line =
+    (* `"key": token` with an optional trailing comma; keys were emitted
+       with %S, so unescape via Scanf. *)
+    let line = String.trim line in
+    let line =
+      if String.length line > 0 && line.[String.length line - 1] = ',' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    match String.rindex_opt line ':' with
+    | None -> ()
+    | Some i ->
+        let key_part = String.trim (String.sub line 0 i) in
+        let val_part =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        let key =
+          try Scanf.sscanf key_part "%S" (fun s -> s)
+          with Scanf.Scan_failure _ | End_of_file -> key_part
+        in
+        let v =
+          if String.equal val_part "null" then None
+          else float_of_string_opt val_part
+        in
+        (* Keys containing ':' would split wrong at rindex only if the
+           value also contained one; bench values never do. *)
+        metrics := (key, v) :: !metrics
+  in
+  List.iter
+    (fun line ->
+      if !in_metrics then begin
+        if String.trim line = "}" || String.trim line = "}," then
+          in_metrics := false
+        else parse_entry line
+      end
+      else if
+        (* `"metrics": {}` (empty) never opens the block. *)
+        String.length (String.trim line) >= 11
+        && String.sub (String.trim line) 0 10 = "\"metrics\":"
+        && not (String.length (String.trim line) >= 13
+                && String.sub (String.trim line) 0 13 = "\"metrics\": {}")
+      then in_metrics := true)
+    lines;
+  List.rev !metrics
+
+let compare_one ~tol key a b =
+  match (a, b) with
+  | None, None -> { key; a; b; rel = None; out_of_tol = false }
+  | Some _, None | None, Some _ ->
+      (* Present on one side only (or became null): always a finding. *)
+      { key; a; b; rel = None; out_of_tol = true }
+  | Some va, Some vb ->
+      if Float.equal va 0.0 then
+        { key; a; b; rel = None; out_of_tol = not (Float.equal vb 0.0) }
+      else
+        let rel = (vb -. va) /. Float.abs va in
+        { key; a; b; rel = Some rel; out_of_tol = Float.abs rel > tol }
+
+let diff ~tol a b =
+  let a_keys = List.map fst a in
+  let b_only = List.filter (fun (k, _) -> not (List.mem k a_keys)) b in
+  List.map
+    (fun (k, va) -> compare_one ~tol k va (Option.join (List.assoc_opt k b)))
+    a
+  @ List.map (fun (k, vb) -> compare_one ~tol k None vb) b_only
+
+let regressed findings = List.exists (fun f -> f.out_of_tol) findings
+
+let render ~tol findings =
+  let tbl =
+    Xenic_stats.Table.create
+      ~title:(Printf.sprintf "bench diff (tol %.3g)" tol)
+      ~columns:[ "metric"; "A"; "B"; "delta%"; "" ]
+  in
+  let cell = function
+    | None -> "-"
+    | Some v -> Printf.sprintf "%.6g" v
+  in
+  List.iter
+    (fun f ->
+      Xenic_stats.Table.add_row tbl
+        [
+          f.key;
+          cell f.a;
+          cell f.b;
+          (match f.rel with
+          | None -> "-"
+          | Some r -> Printf.sprintf "%+.2f" (100.0 *. r));
+          (if f.out_of_tol then "REGRESSED" else "ok");
+        ])
+    findings;
+  let bad = List.length (List.filter (fun f -> f.out_of_tol) findings) in
+  Xenic_stats.Table.render tbl
+  ^ Printf.sprintf "\n%d/%d metrics out of tolerance: %s\n" bad
+      (List.length findings)
+      (if bad = 0 then "PASS" else "FAIL")

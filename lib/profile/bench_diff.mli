@@ -1,0 +1,32 @@
+(** Compare two BENCH_*.json metric maps with a relative tolerance —
+    the regression gate behind [xenicctl bench diff]. *)
+
+(** One metric's comparison. [rel] is (b - a) / |a| when both sides are
+    present and the reference is nonzero. *)
+type finding = {
+  key : string;
+  a : float option;  (** reference value (None: missing or null) *)
+  b : float option;  (** candidate value *)
+  rel : float option;
+  out_of_tol : bool;
+}
+
+(** Parse the ["metrics"] object of a BENCH_*.json file into
+    [(key, value)] pairs in file order; [None] for [null] values.
+    Raises [Failure] on unreadable or unparseable input. *)
+val load_metrics : string -> (string * float option) list
+
+(** Compare reference [a] against candidate [b]: a metric is out of
+    tolerance when present on only one side, or when its relative delta
+    exceeds [tol]. Keys follow [a]'s order, then [b]-only keys. *)
+val diff :
+  tol:float ->
+  (string * float option) list ->
+  (string * float option) list ->
+  finding list
+
+(** True if any finding is out of tolerance. *)
+val regressed : finding list -> bool
+
+(** Per-metric delta table plus a verdict line. Deterministic text. *)
+val render : tol:float -> finding list -> string

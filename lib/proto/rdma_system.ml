@@ -219,28 +219,32 @@ let rpc t ~src ~dst ~req_bytes ~resp_bytes ~handler_ns (handler : unit -> 'r) : 
   end
   else begin
     Xenic_stats.Counter.incr (counters t) "rpcs";
+    (* Delivery runs in the destination's dispatch loop; [Attrib.preserve]
+       carries the caller's attribution context into the handler (and the
+       handler's context back into the completion). *)
     Process.suspend (fun resume ->
         Process.spawn t.engine (fun () ->
             Rdma.rpc_send t.rdma ~src ~dst ~bytes:req_bytes
               {
                 bytes = req_bytes;
                 deliver =
-                  (fun () ->
-                    Rdma.rpc_recv_cost t.rdma ~node:dst;
-                    Resource.acquire t.nodes.(dst).host;
-                    Process.sleep t.engine handler_ns;
-                    let r = handler () in
-                    Resource.release t.nodes.(dst).host;
-                    Rdma.rpc_send t.rdma ~src:dst ~dst:src
-                      ~bytes:(resp_bytes r)
-                      {
-                        bytes = resp_bytes r;
-                        deliver =
-                          (fun () ->
-                            (* Completion handling on the caller side. *)
-                            Process.sleep t.engine t.hw.rdma_completion_poll_ns;
-                            resume r);
-                      })
+                  Attrib.preserve (fun () ->
+                      Rdma.rpc_recv_cost t.rdma ~node:dst;
+                      Resource.acquire t.nodes.(dst).host;
+                      Process.sleep t.engine handler_ns;
+                      let r = handler () in
+                      Resource.release t.nodes.(dst).host;
+                      Rdma.rpc_send t.rdma ~src:dst ~dst:src
+                        ~bytes:(resp_bytes r)
+                        {
+                          bytes = resp_bytes r;
+                          deliver =
+                            Attrib.preserve (fun () ->
+                                (* Completion handling on the caller side. *)
+                                Process.sleep t.engine
+                                  t.hw.rdma_completion_poll_ns;
+                                resume r);
+                        })
               }))
   end
 
@@ -308,34 +312,34 @@ let rpc_t t ?epoch0 ~src ~dst ~req_bytes ~resp_bytes ~handler_ns
               {
                 bytes = req_bytes;
                 deliver =
-                  (fun () ->
-                    Rdma.rpc_recv_cost t.rdma ~node:dst;
-                    if stale () then begin
-                      Xenic_stats.Counter.incr (counters t)
-                        "stale_epoch_rejects";
-                      settle `Stale
-                    end
-                    else begin
-                      Resource.acquire t.nodes.(dst).host;
-                      Process.sleep t.engine handler_ns;
-                      let r = handler () in
-                      Resource.release t.nodes.(dst).host;
-                      Rdma.rpc_send t.rdma ~src:dst ~dst:src
-                        ~bytes:(resp_bytes r)
-                        {
-                          bytes = resp_bytes r;
-                          deliver =
-                            (fun () ->
-                              Process.sleep t.engine
-                                t.hw.rdma_completion_poll_ns;
-                              if stale () then begin
-                                Xenic_stats.Counter.incr (counters t)
-                                  "stale_epoch_drops";
-                                settle `Stale
-                              end
-                              else settle (`Resp r));
-                        }
-                    end);
+                  Attrib.preserve (fun () ->
+                      Rdma.rpc_recv_cost t.rdma ~node:dst;
+                      if stale () then begin
+                        Xenic_stats.Counter.incr (counters t)
+                          "stale_epoch_rejects";
+                        settle `Stale
+                      end
+                      else begin
+                        Resource.acquire t.nodes.(dst).host;
+                        Process.sleep t.engine handler_ns;
+                        let r = handler () in
+                        Resource.release t.nodes.(dst).host;
+                        Rdma.rpc_send t.rdma ~src:dst ~dst:src
+                          ~bytes:(resp_bytes r)
+                          {
+                            bytes = resp_bytes r;
+                            deliver =
+                              Attrib.preserve (fun () ->
+                                  Process.sleep t.engine
+                                    t.hw.rdma_completion_poll_ns;
+                                  if stale () then begin
+                                    Xenic_stats.Counter.incr (counters t)
+                                      "stale_epoch_drops";
+                                    settle `Stale
+                                  end
+                                  else settle (`Resp r));
+                          }
+                      end);
               });
         match Ivar.read_timeout iv ~timeout_ns with
         | Some (`Resp r) -> `Ok r
@@ -379,6 +383,13 @@ let one_sided_many_t t ~src verbs =
 
 let dispatch_loop t node =
   Process.spawn t.engine (fun () ->
+      Attrib.set
+        {
+          Attrib.stack = flavor_name t.flavor;
+          node = node.id;
+          phase = "dispatch";
+          cls = "-";
+        };
       let rx = Xenic_net.Fabric.rx t.fabric node.id in
       let rec loop () =
         let pkt = Mailbox.recv rx in
@@ -401,6 +412,13 @@ let apply_cost t (op, _) =
 
 let worker_loop t node =
   Process.spawn t.engine (fun () ->
+      Attrib.set
+        {
+          Attrib.stack = flavor_name t.flavor;
+          node = node.id;
+          phase = "log-apply";
+          cls = "-";
+        };
       let rec loop () =
         let record, bytes = Xenic_store.Hostlog.poll node.log in
         (* Wait for the coordinator's commit decision; it resolves
@@ -553,6 +571,18 @@ let util_sources t =
            ( Printf.sprintf "node%d worker pool" n.id,
              fun () -> float_of_int (Resource.in_use n.workers) );
          ])
+
+(* Every contended resource, labeled for the profiler. Host-pool, NIC
+   and fabric names are already node-unique. *)
+let resources t =
+  let pools =
+    Array.to_list t.nodes
+    |> List.concat_map (fun n ->
+           [ (Resource.name n.host, n.host); (Resource.name n.workers, n.workers) ])
+  in
+  let named rs = List.map (fun r -> (Resource.name r, r)) rs in
+  pools @ named (Rdma.resources t.rdma)
+  @ named (Xenic_net.Fabric.resources t.fabric)
 
 let quiesce t =
   let rec wait () =
@@ -1224,6 +1254,7 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
   let src = node in
   let t0 = Engine.now t.engine in
   let mark name t_prev = phase_mark t ~src ~seq:n.txn_seq name t_prev in
+  Attrib.set_phase "execute";
   (* DrTM+R locks every accessed key; the others lock only writes. *)
   let lock_keys =
     match t.flavor with
@@ -1343,6 +1374,7 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
          the locks and replays the transaction with the extended
          read/write sets (an extra protocol round, as an RPC system
          would issue). *)
+      Attrib.set_phase "exec-fn";
       Resource.use n.host txn.host_exec_ns;
       match txn.exec view with
       | Types.More { read; lock } ->
@@ -1371,9 +1403,18 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
       in
       let valid =
         if checks = [] then `Valid
-        else validate_phase t ~epoch0 ~src ~owner checks
+        else begin
+          Attrib.set_phase "validate";
+          validate_phase t ~epoch0 ~src ~owner checks
+        end
       in
-      let t3 = mark "validate" t2 in
+      (* Only record a validate sample when the phase did work: DrTM+R
+         validates by locking its read set during EXECUTE, so its
+         validate_phase is a constant-time `Valid — marking it would
+         report a misleading "validate: 0" mean (the Fig 8/9 audit). *)
+      let t3 =
+        if checks = [] || t.flavor = Drtmr then t2 else mark "validate" t2
+      in
       match valid with
       | `Down ->
           abort_all ();
@@ -1425,8 +1466,10 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
               if residual <> [] then release_keys residual
             in
             if not (armed t) then begin
+              Attrib.set_phase "log";
               log_phase t ~src ~decision:(ref Dcommit) seq_ops_by_shard;
               let t4 = mark "log" t3 in
+              Attrib.set_phase "commit";
               commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard;
               release_residual ();
               oracle_commit t ~id:owner ~read_results ~locked_entries ~seq_ops;
@@ -1442,6 +1485,7 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
             end
             else begin
               let decision = ref Dpending in
+              Attrib.set_phase "log";
               log_phase t ~src ~decision seq_ops_by_shard;
               let t4 = mark "log" t3 in
               if t.crashed.(src) then begin
@@ -1456,6 +1500,7 @@ let rec attempt t ~node ~epoch0 (txn : Types.t) :
                 decision := Dcommit;
                 oracle_commit t ~id:owner ~read_results ~locked_entries
                   ~seq_ops;
+                Attrib.set_phase "commit";
                 commit_phase t ~src ~owner seq_ops_by_shard locked_by_shard;
                 release_residual ();
                 fence_release t;
@@ -1480,8 +1525,17 @@ let run_txn t ~node (txn : Types.t) =
     Types.Aborted
   in
   let commit () =
-    Metrics.record t.metrics ~latency_ns:(Engine.now t.engine -. t_start)
-      Types.Committed;
+    let now = Engine.now t.engine in
+    (* Outer transaction span for the profiler's critical-path
+       extraction; see the Xenic-side twin in xenic_system.ml. *)
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+        Trace.span tr ~cat:"txnlat" ~name:"txn" ~pid:node
+          ~tid:t.nodes.(node).txn_seq ~ts:t_start ~dur:(now -. t_start)
+          ~args:[ ("cls", (Attrib.get ()).Attrib.cls) ]
+          ());
+    Metrics.record t.metrics ~latency_ns:(now -. t_start) Types.Committed;
     Types.Committed
   in
   if not (armed t) then

@@ -95,6 +95,11 @@ val set_trace : t -> Xenic_sim.Trace.t option -> unit
     {!Xenic_sim.Trace.sampler}. *)
 val util_sources : t -> (string * (unit -> float)) list
 
+(** Every contended resource (host pools, RDMA NIC units, fabric links)
+    with a globally unique label, for the profiler's bottleneck
+    accounting. *)
+val resources : t -> (string * Xenic_sim.Resource.t) list
+
 (** {2 Reconfiguration}
 
     Mirrors {!Xenic_system}'s mid-run fault handling: with

@@ -22,6 +22,7 @@ type t = {
   stop_background : unit -> unit;
   set_trace : Xenic_sim.Trace.t option -> unit;
   util_sources : unit -> (string * (unit -> float)) list;
+  resources : unit -> (string * Xenic_sim.Resource.t) list;
 }
 
 let of_xenic x =
@@ -51,6 +52,7 @@ let of_xenic x =
     stop_background = (fun () -> Xenic_system.stop_background x);
     set_trace = (fun tr -> Xenic_system.set_trace x tr);
     util_sources = (fun () -> Xenic_system.util_sources x);
+    resources = (fun () -> Xenic_system.resources x);
   }
 
 let of_rdma r =
@@ -76,4 +78,5 @@ let of_rdma r =
     stop_background = (fun () -> Rdma_system.stop_background r);
     set_trace = (fun tr -> Rdma_system.set_trace r tr);
     util_sources = (fun () -> Rdma_system.util_sources r);
+    resources = (fun () -> Rdma_system.resources r);
   }

@@ -32,6 +32,9 @@ type t = {
       (** Attach/detach an execution trace; see {!Xenic_system.set_trace}. *)
   util_sources : unit -> (string * (unit -> float)) list;
       (** Instantaneous-occupancy gauges for {!Xenic_sim.Trace.sampler}. *)
+  resources : unit -> (string * Xenic_sim.Resource.t) list;
+      (** Every contended resource with a globally unique label, for the
+          profiler's bottleneck accounting. *)
 }
 
 val of_xenic : Xenic_system.t -> t

@@ -163,6 +163,9 @@ let dbg t key f =
 (* Messaging *)
 
 let send t ~src ~dst m =
+  (* Delivery runs in a fresh process (local spawn or the destination's
+     dispatch loop); carry the sender's attribution context across. *)
+  let m = { m with deliver = Attrib.preserve m.deliver } in
   if src = dst then Process.spawn t.engine m.deliver
   else begin
     Xenic_stats.Counter.incr (counters t) "msgs";
@@ -494,6 +497,8 @@ let apply_cost t _node (op, _) =
 
 let worker_loop t node source =
   Process.spawn t.engine (fun () ->
+      Attrib.set
+        { Attrib.stack = "Xenic"; node = node.id; phase = "log-apply"; cls = "-" };
       let rec loop () =
         let record, bytes = Xenic_store.Hostlog.poll source in
         (* Wait out an undecided record: the coordinator that caused the
@@ -551,6 +556,8 @@ let worker_loop t node source =
 
 let dispatch_loop t node =
   Process.spawn t.engine (fun () ->
+      Attrib.set
+        { Attrib.stack = "Xenic"; node = node.id; phase = "dispatch"; cls = "-" };
       let rx = Xenic_net.Fabric.rx t.fabric node.id in
       let rec loop () =
         let pkt = Mailbox.recv rx in
@@ -777,7 +784,25 @@ let log_phase t ~src ~decision ~seq_ops_by_shard =
    guarantees routing has not changed since, so the acquisition node is
    still the primary (or has crashed, in which case the notify is
    dropped and the new values survive via the decided backup records). *)
+(* Xenic's commit apply is asynchronous (fire-and-forget notify), so
+   the coordinator's "commit" phase closes at the send and Fig 8/9
+   reported a zero commit mean. Record the apply-side latency — notify
+   send to commit-handler completion at the primary — as its own
+   "commit-async" phase, with a distinct trace category ("txn-async")
+   so critical-path extraction never counts it inside the synchronous
+   transaction span. *)
+let commit_async_mark t ~src ~seq t_send =
+  let now = Engine.now t.engine in
+  Metrics.record_phase t.metrics ~phase:"commit-async" (now -. t_send);
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.span tr ~cat:"txn-async" ~name:"commit-async" ~pid:src ~tid:seq
+        ~ts:t_send ~dur:(now -. t_send) ()
+
 let commit_phase t ~src ~owner ~locks_by_shard ~seq_ops_by_shard =
+  let seq = owner mod 1_000_000_000 in
+  let t_send = Engine.now t.engine in
   List.iter
     (fun (shard, seq_ops) ->
       let primary, locked =
@@ -787,7 +812,9 @@ let commit_phase t ~src ~owner ~locks_by_shard ~seq_ops_by_shard =
       in
       let bytes = Wire.write_ops_b ~ops:(List.map fst seq_ops) in
       notify t ~src ~dst:primary ~bytes (fun () ->
+          Attrib.set_phase "commit-async";
           commit_handler t t.nodes.(primary) ~owner ~shard ~seq_ops ~locked ();
+          commit_async_mark t ~src ~seq t_send;
           notify t ~src:primary ~dst:src ~bytes:Wire.small_resp_b (fun () ->
               Smartnic.core_work t.nodes.(src).nic ~bytes:0)))
     seq_ops_by_shard
@@ -1059,6 +1086,7 @@ let distributed_txn t node (txn : Types.t) id :
   let mark name t_prev = phase_mark t ~src ~seq:id.Types.seq name t_prev in
   let reads_by_shard = group_by_shard txn.read_set in
   let locks_by_shard_keys = group_by_shard txn.write_set in
+  Attrib.set_phase "execute";
   let results =
     execute_phase t ~epoch0 ~src ~owner ~reads_by_shard
       ~locks_by_shard:locks_by_shard_keys
@@ -1123,6 +1151,7 @@ let distributed_txn t node (txn : Types.t) id :
     let max_rounds = 8 in
     let rec rounds ~values ~lock_versions ~acquired ~locked_keys ~requested
         ~round =
+      Attrib.set_phase "exec-fn";
       match run_exec t node txn (view_of values) with
       | Types.More _ when round >= max_rounds ->
           Xenic_stats.Counter.incr (counters t) "multishot_overflow";
@@ -1135,6 +1164,7 @@ let distributed_txn t node (txn : Types.t) id :
           Xenic_stats.Counter.incr (counters t) "multishot_rounds";
           let read = List.filter (fun k -> not (List.mem k locked_keys)) read in
           let lock = List.filter (fun k -> not (List.mem k locked_keys)) lock in
+          Attrib.set_phase "execute";
           let extra =
             execute_phase t ~epoch0 ~src ~owner
               ~reads_by_shard:(group_by_shard read)
@@ -1181,11 +1211,16 @@ let distributed_txn t node (txn : Types.t) id :
           in
           let valid =
             if checks = [] then `Valid
-            else
+            else begin
+              Attrib.set_phase "validate";
               validate_phase t ~epoch0 ~src ~owner
                 ~checks_by_shard:(group_by_shard_checks checks)
+            end
           in
-          let t3 = mark "validate" t2 in
+          (* Only record a validate sample when the phase actually ran;
+             zero-length marks for check-free transactions would drag
+             the reported mean to ~0 (the Fig 8/9 "validate: 0" bug). *)
+          let t3 = if checks = [] then t2 else mark "validate" t2 in
           match valid with
           | `Dead ->
               abort_everywhere t ~src ~owner ~locks_by_shard:acquired;
@@ -1216,8 +1251,10 @@ let distributed_txn t node (txn : Types.t) id :
                 in
                 if not (armed t) then begin
                   (* Legacy fast path: no fence, records born decided. *)
+                  Attrib.set_phase "log";
                   log_phase t ~src ~decision:(ref Dcommit) ~seq_ops_by_shard;
                   let t4 = mark "log" t3 in
+                  Attrib.set_phase "commit";
                   commit_phase t ~src ~owner ~locks_by_shard:acquired
                     ~seq_ops_by_shard;
                   (* Release any locked keys that were not written. *)
@@ -1248,6 +1285,7 @@ let distributed_txn t node (txn : Types.t) id :
                 end
                 else begin
                   let decision = ref Dpending in
+                  Attrib.set_phase "log";
                   log_phase t ~src ~decision ~seq_ops_by_shard;
                   let t4 = mark "log" t3 in
                   if t.crashed.(src) then begin
@@ -1264,6 +1302,7 @@ let distributed_txn t node (txn : Types.t) id :
                        fabric, so a crash cannot split them. *)
                     decision := Dcommit;
                     oracle_commit t ~id ~values ~lock_versions ~seq_ops;
+                    Attrib.set_phase "commit";
                     commit_phase t ~src ~owner ~locks_by_shard:acquired
                       ~seq_ops_by_shard;
                     let written = List.map (fun (op, _) -> Op.key op) seq_ops in
@@ -1341,6 +1380,7 @@ let multihop_txn t node (txn : Types.t) id :
     | _ -> invalid_arg "multihop_txn: not eligible"
   in
   let p2 = primary_of t ~shard:remote_shard in
+  Attrib.set_phase "execute";
   (* Lock and read the local keys at our own NIC index. *)
   let local_result =
     if local_keys = [] then `Ok ([], [])
@@ -1350,6 +1390,7 @@ let multihop_txn t node (txn : Types.t) id :
   | `Fail -> `Aborted Metrics.Lock_conflict
   | `Ok (local_lockv, local_values) -> (
       let t1 = mark "execute" t0 in
+      Attrib.set_phase "log";
       (* Expected completions at P1: one LOG response per backup of
          each written shard, plus P2's ExecDone. *)
       let result =
@@ -1471,6 +1512,7 @@ let multihop_txn t node (txn : Types.t) id :
           else `Aborted Metrics.Lock_conflict)
       | `Ok (p1_seq_ops, p2_seq_ops, remote_lockv, remote_values) ->
           let t2 = mark "log" t1 in
+          Attrib.set_phase "commit";
           (* Committed. Apply the local commit at our own NIC and send
              COMMIT to P2 asynchronously. *)
           (match (p1_seq_ops, local_shard) with
@@ -1479,16 +1521,18 @@ let multihop_txn t node (txn : Types.t) id :
           | [], _ when local_keys <> [] ->
               abort_handler t node ~owner ~locked:local_keys ()
           | _ -> ());
-          if p2_seq_ops <> [] then
-            notify t ~src ~dst:p2
-              ~bytes:(Wire.write_ops_b ~ops:(List.map fst p2_seq_ops))
-              (fun () ->
-                commit_handler t t.nodes.(p2) ~owner ~shard:remote_shard
-                  ~seq_ops:p2_seq_ops ~locked:remote_keys ())
-          else if remote_keys <> [] then
-            notify t ~src ~dst:p2
-              ~bytes:(Wire.abort_b ~n_locks:(List.length remote_keys))
-              (abort_handler t t.nodes.(p2) ~owner ~locked:remote_keys);
+          (if p2_seq_ops <> [] then
+             let t_send = Engine.now t.engine in
+             notify t ~src ~dst:p2
+               ~bytes:(Wire.write_ops_b ~ops:(List.map fst p2_seq_ops))
+               (fun () ->
+                 commit_handler t t.nodes.(p2) ~owner ~shard:remote_shard
+                   ~seq_ops:p2_seq_ops ~locked:remote_keys ();
+                 commit_async_mark t ~src ~seq:id.Types.seq t_send)
+           else if remote_keys <> [] then
+             notify t ~src ~dst:p2
+               ~bytes:(Wire.abort_b ~n_locks:(List.length remote_keys))
+               (abort_handler t t.nodes.(p2) ~owner ~locked:remote_keys));
           oracle_commit t ~id
             ~values:(local_values @ remote_values)
             ~lock_versions:(local_lockv @ remote_lockv)
@@ -1510,6 +1554,7 @@ let local_txn t node ~shard (txn : Types.t) id :
   let epoch0 = t.epoch in
   let t0 = Engine.now t.engine in
   let mark name t_prev = phase_mark t ~src ~seq:id.Types.seq name t_prev in
+  Attrib.set_phase "execute";
   Resource.acquire node.app;
   let values =
     List.map
@@ -1540,6 +1585,7 @@ let local_txn t node ~shard (txn : Types.t) id :
   | Types.Done ops ->
   if ops = [] && txn.write_set = [] then begin
     (* Read-only local transaction: re-check versions at the host. *)
+    Attrib.set_phase "validate";
     let ok =
       List.for_all
         (fun (k, _, seq) ->
@@ -1560,6 +1606,7 @@ let local_txn t node ~shard (txn : Types.t) id :
   end
   else begin
     (* Ship the transaction state to the local NIC (one PCIe crossing). *)
+    Attrib.set_phase "validate";
     Smartnic.host_msg node.nic;
     let lock_result =
       with_core node (fun () ->
@@ -1630,14 +1677,18 @@ let local_txn t node ~shard (txn : Types.t) id :
         let t2 = mark "validate" t1 in
         let seq_ops = seq_ops_of ~lock_versions ops in
         if not (armed t) then begin
+          Attrib.set_phase "log";
           log_phase t ~src ~decision:(ref Dcommit)
             ~seq_ops_by_shard:[ (shard, seq_ops) ];
           ignore (mark "log" t2);
           (* Committed: report to the host; apply the commit at our own
              NIC asynchronously. *)
+          let t_send = Engine.now t.engine in
           Process.spawn t.engine (fun () ->
+              Attrib.set_phase "commit-async";
               commit_handler t node ~owner ~shard ~seq_ops
-                ~locked:txn.write_set ());
+                ~locked:txn.write_set ();
+              commit_async_mark t ~src ~seq:id.Types.seq t_send);
           Smartnic.host_msg node.nic;
           oracle_commit t ~id ~values ~lock_versions ~seq_ops;
           `Committed
@@ -1650,6 +1701,7 @@ let local_txn t node ~shard (txn : Types.t) id :
         end
         else begin
           let decision = ref Dpending in
+          Attrib.set_phase "log";
           log_phase t ~src ~decision ~seq_ops_by_shard:[ (shard, seq_ops) ];
           ignore (mark "log" t2);
           if t.crashed.(src) then begin
@@ -1662,9 +1714,12 @@ let local_txn t node ~shard (txn : Types.t) id :
           else begin
             decision := Dcommit;
             oracle_commit t ~id ~values ~lock_versions ~seq_ops;
+            let t_send = Engine.now t.engine in
             Process.spawn t.engine (fun () ->
+                Attrib.set_phase "commit-async";
                 commit_handler t node ~owner ~shard ~seq_ops
-                  ~locked:txn.write_set ());
+                  ~locked:txn.write_set ();
+                commit_async_mark t ~src ~seq:id.Types.seq t_send);
             fence_release t;
             Smartnic.host_msg node.nic;
             `Committed
@@ -1718,8 +1773,18 @@ let run_txn t ~node (txn : Types.t) =
     Types.Aborted
   in
   let commit () =
-    Metrics.record t.metrics ~latency_ns:(Engine.now t.engine -. t_start)
-      Types.Committed;
+    let now = Engine.now t.engine in
+    (* Outer transaction span ("txnlat"): the profiler slices it into
+       the committed attempt's phase spans (same pid/tid) plus "other"
+       gaps, so per-txn critical-path sums equal the recorded latency. *)
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+        Trace.span tr ~cat:"txnlat" ~name:"txn" ~pid:node ~tid:n.txn_seq
+          ~ts:t_start ~dur:(now -. t_start)
+          ~args:[ ("cls", (Attrib.get ()).Attrib.cls) ]
+          ());
+    Metrics.record t.metrics ~latency_ns:(now -. t_start) Types.Committed;
     Types.Committed
   in
   if not (armed t) then begin
@@ -1998,3 +2063,20 @@ let util_sources t =
            ( Printf.sprintf "node%d worker pool" n.id,
              fun () -> float_of_int (Resource.in_use n.workers) );
          ])
+
+(* Every contended resource in the system, labeled for the profiler.
+   Device-level names are per-device, so they get a node prefix here;
+   fabric and host-pool names are already node-unique. *)
+let resources t =
+  let per_node =
+    Array.to_list t.nodes
+    |> List.concat_map (fun n ->
+           List.map
+             (fun r -> (Printf.sprintf "n%d/%s" n.id (Resource.name r), r))
+             (Smartnic.resources n.nic)
+           @ [ (Resource.name n.app, n.app); (Resource.name n.workers, n.workers) ])
+  in
+  let fabric =
+    List.map (fun r -> (Resource.name r, r)) (Xenic_net.Fabric.resources t.fabric)
+  in
+  per_node @ fabric

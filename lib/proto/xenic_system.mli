@@ -164,6 +164,11 @@ val set_trace : t -> Xenic_sim.Trace.t option -> unit
     {!Xenic_sim.Trace.sampler}. *)
 val util_sources : t -> (string * (unit -> float)) list
 
+(** Every contended resource (NIC cores, packet I/O, DMA queues, PCIe
+    bus, host pools, fabric links) with a globally unique label, for
+    the profiler's bottleneck accounting. *)
+val resources : t -> (string * Xenic_sim.Resource.t) list
+
 (** Drain in-flight asynchronous work (commit application). Call after
     load generation stops, before checking invariants. *)
 val quiesce : t -> unit

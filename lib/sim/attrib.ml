@@ -1,0 +1,68 @@
+(* Ambient attribution context for the time-attribution profiler.
+
+   A small dynamically-scoped record (stack x node x phase x txn class)
+   carried by the running process: [Process] saves and restores it
+   across every spawn and suspend/resume, so a value installed by a
+   coordinator at a phase boundary is still in effect when a fabric
+   link, DMA queue or NIC core is acquired four layers down — including
+   on the server side of an RPC, where message [deliver] closures are
+   wrapped with {!preserve} at send time.
+
+   The context is a plain global: the simulation is single-threaded and
+   cooperative, so "the running process" is well defined at every
+   instant. Reads and writes are O(1) record operations; per-context
+   resource accounting is additionally gated on {!enabled} so
+   non-profiled runs pay only the save/restore moves. *)
+
+type ctx = { stack : string; node : int; phase : string; cls : string }
+
+let compare_ctx a b =
+  let c = String.compare a.stack b.stack in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.node b.node in
+    if c <> 0 then c
+    else
+      let c = String.compare a.phase b.phase in
+      if c <> 0 then c else String.compare a.cls b.cls
+
+let to_string c = Printf.sprintf "%s;n%d;%s;%s" c.stack c.node c.cls c.phase
+
+let default = { stack = "-"; node = -1; phase = "-"; cls = "-" }
+
+let current = ref default
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let set_enabled v = enabled_flag := v
+
+let get () = !current
+
+let set c = current := c
+
+let set_phase phase = current := { !current with phase }
+
+let reset () = current := default
+
+let with_ctx c f =
+  let saved = !current in
+  current := c;
+  match f () with
+  | r ->
+      current := saved;
+      r
+  | exception e ->
+      current := saved;
+      raise e
+
+let preserve f =
+  let c = !current in
+  fun () -> with_ctx c f
+
+module Ctx_map = Map.Make (struct
+  type t = ctx
+
+  let compare = compare_ctx
+end)

@@ -1,0 +1,54 @@
+(** Ambient attribution context (stack x node x phase x txn class) for
+    the time-attribution profiler.
+
+    The context is dynamically scoped over cooperative processes:
+    {!Process} captures it at every suspension and reinstalls it at the
+    matching resume, and {!Resource} attributes wait and service time
+    to the context in effect at acquire/release. Protocol layers set it
+    at phase boundaries; the workload driver sets the base
+    (stack/node/class) per transaction. *)
+
+type ctx = { stack : string; node : int; phase : string; cls : string }
+
+(** Total order over contexts (field-wise; no polymorphic compare), the
+    key order for all deterministic per-context aggregation. *)
+val compare_ctx : ctx -> ctx -> int
+
+(** [stack;n<node>;<class>;<phase>] — the flamegraph frame prefix. *)
+val to_string : ctx -> string
+
+(** The neutral context ([stack = "-"], [node = -1], ...): whatever
+    runs outside any attributed scope (engine callbacks, background
+    services) accounts here. *)
+val default : ctx
+
+(** Per-context resource accounting happens only while enabled (the
+    driver turns it on for profiled runs); the ambient context itself
+    is always maintained. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val get : unit -> ctx
+
+val set : ctx -> unit
+
+(** Replace only the phase of the current context. *)
+val set_phase : string -> unit
+
+(** Restore {!default}. *)
+val reset : unit -> unit
+
+(** [with_ctx c f] runs [f] with [c] installed and restores the
+    previous context when [f] returns or raises. Suspensions inside [f]
+    are handled by {!Process}'s save/restore, so the scoping holds
+    across blocking calls. *)
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+
+(** [preserve f] captures the current context now and returns a thunk
+    running [f] under it — for message-delivery closures that execute
+    later on another node's dispatch loop. *)
+val preserve : (unit -> 'a) -> unit -> 'a
+
+(** Deterministically ordered maps keyed by context. *)
+module Ctx_map : Map.S with type key = ctx

@@ -17,6 +17,18 @@ let spawn engine f =
           | Suspend register ->
               Some
                 (fun (k : (a, _) continuation) ->
+                  (* Dynamic scoping of the attribution context: the
+                     suspending process's context travels with the
+                     continuation — reinstalled for the resumed body,
+                     with the resumer's own context restored once the
+                     body suspends again or finishes. *)
+                  let suspended_ctx = Attrib.get () in
+                  let resume v =
+                    let resumer_ctx = Attrib.get () in
+                    Attrib.set suspended_ctx;
+                    continue k v;
+                    Attrib.set resumer_ctx
+                  in
                   if strict then begin
                     let resumed = ref false in
                     register (fun v ->
@@ -26,14 +38,19 @@ let spawn engine f =
                              (second wakeup dropped)"
                         else begin
                           resumed := true;
-                          continue k v
+                          resume v
                         end)
                   end
-                  else register (fun v -> continue k v))
+                  else register resume)
           | _ -> None);
     }
   in
-  match_with f () handler
+  (* The child inherits the spawner's context and may overwrite it
+     before its first suspension; restore the spawner's view either
+     way. *)
+  let caller_ctx = Attrib.get () in
+  match_with f () handler;
+  Attrib.set caller_ctx
 
 let suspend register =
   try perform (Suspend register)

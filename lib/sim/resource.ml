@@ -1,11 +1,48 @@
+(* Per-context wait/service accounting (profiler):
+
+   - every completed acquire records its queue wait (zero for an
+     immediate grant) against the acquirer's ambient {!Attrib} context;
+   - every release closes the matching open grant and records its
+     service time against the grant's context (matched by context, the
+     oldest grant as a fallback, so totals stay exact even if a phase
+     boundary crossed a hold);
+   - queue length is integrated over time ([queue_area]), giving the
+     Little's-law cross-check: the integral equals the sum of completed
+     waits exactly, since each waiter contributes its wait interval.
+
+   Per-context map updates run only while [Attrib.enabled]; the queue
+   integral is a couple of float ops and stays always-on. *)
+
+type stat = {
+  mutable wait_ns : float;
+  mutable waits : int;
+  mutable service_ns : float;
+  mutable services : int;
+}
+
+type stat_view = {
+  v_wait_ns : float;
+  v_waits : int;
+  v_service_ns : float;
+  v_services : int;
+}
+
+type grant = { g_ctx : Attrib.ctx; t_grant : float }
+
+type waiter = { resume : unit -> unit; w_ctx : Attrib.ctx; t_enq : float }
+
 type t = {
   engine : Engine.t;
   name : string;
   servers : int;
   mutable busy : int;
-  waiters : (unit -> unit) Queue.t;
+  waiters : waiter Queue.t;
   mutable busy_time : float;
   mutable last_change : float;
+  mutable queue_area : float;  (* integral of queue length over time *)
+  mutable last_qchange : float;
+  mutable grants : grant list;  (* open grants, oldest first *)
+  mutable stats : stat Attrib.Ctx_map.t;
 }
 
 let create engine ~name ~servers =
@@ -19,6 +56,10 @@ let create engine ~name ~servers =
       waiters = Queue.create ();
       busy_time = 0.0;
       last_change = 0.0;
+      queue_area = 0.0;
+      last_qchange = 0.0;
+      grants = [];
+      stats = Attrib.Ctx_map.empty;
     }
   in
   Engine.register_check engine (fun () ->
@@ -55,18 +96,87 @@ let account t =
   t.busy_time <- t.busy_time +. (float_of_int t.busy *. (now -. t.last_change));
   t.last_change <- now
 
+let account_queue t =
+  let now = Engine.now t.engine in
+  t.queue_area <-
+    t.queue_area
+    +. (float_of_int (Queue.length t.waiters) *. (now -. t.last_qchange));
+  t.last_qchange <- now
+
+let stat_for t ctx =
+  match Attrib.Ctx_map.find_opt ctx t.stats with
+  | Some s -> s
+  | None ->
+      let s = { wait_ns = 0.0; waits = 0; service_ns = 0.0; services = 0 } in
+      t.stats <- Attrib.Ctx_map.add ctx s t.stats;
+      s
+
+let record_wait t ctx dt =
+  if Attrib.enabled () then begin
+    let s = stat_for t ctx in
+    s.wait_ns <- s.wait_ns +. dt;
+    s.waits <- s.waits + 1
+  end
+
+let open_grant t ctx =
+  if Attrib.enabled () then
+    t.grants <- t.grants @ [ { g_ctx = ctx; t_grant = Engine.now t.engine } ]
+
+(* Detach the first grant matching [ctx]; [None] if none does. *)
+let rec detach ctx = function
+  | [] -> None
+  | g :: rest when Attrib.compare_ctx g.g_ctx ctx = 0 -> Some (g, rest)
+  | g :: rest -> (
+      match detach ctx rest with
+      | Some (g', rest') -> Some (g', g :: rest')
+      | None -> None)
+
+let close_grant t =
+  if Attrib.enabled () then
+    match t.grants with
+    | [] -> ()  (* profiling was enabled mid-hold: nothing to attribute *)
+    | g0 :: rest0 ->
+        let g, rest =
+          match detach (Attrib.get ()) t.grants with
+          | Some (g, rest) -> (g, rest)
+          | None -> (g0, rest0)
+        in
+        t.grants <- rest;
+        let s = stat_for t g.g_ctx in
+        s.service_ns <- s.service_ns +. (Engine.now t.engine -. g.t_grant);
+        s.services <- s.services + 1
+
 let acquire t =
   if t.busy < t.servers then begin
     account t;
-    t.busy <- t.busy + 1
+    t.busy <- t.busy + 1;
+    let ctx = Attrib.get () in
+    record_wait t ctx 0.0;
+    open_grant t ctx
   end
-  else Process.suspend (fun resume -> Queue.add (fun () -> resume ()) t.waiters)
+  else begin
+    let w_ctx = Attrib.get () in
+    let t_enq = Engine.now t.engine in
+    Process.suspend (fun resume ->
+        account_queue t;
+        Queue.add { resume = (fun () -> resume ()); w_ctx; t_enq } t.waiters)
+  end
 
 let release t =
+  close_grant t;
+  (* Integrate the queue BEFORE dequeuing: the departing waiter must
+     contribute its full interval to the area, or Little's law breaks. *)
+  account_queue t;
   match Queue.take_opt t.waiters with
-  | Some resume ->
-      (* Hand the unit directly to the next waiter: busy count unchanged. *)
-      Engine.after t.engine 0.0 resume
+  | Some w ->
+      (* Hand the unit directly to the next waiter: busy count
+         unchanged; the waiter's grant starts now, under the context it
+         carried into the queue. *)
+      let now = Engine.now t.engine in
+      record_wait t w.w_ctx (now -. w.t_enq);
+      if Attrib.enabled () then
+        t.grants <- t.grants @ [ { g_ctx = w.w_ctx; t_grant = now } ];
+      Engine.after t.engine 0.0 w.resume
   | None ->
       if t.busy <= 0 then
         invalid_arg
@@ -88,3 +198,21 @@ let utilization t =
   let now = Engine.now t.engine in
   if now <= 0.0 then 0.0
   else busy_time t /. (float_of_int t.servers *. now)
+
+let queue_area t =
+  account_queue t;
+  t.queue_area
+
+let stats t =
+  Attrib.Ctx_map.fold
+    (fun ctx s acc ->
+      ( ctx,
+        {
+          v_wait_ns = s.wait_ns;
+          v_waits = s.waits;
+          v_service_ns = s.service_ns;
+          v_services = s.services;
+        } )
+      :: acc)
+    t.stats []
+  |> List.rev

@@ -40,3 +40,28 @@ val utilization : t -> float
 
 (** Total busy server-nanoseconds accumulated. *)
 val busy_time : t -> float
+
+(** {2 Per-context attribution (profiler)}
+
+    While [Attrib.enabled], every completed acquire records its queue
+    wait and every release records the grant's service time, attributed
+    to the ambient {!Attrib} context. *)
+
+(** Immutable snapshot of one context's accounting. *)
+type stat_view = {
+  v_wait_ns : float;  (** summed queue waits (zero-wait grants included) *)
+  v_waits : int;  (** completed grants, i.e. acquires that went through *)
+  v_service_ns : float;  (** summed hold times of closed grants *)
+  v_services : int;  (** closed grants *)
+}
+
+(** Accounting per context, in {!Attrib.compare_ctx} order
+    (deterministic). After all grants are released, summed
+    [v_service_ns] equals {!busy_time} to within float rounding (the
+    two are different partitions of the same busy intervals). *)
+val stats : t -> (Attrib.ctx * stat_view) list
+
+(** Time-integral of the queue length (waiter-nanoseconds) — the
+    Little's-law cross-check: once the queue is empty this equals the
+    sum of all recorded waits exactly. *)
+val queue_area : t -> float

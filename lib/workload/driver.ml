@@ -15,6 +15,7 @@ type result = {
   aborted : int;
   duration_ns : float;
   metrics : Metrics.t;
+  profile : Xenic_profile.Profile.t option;
 }
 
 type state = {
@@ -28,10 +29,24 @@ type state = {
 
 let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
     ?coordinators ?(faults = []) ?trace ?(sample_period_ns = 10_000.0)
-    (sys : System.t) spec ~concurrency ~target =
+    ?(profile = false) (sys : System.t) spec ~concurrency ~target =
   let engine = sys.System.engine in
   let metrics = Metrics.create () in
+  (* Profiling needs transaction spans for critical-path extraction; if
+     the caller did not attach a trace, run an internal one. *)
+  let trace =
+    match (trace, profile) with
+    | None, true -> Some (Trace.create engine)
+    | _ -> trace
+  in
   sys.System.set_trace trace;
+  let prof_resources = if profile then sys.System.resources () else [] in
+  let prof_baseline = Xenic_profile.Profile.baseline prof_resources in
+  let prof_start = Engine.now engine in
+  if profile then begin
+    Attrib.set_enabled true;
+    Attrib.reset ()
+  end;
   let stop_sampler =
     match trace with
     | None -> fun () -> ()
@@ -88,6 +103,12 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
             if st.committed < st.target && sys.System.node_alive ~node
             then begin
               let cls, txn = spec.generate rng ~node in
+              (* Attribution context for this transaction: everything the
+                 slot causes — including remote handlers, via message
+                 preservation — is charged to (stack, node, class). The
+                 protocol layer refines the phase as it advances. *)
+              Attrib.set
+                { Attrib.stack = sys.System.name; node; phase = "txn"; cls };
               let t0 = Engine.now engine in
               let outcome = sys.System.run_txn ~node txn in
               let latency = Engine.now engine -. t0 in
@@ -129,6 +150,22 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
            spec.name (List.length issues)
            (String.concat "\n" issues))
   end;
+  let prof =
+    if not profile then None
+    else begin
+      (* Collect after quiesce so every grant is closed and every queue
+         drained — the busy/service and Little's-law cross-checks hold. *)
+      let p =
+        Xenic_profile.Profile.collect ~stack:sys.System.name
+          ~resources:prof_resources ~baseline:prof_baseline ?trace
+          ~elapsed_ns:(Engine.now engine -. prof_start)
+          ()
+      in
+      Attrib.set_enabled false;
+      Attrib.reset ();
+      Some p
+    end
+  in
   let duration = st.last_commit -. st.window_started in
   if st.window_committed = 0 then
     (* Empty measurement window (warmup >= target, or no commit landed
@@ -143,6 +180,7 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
       aborted = Metrics.aborted metrics;
       duration_ns = 0.0;
       metrics;
+      profile = prof;
     }
   else if duration <= 0.0 then
     invalid_arg
@@ -162,6 +200,7 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
       aborted = Metrics.aborted metrics;
       duration_ns = duration;
       metrics;
+      profile = prof;
     }
 
 let class_committed result ~cls = Metrics.committed_class result.metrics ~cls

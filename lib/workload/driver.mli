@@ -22,6 +22,8 @@ type result = {
   aborted : int;
   duration_ns : float;  (** Measurement window length. *)
   metrics : Xenic_proto.Metrics.t;
+  profile : Xenic_profile.Profile.t option;
+      (** Time-attribution profile; [Some] iff run with [~profile:true]. *)
 }
 
 (** [run sys spec ~concurrency ~target] drives the system until
@@ -42,7 +44,13 @@ type result = {
 
     If no commit lands inside the measurement window (e.g. warmup
     consumed every commit), the result reports zero throughput and a
-    zero-length window rather than a fabricated one. *)
+    zero-length window rather than a fabricated one.
+
+    [profile] (default false) enables per-resource time attribution
+    ({!Xenic_sim.Attrib}) for the run and returns the collected
+    {!Xenic_profile.Profile.t} in the result; if no [trace] was given,
+    an internal one records the transaction spans critical-path
+    extraction needs. *)
 val run :
   ?seed:int64 ->
   ?warmup_frac:float ->
@@ -51,6 +59,7 @@ val run :
   ?faults:(float * int) list ->
   ?trace:Xenic_sim.Trace.t ->
   ?sample_period_ns:float ->
+  ?profile:bool ->
   Xenic_proto.System.t ->
   spec ->
   concurrency:int ->

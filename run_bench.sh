@@ -9,9 +9,9 @@
 # the script exits nonzero listing every experiment that died.
 set -x
 : > /root/repo/bench_output.txt
-rm -f /root/repo/BENCH_*.json
+rm -f /root/repo/BENCH_*.json /root/repo/PROFILE_*.txt /root/repo/PROFILE_*.folded
 failed=""
-for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace; do
+for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace profile; do
   timeout 2400 dune exec bench/main.exe -- "$exp" >> /root/repo/bench_output.txt 2>&1
   status=$?
   if [ "$status" -ne 0 ]; then

@@ -1,0 +1,337 @@
+(* Tests for the time-attribution profiler: hand-computed FIFO
+   wait/service accounting on a contended resource, busy-time and
+   Little's-law cross-checks, same-seed byte-identical reports and
+   flamegraphs across all six stacks, critical-path closure on
+   Smallbank and TPC-C, and the BENCH json diff regression gate. *)
+
+open Xenic_sim
+open Xenic_cluster
+open Xenic_proto
+open Xenic_workload
+module Profile = Xenic_profile.Profile
+module Bench_diff = Xenic_profile.Bench_diff
+
+let hw = Xenic_params.Hw.testbed
+
+(* ------------------------------------------------------------------ *)
+(* Resource accounting: hand-computed FIFO contention. *)
+
+(* Three processes contend for one server at t=0, holding 100/50/25 ns
+   in spawn order. FIFO waits are 0/100/150 ns; busy time is the
+   service sum (175), queue area the wait sum (250). *)
+let test_fifo_accounting () =
+  let eng = Engine.create () in
+  Attrib.set_enabled true;
+  Attrib.reset ();
+  let res = Resource.create eng ~name:"cpu" ~servers:1 in
+  List.iteri
+    (fun i dur ->
+      Process.spawn eng (fun () ->
+          Attrib.set { Attrib.stack = "T"; node = i; phase = "p"; cls = "c" };
+          Resource.use res dur))
+    [ 100.0; 50.0; 25.0 ];
+  ignore (Engine.run eng);
+  let stats = Resource.stats res in
+  Attrib.set_enabled false;
+  Attrib.reset ();
+  Alcotest.(check int) "three contexts" 3 (List.length stats);
+  List.iteri
+    (fun i (want_wait, want_service) ->
+      let ctx, v = List.nth stats i in
+      Alcotest.(check int) "contexts ordered by node" i ctx.Attrib.node;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "wait of process %d" i)
+        want_wait v.Resource.v_wait_ns;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "service of process %d" i)
+        want_service v.Resource.v_service_ns;
+      Alcotest.(check int)
+        (Printf.sprintf "grants of process %d" i)
+        1 v.Resource.v_services)
+    [ (0.0, 100.0); (100.0, 50.0); (150.0, 25.0) ];
+  Alcotest.(check (float 1e-9)) "busy time = service sum" 175.0
+    (Resource.busy_time res);
+  Alcotest.(check (float 1e-9)) "queue area = wait sum (Little)" 250.0
+    (Resource.queue_area res)
+
+(* Accounting is off by default: an unprofiled run records nothing. *)
+let test_accounting_gated () =
+  let eng = Engine.create () in
+  Attrib.reset ();
+  let res = Resource.create eng ~name:"cpu" ~servers:1 in
+  List.iter
+    (fun dur -> Process.spawn eng (fun () -> Resource.use res dur))
+    [ 100.0; 50.0 ];
+  ignore (Engine.run eng);
+  Alcotest.(check int) "no contexts recorded" 0
+    (List.length (Resource.stats res));
+  Alcotest.(check (float 1e-9)) "busy time still integrates" 150.0
+    (Resource.busy_time res)
+
+(* ------------------------------------------------------------------ *)
+(* Full-driver profiled runs. *)
+
+let mk_xenic () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let p = { Smallbank.default_params with accounts_per_node = 50 } in
+  let segments, seg_size, d_max = Smallbank.store_cfg p in
+  ( System.of_xenic
+      (Xenic_system.create engine hw cfg
+         {
+           Xenic_system.default_params with
+           segments;
+           seg_size;
+           d_max;
+           cache_capacity = 512;
+         }),
+    p )
+
+let mk_rdma flavor () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let p = { Smallbank.default_params with accounts_per_node = 50 } in
+  ( System.of_rdma
+      (Rdma_system.create engine hw cfg flavor
+         { Rdma_system.default_params with buckets = Smallbank.chained_buckets p }),
+    p )
+
+let profiled_run mk =
+  let sys, p = mk () in
+  Smallbank.load p sys;
+  let result =
+    Driver.run ~seed:11L ~profile:true sys
+      (Smallbank.spec p ~nodes:4)
+      ~concurrency:8 ~target:300
+  in
+  match result.Driver.profile with
+  | Some prof -> prof
+  | None -> Alcotest.fail "profiled run returned no profile"
+
+let profiled_tpcc_run () =
+  let tp =
+    {
+      Tpcc.default_params with
+      warehouses_per_node = 2;
+      customers_per_district = 10;
+      items = 200;
+    }
+  in
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let segments, seg_size, d_max = Tpcc.store_cfg tp in
+  let sys =
+    System.of_xenic
+      (Xenic_system.create engine hw cfg
+         {
+           Xenic_system.default_params with
+           segments;
+           seg_size;
+           d_max;
+           cache_capacity = 4096;
+         })
+  in
+  Tpcc.load tp sys;
+  let result =
+    Driver.run ~seed:11L ~profile:true sys (Tpcc.spec tp sys) ~concurrency:8
+      ~target:200
+  in
+  match result.Driver.profile with
+  | Some prof -> prof
+  | None -> Alcotest.fail "profiled run returned no profile"
+
+let test_profile_deterministic mk () =
+  let p1 = profiled_run mk in
+  let p2 = profiled_run mk in
+  Alcotest.(check bool) "rows nonempty" true (p1.Profile.rows <> []);
+  Alcotest.(check bool) "paths nonempty" true (p1.Profile.paths <> []);
+  Alcotest.(check string) "report byte-identical" (Profile.report p1)
+    (Profile.report p2);
+  Alcotest.(check string) "folded byte-identical" (Profile.folded p1)
+    (Profile.folded p2)
+
+(* Attributed service must repartition the resource's integrated busy
+   time; attributed wait must equal the queue-length integral (Little's
+   law with a drained queue). Both to within float rounding. *)
+let check_accounting prof =
+  List.iter
+    (fun (label, busy, service) ->
+      let rel = Float.abs (busy -. service) /. Float.max busy 1.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: |busy - service|/busy = %g within 1e-6" label rel)
+        true (rel <= 1e-6))
+    (Profile.busy_agreement prof);
+  List.iter
+    (fun (label, area, wait) ->
+      let rel = Float.abs (area -. wait) /. Float.max area 1.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: |area - wait|/area = %g within 1e-6" label rel)
+        true (rel <= 1e-6))
+    (Profile.little_check prof)
+
+let test_accounting_agreement mk () = check_accounting (profiled_run mk)
+
+(* Critical-path segments partition the outer span by construction;
+   the 0.5ns bar only allows float summation noise. *)
+let check_path_closure prof =
+  Alcotest.(check bool) "paths extracted" true (prof.Profile.paths <> []);
+  let residual =
+    List.fold_left
+      (fun acc p ->
+        let sum =
+          List.fold_left (fun a s -> a +. s.Profile.s_dur_ns) 0.0 p.Profile.p_segs
+        in
+        Float.max acc (Float.abs (p.Profile.p_dur_ns -. sum)))
+      0.0 prof.Profile.paths
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "max |dur - seg sum| = %gns within 0.5ns" residual)
+    true (residual <= 0.5)
+
+let test_path_closure mk () = check_path_closure (profiled_run mk)
+
+let test_path_closure_tpcc () = check_path_closure (profiled_tpcc_run ())
+
+(* Folded output: sorted lines of exactly six ;-frames plus a positive
+   integer weight — the contract flamegraph renderers rely on. *)
+let test_folded_format () =
+  let prof = profiled_run mk_xenic in
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Profile.folded prof))
+  in
+  Alcotest.(check bool) "folded nonempty" true (lines <> []);
+  List.iter
+    (fun l ->
+      match String.rindex_opt l ' ' with
+      | None -> Alcotest.fail ("no weight separator: " ^ l)
+      | Some i ->
+          (match
+             int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+           with
+          | Some n ->
+              Alcotest.(check bool) ("positive weight: " ^ l) true (n > 0)
+          | None -> Alcotest.fail ("non-integer weight: " ^ l));
+          let frames = String.split_on_char ';' (String.sub l 0 i) in
+          Alcotest.(check int) ("six frames: " ^ l) 6 (List.length frames))
+    lines;
+  Alcotest.(check bool) "lines sorted" true
+    (List.equal String.equal lines (List.sort String.compare lines))
+
+(* ------------------------------------------------------------------ *)
+(* bench diff: the BENCH_*.json regression gate. *)
+
+let test_diff_identical () =
+  let m = [ ("tput", Some 100.0); ("lat", Some 2.5); ("nan", None) ] in
+  let f = Bench_diff.diff ~tol:0.05 m m in
+  Alcotest.(check int) "all keys compared" 3 (List.length f);
+  Alcotest.(check bool) "identical inputs pass" false (Bench_diff.regressed f)
+
+let test_diff_regression () =
+  let a = [ ("tput", Some 100.0); ("lat", Some 2.5) ] in
+  let b = [ ("tput", Some 110.0); ("lat", Some 2.5) ] in
+  let f = Bench_diff.diff ~tol:0.05 a b in
+  Alcotest.(check bool) "10%% delta out of 5%% tol" true
+    (Bench_diff.regressed f);
+  let bad = List.filter (fun x -> x.Bench_diff.out_of_tol) f in
+  (match bad with
+  | [ x ] ->
+      Alcotest.(check string) "only tput flagged" "tput" x.Bench_diff.key;
+      (match x.Bench_diff.rel with
+      | Some r -> Alcotest.(check (float 1e-9)) "relative delta" 0.1 r
+      | None -> Alcotest.fail "expected a relative delta")
+  | _ -> Alcotest.fail "expected exactly one out-of-tolerance metric");
+  Alcotest.(check bool) "10%% delta within 20%% tol" false
+    (Bench_diff.regressed (Bench_diff.diff ~tol:0.2 a b))
+
+let test_diff_presence () =
+  let a = [ ("only a", Some 1.0); ("both", Some 2.0) ] in
+  let b = [ ("both", Some 2.0); ("only b", Some 3.0) ] in
+  let f = Bench_diff.diff ~tol:0.05 a b in
+  Alcotest.(check int) "union of keys" 3 (List.length f);
+  Alcotest.(check bool) "one-sided keys regress" true (Bench_diff.regressed f);
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) x.Bench_diff.key
+        (x.Bench_diff.key <> "both")
+        x.Bench_diff.out_of_tol)
+    f;
+  (* A zero reference compares by exact equality, not relative delta. *)
+  let z = Bench_diff.diff ~tol:0.05 [ ("z", Some 0.0) ] [ ("z", Some 0.0) ] in
+  Alcotest.(check bool) "zero vs zero passes" false (Bench_diff.regressed z);
+  let z' = Bench_diff.diff ~tol:0.05 [ ("z", Some 0.0) ] [ ("z", Some 1.0) ] in
+  Alcotest.(check bool) "zero vs nonzero regresses" true
+    (Bench_diff.regressed z')
+
+(* Round-trip through the exact file shape bench/common.ml emits. *)
+let test_diff_parse () =
+  let path = Filename.temp_file "bench_diff" ".json" in
+  let oc = open_out path in
+  output_string oc
+    "{\n\
+    \  \"experiment\": \"t\",\n\
+    \  \"description\": \"d\",\n\
+    \  \"metrics\": {\n\
+    \    \"xenic tput\": 123456,\n\
+    \    \"drtmh p99 us\": 12.5,\n\
+    \    \"farm residual\": null\n\
+    \  }\n\
+     }\n";
+  close_out oc;
+  let m = Bench_diff.load_metrics path in
+  Sys.remove path;
+  Alcotest.(check int) "three metrics" 3 (List.length m);
+  Alcotest.(check (option (float 1e-9))) "int value" (Some 123456.0)
+    (List.assoc "xenic tput" m);
+  Alcotest.(check (option (float 1e-9))) "float value" (Some 12.5)
+    (List.assoc "drtmh p99 us" m);
+  Alcotest.(check (option (float 1e-9))) "null value" None
+    (List.assoc "farm residual" m)
+
+let all_stacks =
+  [
+    ("xenic", mk_xenic);
+    ("drtmh", mk_rdma Rdma_system.Drtmh);
+    ("drtmh-nc", mk_rdma Rdma_system.Drtmh_nc);
+    ("fasst", mk_rdma Rdma_system.Fasst);
+    ("drtmr", mk_rdma Rdma_system.Drtmr);
+    ("farm", mk_rdma Rdma_system.Farm);
+  ]
+
+let () =
+  Alcotest.run "xenic_profile"
+    [
+      ( "resource",
+        [
+          Alcotest.test_case "fifo accounting" `Quick test_fifo_accounting;
+          Alcotest.test_case "gated when disabled" `Quick test_accounting_gated;
+        ] );
+      ( "determinism",
+        List.map
+          (fun (name, mk) ->
+            Alcotest.test_case name `Quick (test_profile_deterministic mk))
+          all_stacks );
+      ( "accounting",
+        [
+          Alcotest.test_case "xenic" `Quick (test_accounting_agreement mk_xenic);
+          Alcotest.test_case "drtmh" `Quick
+            (test_accounting_agreement (mk_rdma Rdma_system.Drtmh));
+        ] );
+      ( "critical-path",
+        [
+          Alcotest.test_case "smallbank xenic" `Quick (test_path_closure mk_xenic);
+          Alcotest.test_case "smallbank drtmh" `Quick
+            (test_path_closure (mk_rdma Rdma_system.Drtmh));
+          Alcotest.test_case "tpcc xenic" `Quick test_path_closure_tpcc;
+        ] );
+      ( "folded",
+        [ Alcotest.test_case "format" `Quick test_folded_format ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "identical" `Quick test_diff_identical;
+          Alcotest.test_case "regression" `Quick test_diff_regression;
+          Alcotest.test_case "presence and zero" `Quick test_diff_presence;
+          Alcotest.test_case "file parse" `Quick test_diff_parse;
+        ] );
+    ]

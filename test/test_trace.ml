@@ -118,6 +118,20 @@ let traced_run mk =
        ~trace:tr ~concurrency:8 ~target:300);
   (tr, sys)
 
+(* A full driver run into an undersized buffer must saturate the limit
+   and surface the overflow through [Trace.dropped] — the signal the
+   CLI and the trace experiment warn on. *)
+let test_trace_driver_overflow () =
+  let sys, p = mk_xenic () in
+  Smallbank.load p sys;
+  let tr = Trace.create ~limit:64 sys.System.engine in
+  ignore
+    (Driver.run ~seed:11L sys
+       (Smallbank.spec p ~nodes:4)
+       ~trace:tr ~concurrency:8 ~target:300);
+  Alcotest.(check int) "kept exactly the limit" 64 (Trace.count tr);
+  Alcotest.(check bool) "overflow counted" true (Trace.dropped tr > 0)
+
 let test_trace_deterministic mk () =
   let tr1, _ = traced_run mk in
   let tr2, _ = traced_run mk in
@@ -161,6 +175,8 @@ let () =
           Alcotest.test_case "order" `Quick test_trace_buffer_order;
           Alcotest.test_case "limit" `Quick test_trace_limit;
           Alcotest.test_case "sampler" `Quick test_trace_sampler;
+          Alcotest.test_case "driver overflow" `Quick
+            test_trace_driver_overflow;
         ] );
       ( "determinism",
         [
