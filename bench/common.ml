@@ -67,7 +67,8 @@ let cluster_nodes = 6
 let replication = 3
 
 let mk_xenic ?(features = Features.full) ?(hw = hw) ?(nodes = cluster_nodes)
-    ?(params = Xenic_system.default_params) ~store_cfg () =
+    ?(replication = replication) ?(params = Xenic_system.default_params)
+    ~store_cfg () =
   let engine = Engine.create () in
   let cfg = Config.make ~nodes ~replication in
   let segments, seg_size, d_max = store_cfg in
@@ -76,7 +77,7 @@ let mk_xenic ?(features = Features.full) ?(hw = hw) ?(nodes = cluster_nodes)
   in
   System.of_xenic (Xenic_system.create engine hw cfg p)
 
-let mk_rdma ?(hw = hw) ?(nodes = cluster_nodes)
+let mk_rdma ?(hw = hw) ?(nodes = cluster_nodes) ?(replication = replication)
     ?(params = Rdma_system.default_params) ~buckets flavor () =
   let engine = Engine.create () in
   let cfg = Config.make ~nodes ~replication in

@@ -1,0 +1,124 @@
+(* The discrete-event heap + engine as they stood before the
+   allocation-free rewrite, verbatim: boxed [(time, seq, value)] heap
+   entries in a binary heap, option-returning [peek_time]/[pop_min],
+   one tuple + one option allocated per dispatched event, no
+   same-timestamp batching. Kept as its own compilation unit so calls
+   into it pay the same cross-module cost as calls into
+   [Xenic_sim.Engine] — the `bench sim` comparison measures the engine,
+   not the linker layout. Used only by bench/exp_sim.ml. *)
+
+module Heap = struct
+  type 'a entry = { time : float; seq : int; value : 'a }
+
+  type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+  let initial_capacity = 256
+
+  let create () = { data = [||]; size = 0 }
+
+  let is_empty h = h.size = 0
+
+  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let grow h entry =
+    if Array.length h.data = 0 then h.data <- Array.make initial_capacity entry
+    else begin
+      let data = Array.make (2 * Array.length h.data) entry in
+      Array.blit h.data 0 data 0 h.size;
+      h.data <- data
+    end
+
+  let push h ~time ~seq value =
+    let entry = { time; seq; value } in
+    if h.size = Array.length h.data then grow h entry;
+    let data = h.data in
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    data.(!i) <- entry;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if before entry data.(parent) then begin
+        data.(!i) <- data.(parent);
+        data.(parent) <- entry;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop_min h =
+    if h.size = 0 then None
+    else begin
+      let data = h.data in
+      let min = data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        let last = data.(h.size) in
+        data.(0) <- last;
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.size && before data.(l) data.(!smallest) then smallest := l;
+          if r < h.size && before data.(r) data.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            let tmp = data.(!i) in
+            data.(!i) <- data.(!smallest);
+            data.(!smallest) <- tmp;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some (min.time, min.seq, min.value)
+    end
+
+  let peek_time h = if h.size = 0 then None else Some h.data.(0).time
+end
+
+module Engine = struct
+  type t = {
+    mutable now : float;
+    mutable seq : int;
+    heap : (unit -> unit) Heap.t;
+    mutable events_run : int;
+  }
+
+  let create () =
+    { now = 0.0; seq = 0; heap = Heap.create (); events_run = 0 }
+
+  let now t = t.now
+
+  let at t time f =
+    if time < t.now then
+      invalid_arg
+        (Printf.sprintf "Engine.at: time %.1f is before now %.1f" time t.now);
+    t.seq <- t.seq + 1;
+    Heap.push t.heap ~time ~seq:t.seq f
+
+  let after t delay f = at t (t.now +. delay) f
+
+  let run ?(until = infinity) t =
+    let start = t.events_run in
+    let continue = ref true in
+    while !continue do
+      match Heap.peek_time t.heap with
+      | None -> continue := false
+      | Some time when time > until -> continue := false
+      | Some _ -> (
+          match Heap.pop_min t.heap with
+          | None -> continue := false
+          | Some (time, _, f) ->
+              t.now <- time;
+              t.events_run <- t.events_run + 1;
+              f ())
+    done;
+    (* xenic-lint: allow FLOAT-CMP *)
+    if until <> infinity && until > t.now then t.now <- until;
+    t.events_run - start
+
+  let events_run t = t.events_run
+
+  let idle t = Heap.is_empty t.heap
+end

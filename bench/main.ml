@@ -22,6 +22,8 @@ let experiments =
     ("micro", "wall-clock data structure microbenches", Exp_micro.run);
     ("trace", "deterministic phase/utilization tracing", Exp_trace.run);
     ("profile", "time attribution and bottleneck report", Exp_profile.run);
+    ("sim", "engine hot-path events/sec vs legacy", Exp_sim.run);
+    ("scale", "nodes x replication scale-out sweep", Exp_scale.run);
   ]
 
 let () =

@@ -205,7 +205,7 @@ let profile_cmd out = execute ?trace_out:None ~profile_out:out
 
 (* [bench diff]: compare two BENCH_*.json metric files with a relative
    tolerance; exit nonzero when any metric is out of tolerance. *)
-let bench_diff_cmd a b tol =
+let bench_diff_cmd a b tol ignore_prefixes =
   match
     ( Xenic_profile.Bench_diff.load_metrics a,
       Xenic_profile.Bench_diff.load_metrics b )
@@ -214,7 +214,9 @@ let bench_diff_cmd a b tol =
       Printf.eprintf "bench diff: %s\n" e;
       exit 2
   | ma, mb ->
-      let findings = Xenic_profile.Bench_diff.diff ~tol ma mb in
+      let findings =
+        Xenic_profile.Bench_diff.diff ~ignore_prefixes ~tol ma mb
+      in
       Printf.printf "bench diff: %s (reference) vs %s (candidate)\n" a b;
       print_string (Xenic_profile.Bench_diff.render ~tol findings);
       if Xenic_profile.Bench_diff.regressed findings then exit 1
@@ -288,7 +290,19 @@ let cmd =
       value & opt float 0.05
       & info [ "tol" ] ~doc:"Relative tolerance per metric.")
   in
-  let bench_diff_term = Term.(const bench_diff_cmd $ diff_a $ diff_b $ diff_tol) in
+  let diff_ignore =
+    Arg.(
+      value & opt_all string []
+      & info [ "ignore-prefix" ]
+          ~doc:
+            "Drop metrics whose key starts with $(docv) before comparing \
+             (repeatable). Use for machine-dependent values, e.g. \
+             $(b,--ignore-prefix wallclock) when byte-gating \
+             BENCH_scale.json.")
+  in
+  let bench_diff_term =
+    Term.(const bench_diff_cmd $ diff_a $ diff_b $ diff_tol $ diff_ignore)
+  in
   Cmd.group
     (Cmd.info "xenicctl" ~doc:"Run Xenic-reproduction benchmarks")
     [

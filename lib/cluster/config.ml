@@ -2,6 +2,13 @@ type t = { nodes : int; replication : int }
 
 let make ~nodes ~replication =
   if nodes <= 0 then invalid_arg "Config.make: nodes";
+  (* One shard per node, and the key layout packs the shard into 8
+     bits (Keyspace.max_shard): more nodes than shard ids would wrap
+     silently in every key. *)
+  if nodes > Keyspace.max_shard + 1 then
+    invalid_arg
+      (Printf.sprintf "Config.make: nodes must be <= %d (8-bit shard field)"
+         (Keyspace.max_shard + 1));
   if replication <= 0 || replication > nodes then
     invalid_arg "Config.make: replication must be in [1, nodes]";
   { nodes; replication }

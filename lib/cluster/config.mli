@@ -7,6 +7,9 @@ type t = {
   replication : int;  (** Copies of each shard: 1 primary + (r-1) backups. *)
 }
 
+(** Raises [Invalid_argument] unless [1 <= replication <= nodes] and
+    [nodes <= Keyspace.max_shard + 1] (the key layout's 8-bit shard
+    field bounds the cluster size). *)
 val make : nodes:int -> replication:int -> t
 
 (** Shard [s]'s primary is node [s]. *)

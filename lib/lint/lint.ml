@@ -42,9 +42,28 @@ let contains s sub = find_substring s sub <> None
 (* Allowlist comments.
 
    [(* xenic-lint: allow RULE-ID ... *)]      suppresses on this / next line
-   [(* xenic-lint: allow-file RULE-ID ... *)] suppresses in the whole file *)
+   [(* xenic-lint: allow-file RULE-ID ... *)] suppresses in the whole file
+
+   WALL-CLOCK is deliberately harder to suppress than the other rules:
+   an unannotated wall-clock read in simulation code silently breaks
+   result determinism. It has no file-wide exemption, and a per-line
+   [allow WALL-CLOCK] only counts when the directive also names the
+   timer it feeds with a [timer:<tag>] token, e.g.
+
+     [(* xenic-lint: allow WALL-CLOCK timer:bench-sim *)]
+
+   so each read is individually identified (the `bench sim` events/sec
+   timer), never waved through per file or with a bare [allow]. *)
 
 let directive_key = "xenic-lint:"
+
+let timer_tag_prefix = "timer:"
+
+let has_timer_tag tokens =
+  let n = String.length timer_tag_prefix in
+  List.exists
+    (fun tok -> String.length tok > n && String.sub tok 0 n = timer_tag_prefix)
+    tokens
 
 let split_tokens s =
   String.split_on_char ' ' s
@@ -69,9 +88,18 @@ let allowlist_of_lines lines =
           let rest = String.sub line start (String.length line - start) in
           (match split_tokens rest with
           | "allow-file" :: ids ->
-              t.file_wide <- List.filter_map rule_of_id ids @ t.file_wide
+              t.file_wide <-
+                List.filter
+                  (fun r -> r <> Wall_clock)
+                  (List.filter_map rule_of_id ids)
+                @ t.file_wide
           | "allow" :: ids ->
-              Hashtbl.replace t.per_line (i + 1) (List.filter_map rule_of_id ids)
+              let rules = List.filter_map rule_of_id ids in
+              let rules =
+                if has_timer_tag ids then rules
+                else List.filter (fun r -> r <> Wall_clock) rules
+              in
+              Hashtbl.replace t.per_line (i + 1) rules
           | _ -> ()))
     lines;
   t

@@ -21,7 +21,13 @@ type rule =
           {!Rng.t} streams. *)
   | Wall_clock
       (** [WALL-CLOCK]: [Unix.gettimeofday], [Unix.time] or [Sys.time]
-          — real time must never influence simulated results. *)
+          — real time must never influence simulated results. Scoped
+          more tightly than the other rules: [allow-file] never
+          suppresses it, and a per-line [allow WALL-CLOCK] counts only
+          when the directive also carries a [timer:<tag>] token naming
+          the wall-clock timer it feeds (e.g. the `bench sim`
+          events/sec measurement:
+          [(* xenic-lint: allow WALL-CLOCK timer:bench-sim *)]). *)
   | Hashtbl_order
       (** [HASHTBL-ORDER]: [Hashtbl.fold]/[Hashtbl.iter] whose result is
           not passed through a sort — iteration order depends on

@@ -84,7 +84,18 @@ let compare_one ~tol key a b =
         let rel = (vb -. va) /. Float.abs va in
         { key; a; b; rel = Some rel; out_of_tol = Float.abs rel > tol }
 
-let diff ~tol a b =
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let diff ?(ignore_prefixes = []) ~tol a b =
+  (* Keys under an ignored prefix never produce findings: they hold
+     machine-dependent values (wall-clock measurements) that a
+     byte-identity gate must not trip on. *)
+  let kept (k, _) =
+    not (List.exists (fun prefix -> has_prefix ~prefix k) ignore_prefixes)
+  in
+  let a = List.filter kept a and b = List.filter kept b in
   let a_keys = List.map fst a in
   let b_only = List.filter (fun (k, _) -> not (List.mem k a_keys)) b in
   List.map

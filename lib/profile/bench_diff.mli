@@ -18,8 +18,13 @@ val load_metrics : string -> (string * float option) list
 
 (** Compare reference [a] against candidate [b]: a metric is out of
     tolerance when present on only one side, or when its relative delta
-    exceeds [tol]. Keys follow [a]'s order, then [b]-only keys. *)
+    exceeds [tol]. Keys follow [a]'s order, then [b]-only keys. Keys
+    starting with any of [ignore_prefixes] are dropped from both sides
+    before comparing — used to exclude wall-clock (machine-dependent)
+    metrics such as the ["wallclock ..."] keys of BENCH_scale.json from
+    a [tol = 0] byte-identity gate. *)
 val diff :
+  ?ignore_prefixes:string list ->
   tol:float ->
   (string * float option) list ->
   (string * float option) list ->

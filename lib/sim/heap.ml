@@ -1,71 +1,144 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Structure-of-arrays 4-ary min-heap.
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+   The hot path of the whole simulator. Keys live in parallel unboxed
+   arrays — [times : float array] (flat float storage, no per-entry
+   box) and [seqs : int array] — so [push] and [pop] allocate nothing:
+   no entry record, no tuple, no option. Popped value slots are
+   overwritten with [dummy] so the heap never retains a dispatched
+   closure (and, transitively, whatever simulation state it captured).
+
+   The tree is 4-ary (children of [i] at [4i+1..4i+4]): half the depth
+   of a binary heap, and the four children of a node are contiguous in
+   the key arrays, so a sift-down level is one cache line of times. The
+   heap SHAPE differs from a binary heap but the pop ORDER cannot:
+   (time, seq) is a strict total order (seq is unique), so any correct
+   heap yields the identical event sequence — which is what the golden
+   regression tests pin.
+
+   Ordering is (time, seq): earliest time first, insertion order for
+   equal times. Comparisons are written as [t < pt || (t <= pt && ...)]
+   — the second disjunct only runs when [not (t < pt)], where [<=] is
+   exactly float equality, without writing a float [=] (times are never
+   NaN; they come from [Engine.at] which only adds finite delays).
+
+   [Array.unsafe_*] below is confined to indices already bounded by
+   [h.size <= Array.length h.times] (all three arrays share one
+   capacity, enforced by [grow]). *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable size : int;
+  dummy : 'a;  (* fills empty value slots; never returned *)
+}
 
 let initial_capacity = 256
 
-let create () = { data = [||]; size = 0 }
+let create ~dummy = { times = [||]; seqs = [||]; values = [||]; size = 0; dummy }
 
 let is_empty h = h.size = 0
 
 let length h = h.size
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Cold paths live out of line so the accessors stay small enough for
+   cross-module inlining. *)
+let fail_empty op = invalid_arg ("Heap." ^ op ^ ": empty heap")
 
-let grow h entry =
-  if Array.length h.data = 0 then h.data <- Array.make initial_capacity entry
-  else begin
-    let data = Array.make (2 * Array.length h.data) entry in
-    Array.blit h.data 0 data 0 h.size;
-    h.data <- data
-  end
+let grow h =
+  let cap = Array.length h.times in
+  let cap' = if cap = 0 then initial_capacity else 2 * cap in
+  let times = Array.make cap' 0.0 in
+  let seqs = Array.make cap' 0 in
+  let values = Array.make cap' h.dummy in
+  Array.blit h.times 0 times 0 h.size;
+  Array.blit h.seqs 0 seqs 0 h.size;
+  Array.blit h.values 0 values 0 h.size;
+  h.times <- times;
+  h.seqs <- seqs;
+  h.values <- values
 
 let push h ~time ~seq value =
-  let entry = { time; seq; value } in
-  if h.size = Array.length h.data then grow h entry;
-  let data = h.data in
-  (* Sift up from the new leaf. *)
+  if h.size = Array.length h.times then grow h;
+  let times = h.times and seqs = h.seqs and values = h.values in
+  (* Sift up a hole from the new leaf; write the entry once at the end. *)
   let i = ref h.size in
   h.size <- h.size + 1;
-  data.(!i) <- entry;
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if before entry data.(parent) then begin
-      data.(!i) <- data.(parent);
-      data.(parent) <- entry;
-      i := parent
+    let p = (!i - 1) / 4 in
+    let pt = Array.unsafe_get times p in
+    if time < pt || (time <= pt && seq < Array.unsafe_get seqs p) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
+      Array.unsafe_set values !i (Array.unsafe_get values p);
+      i := p
     end
     else continue := false
-  done
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set values !i value
 
-let pop_min h =
-  if h.size = 0 then None
+let min_time h =
+  if h.size = 0 then fail_empty "min_time";
+  Array.unsafe_get h.times 0
+
+(* Unboxed variant of [min_time h <= limit] for the engine's inner
+   dispatch loop: a [bool] return crosses the module boundary in a
+   register, where a [float] return would box on every event. *)
+let next_at_or_before h limit =
+  h.size > 0 && Array.unsafe_get h.times 0 <= limit
+
+let min_seq h =
+  if h.size = 0 then fail_empty "min_seq";
+  Array.unsafe_get h.seqs 0
+
+let pop h =
+  if h.size = 0 then fail_empty "pop";
+  let times = h.times and seqs = h.seqs and values = h.values in
+  let v = Array.unsafe_get values 0 in
+  let n = h.size - 1 in
+  h.size <- n;
+  if n = 0 then Array.unsafe_set values 0 h.dummy
   else begin
-    let data = h.data in
-    let min = data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      let last = data.(h.size) in
-      data.(0) <- last;
-      (* Sift down the displaced leaf. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && before data.(l) data.(!smallest) then smallest := l;
-        if r < h.size && before data.(r) data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = data.(!i) in
-          data.(!i) <- data.(!smallest);
-          data.(!smallest) <- tmp;
-          i := !smallest
+    (* Sift the displaced last entry down from the root: promote the
+       smallest child into the hole while it precedes the displaced
+       entry, then write the entry once. *)
+    let lt = Array.unsafe_get times n in
+    let ls = Array.unsafe_get seqs n in
+    let lv = Array.unsafe_get values n in
+    Array.unsafe_set values n h.dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (4 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        (* Smallest of the (up to four, contiguous) children. *)
+        let c = ref l in
+        let ct = ref (Array.unsafe_get times l) in
+        let cs = ref (Array.unsafe_get seqs l) in
+        let last = if l + 3 < n - 1 then l + 3 else n - 1 in
+        for j = l + 1 to last do
+          let jt = Array.unsafe_get times j in
+          if jt < !ct || (jt <= !ct && Array.unsafe_get seqs j < !cs) then begin
+            c := j;
+            ct := jt;
+            cs := Array.unsafe_get seqs j
+          end
+        done;
+        if !ct < lt || (!ct <= lt && !cs < ls) then begin
+          Array.unsafe_set times !i !ct;
+          Array.unsafe_set seqs !i !cs;
+          Array.unsafe_set values !i (Array.unsafe_get values !c);
+          i := !c
         end
         else continue := false
-      done
-    end;
-    Some (min.time, min.seq, min.value)
-  end
-
-let peek_time h = if h.size = 0 then None else Some h.data.(0).time
+      end
+    done;
+    Array.unsafe_set times !i lt;
+    Array.unsafe_set seqs !i ls;
+    Array.unsafe_set values !i lv
+  end;
+  v

@@ -1,12 +1,21 @@
 (** Binary min-heap specialized for simulation events.
 
-    Events are ordered by [(time, seq)]: earliest time first, and for equal
-    times, insertion order. The sequence number makes the event order — and
-    therefore the whole simulation — fully deterministic. *)
+    Events are ordered by [(time, seq)]: earliest time first, and for
+    equal times, insertion order. The sequence number makes the event
+    order — and therefore the whole simulation — fully deterministic.
+
+    The representation is structure-of-arrays with an unboxed float
+    array for times: {!push} and {!pop} allocate nothing, and the
+    minimum key is read in place with {!min_time}/{!min_seq} rather
+    than materialized as an option or tuple. This is the simulator's
+    hot path; see bench/exp_sim.ml for the measured effect. *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ~dummy] builds an empty heap. [dummy] fills vacated value
+    slots so popped values (event closures) are not retained; it is
+    never returned by {!pop}. *)
+val create : dummy:'a -> 'a t
 
 val is_empty : 'a t -> bool
 
@@ -15,9 +24,20 @@ val length : 'a t -> int
 (** [push h ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
 
-(** [pop_min h] removes and returns the minimum element as
-    [(time, seq, v)], or [None] if the heap is empty. *)
-val pop_min : 'a t -> (float * int * 'a) option
+(** Time of the minimum element, in place. Raises [Invalid_argument]
+    on an empty heap — check {!is_empty} first. *)
+val min_time : 'a t -> float
 
-(** [peek_time h] is the time of the minimum element without removing it. *)
-val peek_time : 'a t -> float option
+(** [next_at_or_before h limit] is [not (is_empty h) && min_time h <=
+    limit], with an unboxed [bool] result — the engine's per-event
+    dispatch test, free of the float boxing a [min_time] call would
+    cost across the module boundary. *)
+val next_at_or_before : 'a t -> float -> bool
+
+(** Sequence number of the minimum element, in place. Raises
+    [Invalid_argument] on an empty heap. *)
+val min_seq : 'a t -> int
+
+(** [pop h] removes and returns the minimum element's value. Raises
+    [Invalid_argument] on an empty heap. *)
+val pop : 'a t -> 'a

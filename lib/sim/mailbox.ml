@@ -1,7 +1,30 @@
 (* Receivers park as cells rather than bare continuations so a blocked
    receive can be cancelled by a timeout without double-resuming: the
-   first of {send, timer} to run flips [live] and wins. *)
-type 'a waiter = { mutable live : bool; k : 'a -> unit }
+   first of {send, timer} to run flips [live] and wins.
+
+   Delivery goes through the engine (so the sender keeps running to
+   completion first) via [deliver], a closure built once when the
+   waiter parks; the value crosses over in [pending]. [send] therefore
+   schedules a pre-existing closure instead of allocating a fresh
+   [fun () -> w.k v] per message — this is on the simulator's per-event
+   hot path. *)
+type 'a waiter = {
+  mutable live : bool;
+  k : 'a -> unit;
+  mutable pending : 'a option;
+  mutable deliver : unit -> unit;
+}
+
+let make_waiter k =
+  let w = { live = true; k; pending = None; deliver = ignore } in
+  w.deliver <-
+    (fun () ->
+      match w.pending with
+      | Some v ->
+          w.pending <- None;
+          w.k v
+      | None -> ());
+  w
 
 type 'a t = {
   engine : Engine.t;
@@ -35,22 +58,22 @@ let send t v =
   match take_waiter t with
   | Some w ->
       w.live <- false;
-      Engine.after t.engine 0.0 (fun () -> w.k v)
+      w.pending <- Some v;
+      Engine.after t.engine 0.0 w.deliver
   | None -> Queue.add v t.items
 
 let recv t =
   match Queue.take_opt t.items with
   | Some v -> v
   | None ->
-      Process.suspend (fun resume ->
-          Queue.add { live = true; k = resume } t.waiters)
+      Process.suspend (fun resume -> Queue.add (make_waiter resume) t.waiters)
 
 let recv_timeout t ~timeout_ns =
   match Queue.take_opt t.items with
   | Some v -> Some v
   | None ->
       Process.suspend (fun resume ->
-          let w = { live = true; k = (fun v -> resume (Some v)) } in
+          let w = make_waiter (fun v -> resume (Some v)) in
           Queue.add w t.waiters;
           Engine.after t.engine timeout_ns (fun () ->
               if w.live then begin

@@ -157,9 +157,11 @@ let acquire t =
   else begin
     let w_ctx = Attrib.get () in
     let t_enq = Engine.now t.engine in
+    (* [resume] is already [unit -> unit]: store it directly, no
+       eta-wrapper closure on the blocked-acquire path. *)
     Process.suspend (fun resume ->
         account_queue t;
-        Queue.add { resume = (fun () -> resume ()); w_ctx; t_enq } t.waiters)
+        Queue.add { resume; w_ctx; t_enq } t.waiters)
   end
 
 let release t =

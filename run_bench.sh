@@ -11,7 +11,7 @@ set -x
 : > /root/repo/bench_output.txt
 rm -f /root/repo/BENCH_*.json /root/repo/PROFILE_*.txt /root/repo/PROFILE_*.folded
 failed=""
-for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace profile; do
+for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace profile sim scale; do
   timeout 2400 dune exec bench/main.exe -- "$exp" >> /root/repo/bench_output.txt 2>&1
   status=$?
   if [ "$status" -ne 0 ]; then
@@ -21,6 +21,23 @@ for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace profile; do
     echo "run_bench.sh: experiment $exp failed (exit $status)" >&2
   fi
 done
+# Regression gate: the scale sweep is deterministic, so the fresh
+# BENCH_scale.json must byte-match the checked-in reference once
+# machine-dependent wall-clock metrics are dropped. The reference was
+# produced by a full-mode run, so skip the gate under XENIC_QUICK
+# (quick mode shrinks the workload and changes every metric).
+if [ -z "$XENIC_QUICK" ] && [ -f /root/repo/bench/ref/BENCH_scale.ref.json ]; then
+  dune exec bin/xenicctl.exe -- bench diff \
+    /root/repo/bench/ref/BENCH_scale.ref.json /root/repo/BENCH_scale.json \
+    --tol 0 --ignore-prefix wallclock >> /root/repo/bench_output.txt 2>&1
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    failed="$failed scale-diff-gate"
+    echo "FAILED: BENCH_scale.json diverged from bench/ref reference" \
+      >> /root/repo/bench_output.txt
+    echo "run_bench.sh: scale diff gate failed (exit $status)" >&2
+  fi
+fi
 touch /root/repo/.bench_done
 if [ -n "$failed" ]; then
   echo "run_bench.sh: failed experiments:$failed" >&2

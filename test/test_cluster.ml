@@ -16,7 +16,13 @@ let test_config_replicas () =
 let test_config_invalid () =
   Alcotest.check_raises "replication too big"
     (Invalid_argument "Config.make: replication must be in [1, nodes]")
-    (fun () -> ignore (Config.make ~nodes:2 ~replication:3))
+    (fun () -> ignore (Config.make ~nodes:2 ~replication:3));
+  (* The largest representable cluster is bounded by the 8-bit shard
+     field of the key layout. *)
+  ignore (Config.make ~nodes:(Keyspace.max_shard + 1) ~replication:3);
+  Alcotest.check_raises "nodes beyond shard field"
+    (Invalid_argument "Config.make: nodes must be <= 256 (8-bit shard field)")
+    (fun () -> ignore (Config.make ~nodes:(Keyspace.max_shard + 2) ~replication:3))
 
 let test_keyspace_roundtrip () =
   List.iter

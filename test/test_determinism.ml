@@ -66,6 +66,52 @@ let mk_rdma_sb flavor () =
   in
   System.of_rdma (Rdma_system.create engine hw cfg flavor p)
 
+(* Scale-sweep variants: arbitrary node count, replication 3, with the
+   fault/membership machinery from test_fault.ml armed (per-request
+   timeouts + lease-based membership) so each sweep point can take one
+   mid-run crash and still satisfy the oracle and reproduce bit for
+   bit. *)
+
+let req_timeout_ns = 40_000.0
+
+let lease_ns = 25_000.0
+
+let mk_xenic_sb_at ~nodes () =
+  let engine = Engine.create ~strict:true () in
+  let cfg = Config.make ~nodes ~replication:3 in
+  let segments, seg_size, d_max = Smallbank.store_cfg sb_params in
+  let p =
+    {
+      Xenic_system.default_params with
+      segments;
+      seg_size;
+      d_max;
+      cache_capacity = 256;
+      req_timeout_ns = Some req_timeout_ns;
+    }
+  in
+  let xs = Xenic_system.create engine hw cfg p in
+  let m = Membership.create engine cfg ~lease_ns in
+  Xenic_system.attach_membership xs m;
+  Membership.start m;
+  System.of_xenic xs
+
+let mk_rdma_sb_at flavor ~nodes () =
+  let engine = Engine.create ~strict:true () in
+  let cfg = Config.make ~nodes ~replication:3 in
+  let p =
+    {
+      Rdma_system.default_params with
+      buckets = Smallbank.chained_buckets sb_params;
+      req_timeout_ns = Some req_timeout_ns;
+    }
+  in
+  let rs = Rdma_system.create engine hw cfg flavor p in
+  let m = Membership.create engine cfg ~lease_ns in
+  Rdma_system.attach_membership rs m;
+  Membership.start m;
+  System.of_rdma rs
+
 (* A textual digest of everything the run produced. Floats are printed
    with %h (hex, lossless), so equal digests mean bit-identical stats. *)
 let fingerprint sys (result : Driver.result) oracle =
@@ -81,13 +127,13 @@ let fingerprint sys (result : Driver.result) oracle =
     :: List.map (fun (k, v) -> Printf.sprintf "%s=%h" k v) counters)
 
 (* One full run: load, drive, oracle check. Returns the digest. *)
-let run_once ~mk ~load ~spec_of ~concurrency ~target seed =
+let run_once ?(faults = []) ~mk ~load ~spec_of ~concurrency ~target seed =
   let sys = mk () in
   let oracle = Oracle.create () in
   sys.System.set_oracle oracle;
   load sys;
   let spec = spec_of sys in
-  let result = Driver.run sys spec ~seed ~concurrency ~target in
+  let result = Driver.run sys spec ~seed ~faults ~concurrency ~target in
   Alcotest.(check bool)
     (Printf.sprintf "%s seed %Ld: made progress" sys.System.name seed)
     true
@@ -102,13 +148,13 @@ let run_once ~mk ~load ~spec_of ~concurrency ~target seed =
       Alcotest.failf "%s seed %Ld: not serializable: %s" sys.System.name seed msg);
   fingerprint sys result oracle
 
-let sweep ~mk ~load ~spec_of ~concurrency ~target seeds =
+let sweep ?(faults = []) ~mk ~load ~spec_of ~concurrency ~target seeds =
   let digests =
-    List.map (run_once ~mk ~load ~spec_of ~concurrency ~target) seeds
+    List.map (run_once ~faults ~mk ~load ~spec_of ~concurrency ~target) seeds
   in
   (* Repeat the first seed: bit-identical digest required. *)
   let again =
-    run_once ~mk ~load ~spec_of ~concurrency ~target (List.hd seeds)
+    run_once ~faults ~mk ~load ~spec_of ~concurrency ~target (List.hd seeds)
   in
   Alcotest.(check string)
     (Printf.sprintf "seed %Ld reproduces bit-identically" (List.hd seeds))
@@ -141,6 +187,37 @@ let test_rdma_smallbank_sweep flavor () =
   ignore
     (sweep ~mk:(mk_rdma_sb flavor) ~load:(Smallbank.load sb_params)
        ~spec_of:sb_spec ~concurrency:8 ~target:400 [ 1L; 2L ])
+
+(* Scale sweep: the oracle + bit-identity guarantees must hold at
+   every cluster size the scale experiment sweeps, not just the
+   paper's testbed — with one mid-run crash per sweep point exercising
+   declaration, promotion and dead-owner sweeps at that fan-out. Node
+   1 is crashed 100us in: always a valid id, never the only replica
+   (replication is 3). *)
+let scale_nodes = [ 3; 12; 24 ]
+
+let scale_faults = [ (100_000.0, 1) ]
+
+let test_xenic_scale_sweep nodes () =
+  let digests =
+    sweep ~faults:scale_faults
+      ~mk:(mk_xenic_sb_at ~nodes)
+      ~load:(Smallbank.load sb_params) ~spec_of:sb_spec ~concurrency:4
+      ~target:(50 * nodes)
+      [ 1L; 2L ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d-node seeds produce distinct runs" nodes)
+    true
+    (List.length (List.sort_uniq String.compare digests) > 1)
+
+let test_rdma_scale_sweep flavor nodes () =
+  ignore
+    (sweep ~faults:scale_faults
+       ~mk:(mk_rdma_sb_at flavor ~nodes)
+       ~load:(Smallbank.load sb_params) ~spec_of:sb_spec ~concurrency:4
+       ~target:(50 * nodes)
+       [ 1L ])
 
 (* The oracle itself must reject a non-serializable history: two txns
    that each read the version the other overwrote (classic write
@@ -215,4 +292,18 @@ let () =
           Alcotest.test_case "drtmr smallbank" `Quick
             (test_rdma_smallbank_sweep Rdma_system.Drtmr);
         ] );
+      ( "scale sweep (crash mid-run, replication 3)",
+        List.concat_map
+          (fun nodes ->
+            [
+              Alcotest.test_case
+                (Printf.sprintf "xenic smallbank %d nodes" nodes)
+                `Quick
+                (test_xenic_scale_sweep nodes);
+              Alcotest.test_case
+                (Printf.sprintf "fasst smallbank %d nodes" nodes)
+                `Quick
+                (test_rdma_scale_sweep Rdma_system.Fasst nodes);
+            ])
+          scale_nodes );
     ]

@@ -1,0 +1,191 @@
+(* Golden regression guard for the simulator hot path.
+
+   Fixed-seed runs of all six protocol stacks are digested into a
+   lossless textual snapshot — driver results and every Metrics
+   counter/histogram printed with %h floats, plus the byte-exact Chrome
+   trace JSON — and compared against checked-in golden files. Any
+   engine/heap/mailbox/resource rewrite that changes event order,
+   timing, or accounting in any way shows up as a byte diff here.
+
+   Regenerate the snapshots (after an INTENDED behaviour change only)
+   with
+
+     XENIC_GOLDEN_BLESS=1 dune runtest --force test
+
+   then copy _build/default/test/golden/*.golden over test/golden/. *)
+
+open Xenic_sim
+open Xenic_cluster
+open Xenic_proto
+open Xenic_workload
+
+let hw = Xenic_params.Hw.testbed
+
+let seed = 7L
+
+let sb_params = { Smallbank.default_params with accounts_per_node = 400 }
+
+let mk_xenic () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let segments, seg_size, d_max = Smallbank.store_cfg sb_params in
+  let p =
+    {
+      Xenic_system.default_params with
+      segments;
+      seg_size;
+      d_max;
+      cache_capacity = 256;
+    }
+  in
+  System.of_xenic (Xenic_system.create engine hw cfg p)
+
+let mk_rdma flavor () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let p =
+    {
+      Rdma_system.default_params with
+      buckets = Smallbank.chained_buckets sb_params;
+    }
+  in
+  System.of_rdma (Rdma_system.create engine hw cfg flavor p)
+
+let stacks =
+  [
+    ("xenic", mk_xenic);
+    ("drtmh", mk_rdma Rdma_system.Drtmh);
+    ("drtmh_nc", mk_rdma Rdma_system.Drtmh_nc);
+    ("fasst", mk_rdma Rdma_system.Fasst);
+    ("drtmr", mk_rdma Rdma_system.Drtmr);
+    ("farm", mk_rdma Rdma_system.Farm);
+  ]
+
+(* Lossless metrics digest: %h floats so equal strings mean
+   bit-identical stats, histograms pinned by count/total/quantiles. *)
+let digest sys (result : Driver.result) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let m = sys.System.metrics in
+  line "stack=%s engine_events=%d now=%h" sys.System.name
+    (Engine.events_run sys.System.engine)
+    (Engine.now sys.System.engine);
+  line "committed=%d aborted=%d" result.Driver.committed result.Driver.aborted;
+  line "tput=%h median=%h p99=%h abort_rate=%h duration=%h"
+    result.Driver.tput_per_server result.Driver.median_latency_us
+    result.Driver.p99_latency_us result.Driver.abort_rate
+    result.Driver.duration_ns;
+  line "sys_committed=%d sys_aborted=%d" (Metrics.committed m)
+    (Metrics.aborted m);
+  List.iter
+    (fun (reason, n) -> line "abort_reason %s=%d" reason n)
+    (Metrics.abort_reason_counts m);
+  List.iter
+    (fun (phase, h) ->
+      line "phase %s count=%d total=%h median=%h p99=%h" phase
+        (Xenic_stats.Histogram.count h)
+        (Xenic_stats.Histogram.total h)
+        (Xenic_stats.Histogram.median h)
+        (Xenic_stats.Histogram.p99 h))
+    (Metrics.phase_stats m);
+  List.iter
+    (fun (k, v) -> line "counter %s=%h" k v)
+    (Xenic_stats.Counter.to_list (Metrics.counters m));
+  Buffer.contents b
+
+let bless = Sys.getenv_opt "XENIC_GOLDEN_BLESS" <> None
+
+let golden_path name = Filename.concat "golden" name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  if not (Sys.file_exists "golden") then Sys.mkdir "golden" 0o755;
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Compare [got] against the checked-in snapshot; in bless mode write
+   it instead. On mismatch, fail with the first differing line so the
+   diff is actionable without opening the files. *)
+let check_golden name got =
+  let path = golden_path name in
+  if bless then write_file path got
+  else if not (Sys.file_exists path) then
+    Alcotest.failf
+      "golden file %s missing — run with XENIC_GOLDEN_BLESS=1 and copy \
+       _build/default/test/golden/ into test/golden/"
+      path
+  else
+    let want = read_file path in
+    if String.equal want got then ()
+    else begin
+      let want_lines = String.split_on_char '\n' want in
+      let got_lines = String.split_on_char '\n' got in
+      let rec first_diff i = function
+        | w :: ws, g :: gs ->
+            if String.equal w g then first_diff (i + 1) (ws, gs)
+            else (i, w, g)
+        | w :: _, [] -> (i, w, "<eof>")
+        | [], g :: _ -> (i, "<eof>", g)
+        | [], [] -> (i, "<eof>", "<eof>")
+      in
+      let line, w, g = first_diff 1 (want_lines, got_lines) in
+      Alcotest.failf
+        "%s diverged at line %d:\n  golden:  %s\n  current: %s\n(%d vs %d \
+         lines; the sim hot path is no longer bit-identical)"
+        path line w g (List.length want_lines) (List.length got_lines)
+    end
+
+let run_stack mk =
+  let sys = mk () in
+  Smallbank.load sb_params sys;
+  let trace = Trace.create sys.System.engine in
+  let result =
+    Driver.run sys
+      (Smallbank.spec sb_params ~nodes:sys.System.cfg.Config.nodes)
+      ~seed ~trace ~sample_period_ns:20_000.0 ~concurrency:4 ~target:120
+  in
+  (sys, result, trace)
+
+let test_stack (name, mk) () =
+  let sys, result, trace = run_stack mk in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s made progress" name)
+    true
+    (result.Driver.committed > 0);
+  Alcotest.(check int)
+    (Printf.sprintf "%s trace dropped nothing" name)
+    0 (Trace.dropped trace);
+  check_golden (name ^ ".metrics.golden") (digest sys result);
+  check_golden (name ^ ".trace.golden") (Trace.to_chrome_json trace)
+
+(* The digest itself must be reproducible within a process, otherwise
+   a golden mismatch could be mistaken for cross-run nondeterminism. *)
+let test_digest_reproducible () =
+  let _, mk = List.hd stacks in
+  let sys1, r1, tr1 = run_stack mk in
+  let sys2, r2, tr2 = run_stack mk in
+  Alcotest.(check string) "same-seed digests agree" (digest sys1 r1)
+    (digest sys2 r2);
+  Alcotest.(check string) "same-seed traces agree" (Trace.to_chrome_json tr1)
+    (Trace.to_chrome_json tr2)
+
+let () =
+  Alcotest.run "xenic_golden"
+    [
+      ( "six stacks",
+        List.map
+          (fun (name, mk) ->
+            Alcotest.test_case name `Quick (test_stack (name, mk)))
+          stacks );
+      ( "self-check",
+        [
+          Alcotest.test_case "same-seed reproducibility" `Quick
+            test_digest_reproducible;
+        ] );
+    ]

@@ -32,6 +32,33 @@ let test_wall_clock () =
   check_ids "Sys.time flagged" [ "WALL-CLOCK" ] "let t = Sys.time ()\n";
   check_ids "Unix.sleep is fine" [] "let () = Unix.sleep 1\n"
 
+(* WALL-CLOCK is scoped: suppression requires a timer:<tag> marker on
+   the line, never a bare allow and never allow-file — a wall-clock
+   read under lib/ stays flagged unless it names the timer it feeds. *)
+let test_wall_clock_scoped () =
+  check_ids "unannotated wall-clock in lib/ fails" [ "WALL-CLOCK" ]
+    "let t = Unix.gettimeofday ()\n";
+  check_ids "bare allow no longer suppresses WALL-CLOCK" [ "WALL-CLOCK" ]
+    "(* xenic-lint: allow WALL-CLOCK *)\nlet t = Unix.gettimeofday ()\n";
+  check_ids "allow-file never suppresses WALL-CLOCK" [ "WALL-CLOCK" ]
+    "(* xenic-lint: allow-file WALL-CLOCK *)\nlet t = Unix.gettimeofday ()\n";
+  check_ids "timer-tagged allow suppresses (previous line)" []
+    "(* xenic-lint: allow WALL-CLOCK timer:bench-sim *)\n\
+     let t = Unix.gettimeofday ()\n";
+  check_ids "timer-tagged allow suppresses (same line)" []
+    "let t = Unix.gettimeofday () (* xenic-lint: allow WALL-CLOCK \
+     timer:bench-sim *)\n";
+  check_ids "empty timer tag does not count" [ "WALL-CLOCK" ]
+    "(* xenic-lint: allow WALL-CLOCK timer: *)\nlet t = Unix.gettimeofday ()\n";
+  (* The tag scopes only WALL-CLOCK; other rules on the same directive
+     still behave as before. *)
+  check_ids "timer tag does not affect other rules" []
+    "(* xenic-lint: allow RANDOM timer:bench-sim *)\nlet x = Random.int 10\n";
+  (* No blanket bench/ exemption: a bench file needs the marker too. *)
+  Alcotest.(check (list string))
+    "bench/ file without marker still flagged" [ "WALL-CLOCK" ]
+    (ids (lint ~filename:"bench/exp_sample.ml" "let t = Unix.gettimeofday ()\n"))
+
 let test_hashtbl_unsorted () =
   check_ids "bare iter flagged" [ "HASHTBL-ORDER" ]
     "let dump tbl = Hashtbl.iter (fun k v -> Printf.printf \"%d %d\" k v) tbl\n";
@@ -128,6 +155,7 @@ let () =
           Alcotest.test_case "random" `Quick test_random;
           Alcotest.test_case "rng.ml exemption" `Quick test_rng_exempt;
           Alcotest.test_case "wall clock" `Quick test_wall_clock;
+          Alcotest.test_case "wall clock scoping" `Quick test_wall_clock_scoped;
           Alcotest.test_case "hashtbl unsorted" `Quick test_hashtbl_unsorted;
           Alcotest.test_case "hashtbl sorted exempt" `Quick test_hashtbl_sorted;
           Alcotest.test_case "float compare" `Quick test_float_cmp;

@@ -264,6 +264,28 @@ let test_diff_presence () =
   Alcotest.(check bool) "zero vs nonzero regresses" true
     (Bench_diff.regressed z')
 
+(* ignore_prefixes drops machine-dependent keys (wall-clock timings)
+   from both sides so a tol=0 gate can byte-check the rest. *)
+let test_diff_ignore_prefixes () =
+  let a = [ ("tput", Some 100.0); ("wallclock sim speedup", Some 1.38) ] in
+  let b = [ ("tput", Some 100.0); ("wallclock sim speedup", Some 1.51) ] in
+  Alcotest.(check bool) "wallclock delta trips a tol=0 gate" true
+    (Bench_diff.regressed (Bench_diff.diff ~tol:0.0 a b));
+  let f = Bench_diff.diff ~ignore_prefixes:[ "wallclock" ] ~tol:0.0 a b in
+  Alcotest.(check bool) "ignored prefix passes the gate" false
+    (Bench_diff.regressed f);
+  Alcotest.(check (list string))
+    "ignored keys absent from findings" [ "tput" ]
+    (List.map (fun x -> x.Bench_diff.key) f);
+  (* A key ignored on one side is ignored on the other too: no phantom
+     one-sided finding. *)
+  let f' =
+    Bench_diff.diff ~ignore_prefixes:[ "wallclock" ] ~tol:0.0 a
+      [ ("tput", Some 100.0) ]
+  in
+  Alcotest.(check bool) "one-sided ignored key is not a finding" false
+    (Bench_diff.regressed f')
+
 (* Round-trip through the exact file shape bench/common.ml emits. *)
 let test_diff_parse () =
   let path = Filename.temp_file "bench_diff" ".json" in
@@ -332,6 +354,7 @@ let () =
           Alcotest.test_case "identical" `Quick test_diff_identical;
           Alcotest.test_case "regression" `Quick test_diff_regression;
           Alcotest.test_case "presence and zero" `Quick test_diff_presence;
+          Alcotest.test_case "ignore prefixes" `Quick test_diff_ignore_prefixes;
           Alcotest.test_case "file parse" `Quick test_diff_parse;
         ] );
     ]

@@ -8,36 +8,154 @@ let check_float = Alcotest.(check (float 1e-6))
 (* ------------------------------------------------------------------ *)
 (* Heap *)
 
+(* Drain a heap into [(time, seq, value)] list, checking the in-place
+   key accessors agree with what pop returns. *)
+let drain_heap h =
+  let rec go acc =
+    if Heap.is_empty h then List.rev acc
+    else
+      let time = Heap.min_time h in
+      let seq = Heap.min_seq h in
+      let v = Heap.pop h in
+      go ((time, seq, v) :: acc)
+  in
+  go []
+
 let test_heap_ordering () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(0.0, 0) in
   let values = [ (5.0, 1); (1.0, 2); (3.0, 3); (1.0, 4); (2.0, 5) ] in
   List.iter (fun (time, seq) -> Heap.push h ~time ~seq (time, seq)) values;
-  let popped = ref [] in
-  let rec drain () =
-    match Heap.pop_min h with
-    | Some (_, _, v) ->
-        popped := v :: !popped;
-        drain ()
-    | None -> ()
-  in
-  drain ();
+  let popped = List.map (fun (_, _, v) -> v) (drain_heap h) in
   Alcotest.(check (list (pair (float 0.0) int)))
     "time then seq order"
     [ (1.0, 2); (1.0, 4); (2.0, 5); (3.0, 3); (5.0, 1) ]
-    (List.rev !popped)
+    popped
+
+let test_heap_empty_raises () =
+  let h = Heap.create ~dummy:() in
+  Alcotest.check_raises "pop on empty"
+    (Invalid_argument "Heap.pop: empty heap") (fun () -> Heap.pop h);
+  Alcotest.check_raises "min_time on empty"
+    (Invalid_argument "Heap.min_time: empty heap") (fun () ->
+      ignore (Heap.min_time h));
+  Alcotest.check_raises "min_seq on empty"
+    (Invalid_argument "Heap.min_seq: empty heap") (fun () ->
+      ignore (Heap.min_seq h));
+  Heap.push h ~time:1.0 ~seq:1 ();
+  Heap.pop h;
+  Alcotest.(check bool) "empty again" true (Heap.is_empty h)
 
 let test_heap_random_qcheck =
   QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
     QCheck.(list (float_bound_exclusive 1000.0))
     (fun times ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:nan in
       List.iteri (fun i time -> Heap.push h ~time ~seq:i time) times;
       let rec drain last =
-        match Heap.pop_min h with
-        | None -> true
-        | Some (t, _, _) -> t >= last && drain t
+        if Heap.is_empty h then true
+        else
+          let t = Heap.min_time h in
+          ignore (Heap.pop h);
+          t >= last && drain t
       in
       drain neg_infinity)
+
+(* Property: against a sorted-list reference model, a random
+   interleaving of pushes and pops is indistinguishable — same keys,
+   same values, same order, including FIFO tie-break on equal times.
+   Times are drawn from a tiny domain so collisions are the common
+   case, not the rare one. *)
+let test_heap_model_qcheck =
+  (* ops: true = push (with a time bucket), false = pop *)
+  let gen = QCheck.(list (pair bool (int_bound 7))) in
+  QCheck.Test.make ~name:"heap matches sorted-list reference model" ~count:500
+    gen
+    (fun ops ->
+      let h = Heap.create ~dummy:(-1) in
+      (* Reference model: list of (time, seq, value) kept sorted by
+         (time, seq); stable sort preserves push order on ties. *)
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_push, bucket) ->
+          if is_push then begin
+            incr seq;
+            let time = float_of_int bucket in
+            Heap.push h ~time ~seq:!seq !seq;
+            model :=
+              List.stable_sort
+                (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+                (!model @ [ (time, !seq, !seq) ])
+          end
+          else begin
+            (match (!model, Heap.is_empty h) with
+            | [], true -> ()
+            | [], false | _ :: _, true -> ok := false
+            | (mt, ms, mv) :: rest, false ->
+                let t = Heap.min_time h in
+                let s = Heap.min_seq h in
+                let v = Heap.pop h in
+                (* model times are small ints: float compare is exact *)
+                (* xenic-lint: allow FLOAT-CMP *)
+                if not (t = mt && s = ms && v = mv) then ok := false;
+                model := rest);
+            if List.length !model <> Heap.length h then ok := false
+          end)
+        ops;
+      (* Drain what's left: full agreement to the end. *)
+      List.iter
+        (fun (mt, ms, mv) ->
+          if Heap.is_empty h then ok := false
+          else begin
+            let t = Heap.min_time h in
+            let s = Heap.min_seq h in
+            let v = Heap.pop h in
+            (* xenic-lint: allow FLOAT-CMP *)
+            if not (t = mt && s = ms && v = mv) then ok := false
+          end)
+        !model;
+      !ok && Heap.is_empty h)
+
+(* Property: the engine dispatches same-timestamp events in scheduling
+   order (FIFO tie-break), for random schedules full of collisions. *)
+let test_engine_fifo_qcheck =
+  QCheck.Test.make ~name:"engine FIFO tie-break on equal timestamps"
+    ~count:300
+    QCheck.(list (int_bound 5))
+    (fun buckets ->
+      let eng = Engine.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i bucket ->
+          Engine.at eng (float_of_int bucket) (fun () -> log := i :: !log))
+        buckets;
+      ignore (Engine.run eng);
+      let got = List.rev !log in
+      (* Reference: stable sort of indices by time bucket. *)
+      let want =
+        List.mapi (fun i b -> (b, i)) buckets
+        |> List.stable_sort (fun (b1, _) (b2, _) -> compare b1 b2)
+        |> List.map snd
+      in
+      got = want)
+
+(* Property: scheduling strictly in the past always raises, from any
+   reached simulation time — the engine's non-monotonic-time guard. *)
+let test_engine_no_past_qcheck =
+  QCheck.Test.make ~name:"engine rejects past scheduling at any time"
+    ~count:200
+    QCheck.(pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0))
+    (fun (t_reach, dt) ->
+      let t_reach = t_reach +. 1.0 and dt = dt +. 0.5 in
+      let eng = Engine.create () in
+      let raised = ref false in
+      Engine.at eng t_reach (fun () ->
+          match Engine.at eng (t_reach -. dt) ignore with
+          | () -> ()
+          | exception Invalid_argument _ -> raised := true);
+      ignore (Engine.run eng);
+      !raised)
 
 (* ------------------------------------------------------------------ *)
 (* Engine *)
@@ -547,13 +665,17 @@ let () =
       ( "heap",
         [
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty raises" `Quick test_heap_empty_raises;
           qt test_heap_random_qcheck;
+          qt test_heap_model_qcheck;
         ] );
       ( "engine",
         [
           Alcotest.test_case "event order" `Quick test_engine_event_order;
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "no past scheduling" `Quick test_engine_no_past;
+          qt test_engine_fifo_qcheck;
+          qt test_engine_no_past_qcheck;
         ] );
       ( "process",
         [
