@@ -103,7 +103,8 @@ let one ~name ~mk_sys ~load ~spec ~concurrency ~target =
   in
   let recovery_ns =
     let rec find = function
-      | (t1, r) :: _ when r >= 0.5 *. pre_tput -> t1 -. fault_ns
+      | (t1, r) :: _ when Float.compare r (0.5 *. pre_tput) >= 0 ->
+          t1 -. fault_ns
       | _ :: rest -> find rest
       | [] -> t_end -. fault_ns
     in
@@ -113,12 +114,14 @@ let one ~name ~mk_sys ~load ~spec ~concurrency ~target =
      last commit. *)
   let t_rec = fault_ns +. (2.0 *. lease_ns) in
   let post_tput =
-    if t_end -. t_rec > 0.0 then
+    if Float.compare (t_end -. t_rec) 0.0 > 0 then
       float_of_int (commits_at samples t_end - commits_at samples t_rec)
       /. (t_end -. t_rec)
     else 0.0
   in
-  let ratio = if pre_tput > 0.0 then post_tput /. pre_tput else 0.0 in
+  let ratio =
+    if Float.compare pre_tput 0.0 > 0 then post_tput /. pre_tput else 0.0
+  in
   (match Oracle.check oracle with
   | Oracle.Serializable -> ()
   | Oracle.Violation msg -> failwith ("fault run not serializable: " ^ msg));

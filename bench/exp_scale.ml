@@ -156,12 +156,14 @@ let run () =
   (* Scale-out health: per-node throughput at 24 nodes must stay within
      2x of the 6-node value (no pathological collapse as fan-out grows). *)
   let x6 = (cell "Xenic" 6 3).tput and x24 = (cell "Xenic" 24 3).tput in
-  let ratio = if x24 > 0.0 then x6 /. x24 else infinity in
+  let ratio = if Float.compare x24 0.0 > 0 then x6 /. x24 else infinity in
   Common.json_num "xenic per-node tput 6v24 ratio (r3)" ratio;
   Common.note
     "Xenic per-node tput r=3: %.0f at 6 nodes vs %.0f at 24 nodes (%.2fx, %s)"
     x6 x24 ratio
-    (if ratio <= 2.0 && ratio >= 0.5 then "within 2x" else "OUTSIDE 2x");
+    (if Float.compare ratio 2.0 <= 0 && Float.compare ratio 0.5 >= 0 then
+       "within 2x"
+     else "OUTSIDE 2x");
   (* Engine hot-path speedup, measured (wall clock; excluded from the
      byte-identity gate via the "wallclock" key prefix). *)
   let m = Exp_sim.measure () in

@@ -113,14 +113,18 @@ let measure () =
     failwith
       (Printf.sprintf "bench sim: engines disagree on final time %.1f vs %.1f"
          !now_legacy !now_current);
-  let eps n dt = if dt > 0.0 then float_of_int n /. dt else 0.0 in
+  let eps n dt =
+    if Float.compare dt 0.0 > 0 then float_of_int n /. dt else 0.0
+  in
   let legacy_eps = eps !n_legacy !best_legacy in
   let current_eps = eps !n_current !best_current in
   {
     events = !n_legacy;
     legacy_eps;
     current_eps;
-    speedup = (if legacy_eps > 0.0 then current_eps /. legacy_eps else 0.0);
+    speedup =
+      (if Float.compare legacy_eps 0.0 > 0 then current_eps /. legacy_eps
+       else 0.0);
   }
 
 let run () =
@@ -129,7 +133,7 @@ let run () =
   Printf.printf "  %-16s %12.3e events/sec\n" "legacy engine" m.legacy_eps;
   Printf.printf "  %-16s %12.3e events/sec\n" "current engine" m.current_eps;
   Printf.printf "  speedup: %.2fx %s\n" m.speedup
-    (if m.speedup >= 1.3 then "(meets >= 1.3x target)"
+    (if Float.compare m.speedup 1.3 >= 0 then "(meets >= 1.3x target)"
      else "(below 1.3x target)");
   (* Wall-clock numbers are machine-dependent: the "wallclock" key
      prefix tells `bench diff --ignore-prefix wallclock` to skip them. *)

@@ -74,7 +74,9 @@ let tput mk b =
 let descend ~peak candidates measure =
   let rec go best = function
     | [] -> best
-    | c :: rest -> if measure c >= 0.95 *. peak then go c rest else best
+    | c :: rest ->
+        if Float.compare (measure c) (0.95 *. peak) >= 0 then go c rest
+        else best
   in
   match candidates with
   | [] -> invalid_arg "descend"

@@ -42,7 +42,10 @@ let check_expiry t =
   let newly_dead =
     Array.to_list (Array.mapi (fun i s -> (i, s)) t.nodes)
     |> List.filter_map (fun (i, s) ->
-           if (not s.dead) && now -. s.last_renew > t.lease_ns then begin
+           if
+             (not s.dead)
+             && Float.compare (now -. s.last_renew) t.lease_ns > 0
+           then begin
              s.dead <- true;
              Some i
            end

@@ -1,0 +1,353 @@
+(* ATOMICITY: read-modify-write on shared mutable state across a
+   suspension point.
+
+   Within each toplevel definition, accesses to shared mutable lvalues
+   (mutable record fields, [ref]s, [Hashtbl]/[Queue]/array contents)
+   are linearized by source position. A finding is a write to lvalue
+   [K] preceded by a read of [K] with a may-suspend call in between:
+   whatever invariant the read established can be invalidated by
+   another process scheduled during the suspension before the write
+   lands — the exact shape of the PR 2 NIC-index double-grant (lock
+   checked, [nic_mem]/DMA latency suspended, lock granted).
+
+   The linearization is branch-insensitive on purpose: a read in one
+   match arm pairing with a write in another usually marks a
+   guard-recheck critical section, which is exactly what the
+   annotation discipline is for — each intentionally-held section is
+   named with [(* xenic-lint: atomic <tag> *)] on (or above) the write
+   and audited in the checked-in inventory. [allow]/[allow-file] never
+   suppress ATOMICITY; only a named tag does.
+
+   Lvalues are keyed syntactically ([t.inflight_commits], [!r],
+   [t.entries[]]) and filtered to shared state: accesses rooted in a
+   local [let] bound to a fresh allocation (record literal, [ref _],
+   [Hashtbl.create], ...) are dropped — state nobody else can see yet
+   cannot race. Interprocedural effects come in through the
+   may-suspend set; the read and write themselves must be in the same
+   definition (helper-hidden RMWs are out of scope, documented in
+   DESIGN.md §11). *)
+
+type finding = {
+  a_file : string;
+  a_line : int;  (* the write *)
+  a_def : string;  (* enclosing definition key *)
+  a_lvalue : string;
+  a_read_line : int;
+  a_susp_line : int;
+  a_callee : string;  (* display name of the suspending call *)
+  a_tag : string option;  (* atomic <tag> covering the write, if any *)
+}
+
+let to_string f =
+  Printf.sprintf
+    "%s:%d: [ATOMICITY] read-modify-write on %s in %s spans a suspension \
+     point: read at line %d, may-suspend call %s at line %d, write here%s"
+    f.a_file f.a_line f.a_lvalue f.a_def f.a_read_line f.a_callee f.a_susp_line
+    (match f.a_tag with
+    | Some tag -> Printf.sprintf " (annotated: atomic %s)" tag
+    | None ->
+        " — name the critical section with (* xenic-lint: atomic <tag> *) \
+         if the hold is intentional")
+
+open Parsetree
+
+let flatten_lid = Callgraph.flatten_lid
+
+let split_last = Callgraph.split_last
+
+let last_mod mods = match List.rev mods with m :: _ -> Some m | [] -> None
+
+(* ------------------------------------------------------------------ *)
+(* Lvalue rendering.                                                   *)
+
+let is_array_get txt =
+  match split_last (flatten_lid txt) with
+  | Some (mods, ("get" | "unsafe_get")) -> last_mod mods = Some "Array"
+  | _ -> false
+
+let rec render e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match flatten_lid txt with
+      | [] -> None
+      | l -> Some (String.concat "." l))
+  | Pexp_field (b, { txt; _ }) -> (
+      match (render b, split_last (flatten_lid txt)) with
+      | Some p, Some (_, f) -> Some (p ^ "." ^ f)
+      | _ -> None)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_, a) :: _)
+    when is_array_get txt -> (
+      match render a with Some p -> Some (p ^ "[]") | None -> None)
+  | Pexp_constraint (e, _) -> render e
+  | _ -> None
+
+let root_of key =
+  let key =
+    if String.length key > 0 && key.[0] = '!' then
+      String.sub key 1 (String.length key - 1)
+    else key
+  in
+  let cut =
+    match (String.index_opt key '.', String.index_opt key '[') with
+    | Some i, Some j -> Some (min i j)
+    | Some i, None | None, Some i -> Some i
+    | None, None -> None
+  in
+  match cut with Some i -> String.sub key 0 i | None -> key
+
+(* ------------------------------------------------------------------ *)
+(* Container operations on shared mutable structures.                  *)
+
+type access = R | W | RW
+
+let container_op mods fn =
+  match (last_mod mods, fn) with
+  | Some "Hashtbl", ("find" | "find_opt" | "find_all" | "mem") -> Some R
+  | Some "Hashtbl", ("replace" | "add" | "remove" | "reset" | "clear") -> Some W
+  | Some "Queue", ("peek" | "peek_opt" | "top" | "is_empty" | "length") -> Some R
+  | Some "Queue", ("add" | "push" | "clear") -> Some W
+  | Some "Queue", ("take" | "take_opt" | "pop") -> Some RW
+  | Some "Array", ("get" | "unsafe_get") -> Some R
+  | Some "Array", ("set" | "unsafe_set" | "fill") -> Some W
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Event collection.                                                   *)
+
+type ev_kind = Read of string | Write of string | Susp of string
+
+type event = { ev_cnum : int; ev_line : int; ev_kind : ev_kind }
+
+let is_fresh_alloc e =
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_record _ | Pexp_array _ -> true
+    | Pexp_constraint (e, _) -> go e
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+        match flatten_lid txt with
+        | [ "ref" ] -> true
+        | l -> (
+            match split_last l with
+            | Some (mods, ("create" | "make" | "init" | "copy" | "of_list"))
+              -> (
+                match last_mod mods with
+                | Some ("Hashtbl" | "Queue" | "Array" | "Bytes" | "Buffer") ->
+                    true
+                | _ -> false)
+            | _ -> false))
+    | _ -> false
+  in
+  go e
+
+(* Collect the set of local names bound to fresh allocations anywhere in
+   [body] (scope-insensitive within the definition). *)
+let fresh_locals body =
+  let fresh = Hashtbl.create 8 in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_let (_, vbs, _) ->
+        List.iter
+          (fun vb ->
+            match (vb.pvb_pat.ppat_desc, is_fresh_alloc vb.pvb_expr) with
+            | Ppat_var { txt; _ }, true -> Hashtbl.replace fresh txt ()
+            | _ -> ())
+          vbs
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  fresh
+
+let collect_events ~graph ~susp ~file body =
+  let events = ref [] in
+  let add loc kind =
+    events :=
+      {
+        ev_cnum = loc.Location.loc_start.Lexing.pos_cnum;
+        ev_line = loc.Location.loc_start.Lexing.pos_lnum;
+        ev_kind = kind;
+      }
+      :: !events
+  in
+  let add_access loc acc key =
+    match acc with
+    | R -> add loc (Read key)
+    | W -> add loc (Write key)
+    | RW ->
+        add loc (Read key);
+        add loc (Write key)
+  in
+  let suspends key = Suspend.may_suspend susp key || Suspend.is_seed_key key in
+  let expr it e =
+    (match e.pexp_desc with
+    (* Reads: field projection, ref deref, container lookups. *)
+    | Pexp_field (_, _) -> (
+        match render e with Some key -> add e.pexp_loc (Read key) | None -> ())
+    | Pexp_setfield (b, { txt; _ }, _) -> (
+        match (render b, split_last (flatten_lid txt)) with
+        | Some p, Some (_, f) -> add e.pexp_loc (Write (p ^ "." ^ f))
+        | _ -> ())
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+        let path = flatten_lid txt in
+        (match (path, args) with
+        | [ "!" ], [ (_, r) ] -> (
+            match render r with
+            | Some p -> add e.pexp_loc (Read ("!" ^ p))
+            | None -> ())
+        | [ ":=" ], (_, r) :: _ -> (
+            match render r with
+            | Some p -> add e.pexp_loc (Write ("!" ^ p))
+            | None -> ())
+        | [ ("incr" | "decr") ], [ (_, r) ] -> (
+            match render r with
+            | Some p -> add_access e.pexp_loc RW ("!" ^ p)
+            | None -> ())
+        | _ -> (
+            match split_last path with
+            | Some (mods, fn) -> (
+                match (container_op mods fn, args) with
+                | Some acc, (_, tbl) :: _ -> (
+                    match render tbl with
+                    | Some p -> add_access e.pexp_loc acc (p ^ "[]")
+                    | None -> ())
+                | _ -> ())
+            | None -> ()));
+        (* The same application may also be a suspension point. *)
+        match Callgraph.resolve_in_file graph ~file txt with
+        | Some key when suspends key ->
+            add e.pexp_loc (Susp (String.concat "." path))
+        | _ -> ())
+    | Pexp_apply ({ pexp_desc = Pexp_field (_, { txt; _ }); _ }, _) -> (
+        (* Closure-channel call: [io.nic_mem ()]. *)
+        match split_last (flatten_lid txt) with
+        | Some (_, f) when suspends (Callgraph.field_key f) ->
+            add e.pexp_loc (Susp ("<field " ^ f ^ ">"))
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* Per-definition analysis.                                            *)
+
+let analyze_def ~graph ~susp ~allow ~file ~def_key body =
+  let fresh = fresh_locals body in
+  let shared key = not (Hashtbl.mem fresh (root_of key)) in
+  let events =
+    collect_events ~graph ~susp ~file body
+    |> List.filter (fun ev ->
+           match ev.ev_kind with
+           | Read k | Write k -> shared k
+           | Susp _ -> true)
+    |> List.sort (fun a b -> compare a.ev_cnum b.ev_cnum)
+  in
+  (* First offending write per lvalue: a read of the same lvalue
+     earlier in the definition with a suspension in between. *)
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun w ->
+      match w.ev_kind with
+      | Write key when not (Hashtbl.mem seen key) -> (
+          let reads =
+            List.filter
+              (fun e ->
+                e.ev_cnum < w.ev_cnum
+                && match e.ev_kind with Read k -> k = key | _ -> false)
+              events
+          in
+          let pick =
+            (* Latest read that still has a suspension between it and
+               the write, and the first suspension after that read. *)
+            List.fold_left
+              (fun best r ->
+                let s =
+                  List.find_opt
+                    (fun e ->
+                      e.ev_cnum > r.ev_cnum
+                      && e.ev_cnum < w.ev_cnum
+                      && match e.ev_kind with Susp _ -> true | _ -> false)
+                    events
+                in
+                match (s, best) with
+                | Some s, None -> Some (r, s)
+                | Some s, Some (r', _) when r.ev_cnum > r'.ev_cnum ->
+                    Some (r, s)
+                | _ -> best)
+              None reads
+          in
+          match pick with
+          | None -> None
+          | Some (r, s) ->
+              Hashtbl.replace seen key ();
+              let callee =
+                match s.ev_kind with Susp c -> c | _ -> assert false
+              in
+              Some
+                {
+                  a_file = file;
+                  a_line = w.ev_line;
+                  a_def = def_key;
+                  a_lvalue = key;
+                  a_read_line = r.ev_line;
+                  a_susp_line = s.ev_line;
+                  a_callee = callee;
+                  a_tag = Lint.atomic_tag allow ~line:w.ev_line;
+                })
+      | _ -> None)
+    events
+
+(* ------------------------------------------------------------------ *)
+
+(* [files]: (filename, source, ast). [graph]/[susp] should be built
+   over (at least) the same files. *)
+let analyze ~graph ~susp files =
+  List.concat_map
+    (fun (file, source, ast) ->
+      let allow = Lint.allowlist_of_source source in
+      let rec structure ~mpath items =
+        List.concat_map
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_value (_, vbs) ->
+                List.concat_map
+                  (fun vb ->
+                    let def_key =
+                      match Callgraph.pat_vars vb.pvb_pat with
+                      | (name, _) :: _ -> List.hd mpath ^ "." ^ name
+                      | [] -> List.hd mpath ^ ".<init>"
+                    in
+                    analyze_def ~graph ~susp ~allow ~file ~def_key vb.pvb_expr)
+                  vbs
+            | Pstr_module
+                {
+                  pmb_name = { txt = Some sub; _ };
+                  pmb_expr = { pmod_desc = Pmod_structure sub_items; _ };
+                  _;
+                } ->
+                structure ~mpath:(sub :: mpath) sub_items
+            | _ -> [])
+          items
+      in
+      structure ~mpath:[ Callgraph.module_of_file file ] ast)
+    files
+  |> List.sort (fun a b ->
+         compare (a.a_file, a.a_line, a.a_lvalue) (b.a_file, b.a_line, b.a_lvalue))
+
+let annotated fs = List.filter (fun f -> f.a_tag <> None) fs
+
+let unannotated fs = List.filter (fun f -> f.a_tag = None) fs
+
+(* Inventory line for an annotated finding: file, tag, lvalue — no line
+   numbers, so the checked-in audit list is stable under line churn. *)
+let inventory_line f =
+  Printf.sprintf "%s %s %s"
+    f.a_file
+    (match f.a_tag with Some t -> t | None -> "-")
+    f.a_lvalue
+
+let inventory fs =
+  annotated fs |> List.map inventory_line |> List.sort_uniq String.compare

@@ -75,10 +75,17 @@ let split_tokens s =
 type allowlist = {
   per_line : (int, rule list) Hashtbl.t;
   mutable file_wide : rule list;
+  atomic_tags : (int, string) Hashtbl.t;
+      (* [(* xenic-lint: atomic <tag> *)] — names one intentionally-held
+         critical section for the ATOMICITY pass. Like [timer:<tag>] for
+         WALL-CLOCK, a tag is mandatory: a bare [atomic] names nothing
+         and suppresses nothing. *)
 }
 
 let allowlist_of_lines lines =
-  let t = { per_line = Hashtbl.create 8; file_wide = [] } in
+  let t =
+    { per_line = Hashtbl.create 8; file_wide = []; atomic_tags = Hashtbl.create 8 }
+  in
   List.iteri
     (fun i line ->
       match find_substring line directive_key with
@@ -100,6 +107,7 @@ let allowlist_of_lines lines =
                 else List.filter (fun r -> r <> Wall_clock) rules
               in
               Hashtbl.replace t.per_line (i + 1) rules
+          | "atomic" :: tag :: _ -> Hashtbl.replace t.atomic_tags (i + 1) tag
           | _ -> ()))
     lines;
   t
@@ -111,6 +119,15 @@ let suppressed allow rule line =
     | None -> false
   in
   List.mem rule allow.file_wide || at line || at (line - 1)
+
+(* The atomic tag covering [line]: on the line itself or the one above,
+   exactly like per-line [allow] scoping. *)
+let atomic_tag allow ~line =
+  match Hashtbl.find_opt allow.atomic_tags line with
+  | Some _ as t -> t
+  | None -> Hashtbl.find_opt allow.atomic_tags (line - 1)
+
+let allowlist_of_source src = allowlist_of_lines (String.split_on_char '\n' src)
 
 (* ------------------------------------------------------------------ *)
 (* AST-based rules.                                                    *)
@@ -165,7 +182,8 @@ let is_floatish e =
       true
   | _ -> false
 
-let poly_cmp_fns = [ "compare"; "min"; "max"; "="; "<>" ]
+let poly_cmp_fns =
+  [ "compare"; "min"; "max"; "="; "<>"; "<"; "<="; ">"; ">=" ]
 
 let findings_of_ast ~filename ~rng_exempt ast =
   let findings = ref [] in
@@ -247,6 +265,19 @@ let findings_of_ast ~filename ~rng_exempt ast =
                    including invariant failures"
             | _ -> ())
           cases
+    | Pexp_match (_, cases) ->
+        (* [match e with exception _ -> ...] is the same trap spelled
+           differently: a wildcard exception case swallows everything
+           the scrutinee raises. *)
+        List.iter
+          (fun c ->
+            match (c.pc_lhs.ppat_desc, c.pc_guard) with
+            | Ppat_exception { ppat_desc = Ppat_any; _ }, None ->
+                add Catch_all c.pc_lhs.ppat_loc
+                  "catch-all handler (match ... with exception _ ->) swallows \
+                   every exception, including invariant failures"
+            | _ -> ())
+          cases
     | _ -> ());
     (match e.pexp_desc with
     | Pexp_ident { txt; _ } -> check_ident e.pexp_loc txt
@@ -260,7 +291,50 @@ let findings_of_ast ~filename ~rng_exempt ast =
 (* ------------------------------------------------------------------ *)
 (* Lexical fallback for files the parser rejects.                      *)
 
+(* Does a [sort] on this line (or piped in on the next) apply to the
+   Hashtbl traversal starting at [pos]? Merely containing the substring
+   "sort" anywhere is not enough — [Hashtbl.iter (fun k _ -> k =
+   "sort_key")] must still be flagged. The sort applies when it is
+   downstream of the traversal through a pipe ([fold ... |> List.sort],
+   possibly on the following line) or upstream wrapping it as an
+   argument ([List.sort cmp (Hashtbl.fold ...)], [List.sort cmp @@
+   Hashtbl.fold ...]). *)
+let sort_applies_to_traversal ~line ~next pos =
+  let occurs_from s sub i =
+    match find_substring (String.sub s i (String.length s - i)) sub with
+    | Some j -> Some (i + j)
+    | None -> None
+  in
+  let rec any_sort_after i =
+    match occurs_from line "sort" i with
+    | None -> false
+    | Some j ->
+        (* Downstream sort: a pipe between the traversal and the sort. *)
+        let between = String.sub line pos (j - pos) in
+        if contains between "|>" || contains between "@@" then true
+        else any_sort_after (j + 1)
+  in
+  let rec any_sort_before i =
+    if i >= pos then false
+    else
+      match occurs_from line "sort" i with
+      | Some j when j < pos ->
+          (* Upstream sort applied to the traversal: the traversal sits
+             inside the sort's argument list. *)
+          let between = String.sub line j (pos - j) in
+          contains between "(" || contains between "@@" || any_sort_before (j + 1)
+      | _ -> false
+  in
+  let piped_next =
+    (* Common formatting: the pipe into the sort starts the next line. *)
+    match (find_substring next "|>", find_substring next "sort") with
+    | Some p, Some s -> p < s
+    | _ -> false
+  in
+  any_sort_after pos || any_sort_before 0 || piped_next
+
 let lexical_scan ~filename ~rng_exempt lines =
+  let arr = Array.of_list lines in
   List.concat
     (List.mapi
        (fun i line ->
@@ -275,8 +349,17 @@ let lexical_scan ~filename ~rng_exempt lines =
          if has "Unix.gettimeofday" || has "Unix.time" || has "Sys.time" then
            add Wall_clock "wall-clock read (lexical match)";
          if has "Obj.magic" then add Obj_magic "Obj.magic (lexical match)";
-         if (has "Hashtbl.fold" || has "Hashtbl.iter") && not (has "sort") then
-           add Hashtbl_order "unsorted Hashtbl traversal (lexical match)";
+         (let traversal =
+            match find_substring line "Hashtbl.fold" with
+            | Some _ as p -> p
+            | None -> find_substring line "Hashtbl.iter"
+          in
+          match traversal with
+          | Some pos ->
+              let next = if i + 1 < Array.length arr then arr.(i + 1) else "" in
+              if not (sort_applies_to_traversal ~line ~next pos) then
+                add Hashtbl_order "unsorted Hashtbl traversal (lexical match)"
+          | None -> ());
          if has "with _ ->" then add Catch_all "catch-all handler (lexical match)";
          List.rev !out)
        lines)
@@ -309,11 +392,13 @@ let lint_source ~filename src =
   in
   (kept, status)
 
-let lint_file path =
+let read_file path =
   let ic = open_in_bin path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  lint_source ~filename:path src
+  src
+
+let lint_file path = lint_source ~filename:path (read_file path)
 
 let lint_string ~filename src = fst (lint_source ~filename src)
 
@@ -329,6 +414,8 @@ let rec collect_ml acc path =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
+let collect_ml_files roots =
+  List.fold_left collect_ml [] roots |> List.sort String.compare
+
 let lint_roots roots =
-  let files = List.fold_left collect_ml [] roots |> List.sort String.compare in
-  List.concat_map (fun f -> fst (lint_file f)) files
+  List.concat_map (fun f -> fst (lint_file f)) (collect_ml_files roots)

@@ -47,6 +47,32 @@ val rule_id : rule -> string
 
 val rule_of_id : string -> rule option
 
+(* ---- Allowlist directives (shared with the analyzer passes) ------- *)
+
+(** Tokenizer for [(* xenic-lint: ... *)] directive payloads: splits on
+    spaces, tabs and the comment-closer characters ([*], [)]), dropping
+    empty tokens — so ["allow RANDOM*)"] and ["allow\tRANDOM *)"] both
+    yield [["allow"; "RANDOM"]]. Exposed for tests. *)
+val split_tokens : string -> string list
+
+(** Parsed allowlist of one source file: per-line and file-wide [allow]
+    directives plus [atomic <tag>] critical-section names. *)
+type allowlist
+
+val allowlist_of_lines : string list -> allowlist
+
+val allowlist_of_source : string -> allowlist
+
+(** Is a finding of [rule] on [line] suppressed (per-line allow on the
+    line or the one above, or a file-wide allow)? *)
+val suppressed : allowlist -> rule -> int -> bool
+
+(** The [atomic <tag>] critical-section name covering [line] (the line
+    itself or the one above), if any. A bare [atomic] with no tag names
+    nothing. Used by the ATOMICITY pass: an atomicity finding is only
+    ever suppressed by a named tag, never by [allow]/[allow-file]. *)
+val atomic_tag : allowlist -> line:int -> string option
+
 type finding = {
   rule : rule;
   file : string;
@@ -69,3 +95,17 @@ val lint_string : filename:string -> string -> finding list
 (** Recursively collect [.ml] files under each root (sorted), lint each,
     and return all findings. Skips [_build] and dotted directories. *)
 val lint_roots : string list -> finding list
+
+(* ---- Source loading (shared with the analyzer passes) ------------- *)
+
+(** Recursively collect [.ml] files under each root, sorted by path.
+    Skips [_build] and dotted directories. *)
+val collect_ml_files : string list -> string list
+
+(** Parse one implementation with compiler-libs; [None] if the parser
+    rejects it (the analyzer passes skip such files, the classic lint
+    falls back to the lexical scan). *)
+val parse_impl : filename:string -> string -> Parsetree.structure option
+
+(** Read a file from disk. *)
+val read_file : string -> string

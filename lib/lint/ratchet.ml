@@ -1,0 +1,54 @@
+(* Zero-new-findings ratchet over checked-in inventories.
+
+   An inventory is a sorted list of stable lines (no line numbers). The
+   ratchet compares the freshly generated inventory against the
+   checked-in baseline: *added* lines fail the build (a new suspension
+   surface / atomicity finding must be annotated or the baseline
+   consciously promoted); *removed* lines are reported so the baseline
+   can be tightened, but do not fail. Comment lines ([#]) and blank
+   lines in baselines are ignored. *)
+
+type diff = { added : string list; removed : string list }
+
+let strip lines =
+  List.filter
+    (fun l ->
+      let l = String.trim l in
+      l <> "" && not (String.length l > 0 && l.[0] = '#'))
+    lines
+
+let diff ~baseline ~current =
+  let module S = Set.Make (String) in
+  let b = S.of_list (strip baseline) in
+  let c = S.of_list (strip current) in
+  {
+    added = S.elements (S.diff c b);
+    removed = S.elements (S.diff b c);
+  }
+
+let load_baseline path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    String.split_on_char '\n' s
+  end
+  else []
+
+(* Render a ratchet failure for [name]; returns [] when clean. *)
+let check ~name ~baseline ~current =
+  let d = diff ~baseline ~current in
+  match d.added with
+  | [] -> []
+  | added ->
+      Printf.sprintf
+        "[RATCHET] %d new %s entr%s not in the checked-in baseline:"
+        (List.length added) name
+        (if List.length added = 1 then "y" else "ies")
+      :: List.map (fun l -> "  + " ^ l) added
+      @ [
+          Printf.sprintf
+            "  annotate the finding or promote the %s baseline deliberately."
+            name;
+        ]

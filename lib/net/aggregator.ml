@@ -38,13 +38,16 @@ let flush t dst =
   if p.count > 0 then begin
     t.frames <- t.frames + 1;
     t.messages <- t.messages + p.count;
-    Fabric.send t.fabric ~src:t.src ~dst ~payload_bytes:p.bytes
-      (List.rev p.msgs);
+    let payload_bytes = p.bytes and msgs = List.rev p.msgs in
+    (* Reset the batch before the send: [Fabric.send] suspends, and a
+       message pushed during that suspension must start a fresh batch
+       rather than be wiped by a post-send reset. *)
     p.msgs <- [];
     p.bytes <- 0;
     p.count <- 0;
     p.gen <- p.gen + 1;
-    p.timer_armed <- false
+    p.timer_armed <- false;
+    Fabric.send t.fabric ~src:t.src ~dst ~payload_bytes msgs
   end
 
 let push t ~dst ~bytes msg =

@@ -81,14 +81,15 @@ let row_of ~baseline ~elapsed_ns (label, r) =
     r_servers = servers;
     r_busy_ns = busy;
     r_utilization =
-      (if elapsed_ns <= 0.0 then 0.0
+      (if Float.compare elapsed_ns 0.0 <= 0 then 0.0
        else busy /. (float_of_int servers *. elapsed_ns));
     r_service_ns = sum (fun c -> c.c_service_ns);
     r_wait_ns = wait;
     r_acquires = acquires;
     r_mean_wait_ns = (if acquires = 0 then 0.0 else wait /. float_of_int acquires);
     r_queue_area = area;
-    r_mean_qlen = (if elapsed_ns <= 0.0 then 0.0 else area /. elapsed_ns);
+    r_mean_qlen =
+      (if Float.compare elapsed_ns 0.0 <= 0 then 0.0 else area /. elapsed_ns);
     r_cells = cells;
   }
 
@@ -107,7 +108,7 @@ let segs_of ~t_start ~t_end phase_spans =
   let rec walk cur acc = function
     | [] ->
         let acc =
-          if t_end -. cur > eps then
+          if Float.compare (t_end -. cur) eps > 0 then
             { s_name = "other"; s_dur_ns = t_end -. cur } :: acc
           else acc
         in
@@ -116,12 +117,13 @@ let segs_of ~t_start ~t_end phase_spans =
         let ts = Float.max ts cur in
         let fin = Float.min (ts +. dur) t_end in
         let acc =
-          if ts -. cur > eps then
+          if Float.compare (ts -. cur) eps > 0 then
             { s_name = "other"; s_dur_ns = ts -. cur } :: acc
           else acc
         in
         let acc =
-          if fin -. ts > eps then { s_name = name; s_dur_ns = fin -. ts } :: acc
+          if Float.compare (fin -. ts) eps > 0 then
+            { s_name = name; s_dur_ns = fin -. ts } :: acc
           else acc
         in
         walk (Float.max cur fin) acc rest
@@ -153,7 +155,8 @@ let extract_paths trace =
          let inside =
            Option.value ~default:[] (Hashtbl.find_opt phases (pid, tid))
            |> List.filter (fun (pts, pdur, _) ->
-                  pts >= ts -. 1e-9 && pts +. pdur <= ts +. dur +. 1e-9)
+                  Float.compare pts (ts -. 1e-9) >= 0
+                  && Float.compare (pts +. pdur) (ts +. dur +. 1e-9) <= 0)
          in
          {
            p_node = pid;
@@ -173,7 +176,8 @@ let extract_paths trace =
 let collect ~stack ~resources ?(baseline = []) ?trace ~elapsed_ns () =
   let rows =
     List.map (row_of ~baseline ~elapsed_ns) resources
-    |> List.filter (fun r -> r.r_busy_ns > 0.0 || r.r_acquires > 0)
+    |> List.filter (fun r ->
+           Float.compare r.r_busy_ns 0.0 > 0 || r.r_acquires > 0)
     |> List.sort (fun a b ->
            let c = Float.compare b.r_utilization a.r_utilization in
            if c <> 0 then c else String.compare a.r_label b.r_label)

@@ -198,7 +198,7 @@ let busy_time t =
 
 let utilization t =
   let now = Engine.now t.engine in
-  if now <= 0.0 then 0.0
+  if Float.compare now 0.0 <= 0 then 0.0
   else busy_time t /. (float_of_int t.servers *. now)
 
 let queue_area t =

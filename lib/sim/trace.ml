@@ -78,7 +78,8 @@ let events t = List.rev t.events
    once the run ends or the pending self-rescheduling timer would keep
    the engine from draining. *)
 let sampler t ~period_ns ~pid ~sources =
-  if period_ns <= 0.0 then invalid_arg "Trace.sampler: period must be positive";
+  if Float.compare period_ns 0.0 <= 0 then
+    invalid_arg "Trace.sampler: period must be positive";
   let stopped = ref false in
   let rec tick () =
     if not !stopped then begin

@@ -29,7 +29,7 @@ let create () =
   }
 
 let bucket_of_value v =
-  let v = if v < 0.0 then 0 else int_of_float v in
+  let v = if Float.compare v 0.0 < 0 then 0 else int_of_float v in
   if v < sub_buckets then v
   else begin
     (* Octave index: position of the highest set bit above sub_bits. *)
@@ -83,13 +83,13 @@ let quantile t q =
   if t.count = 0 then nan
   else begin
     let rank = q *. float_of_int t.count in
-    let rank = if rank < 1.0 then 1.0 else rank in
+    let rank = if Float.compare rank 1.0 < 0 then 1.0 else rank in
     let seen = ref 0 in
     let result = ref t.max_v in
     (try
        for i = 0 to n_buckets - 1 do
          seen := !seen + t.counts.(i);
-         if float_of_int !seen >= rank then begin
+         if Float.compare (float_of_int !seen) rank >= 0 then begin
            result := value_of_bucket i;
            raise Exit
          end

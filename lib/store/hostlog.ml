@@ -30,6 +30,10 @@ let rec append t ~bytes r =
     append t ~bytes r
   end
   else begin
+    (* Guard-recheck: the capacity test re-runs (via the recursion)
+       after every space wait, so the charge below always follows an
+       un-suspended pass of the guard. *)
+    (* xenic-lint: atomic hostlog-space-recheck *)
     t.used_b <- t.used_b + bytes;
     t.appended <- t.appended + 1;
     (match Queue.take_opt t.readers with

@@ -174,6 +174,9 @@ let read t io k =
       Some (v, e.seq)
   | Some e when not e.present ->
       io.nic_mem ();
+      (* Pure stat counter: the increment re-reads after the resume, so
+         concurrent hits are each counted exactly once. *)
+      (* xenic-lint: atomic nic-read-hit-count *)
       t.hits <- t.hits + 1;
       None
   | _ -> (
@@ -188,6 +191,7 @@ let read t io k =
       | Some e -> (
           (match (e.value, outcome) with
           | None, Some (v, seq) when e.pins = 0 && e.lock = None ->
+              (* xenic-lint: atomic nic-read-refill *)
               e.seq <- seq;
               cache_value t k e v
           | _ -> ());
@@ -224,6 +228,7 @@ let try_lock t io k ~owner =
              entry out of the table mid-grant, leaving this lock on a
              dangling record invisible to later acquirers. A held lock
              pins the entry. *)
+          (* xenic-lint: atomic nic-lock-grant *)
           e.lock <- Some owner;
           io.nic_mem ();
           `Acquired e.seq)

@@ -79,7 +79,8 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
   in
   List.iter
     (fun (t_ns, node) ->
-      if t_ns < 0.0 then invalid_arg "Driver.run: negative fault time";
+      if Float.compare t_ns 0.0 < 0 then
+        invalid_arg "Driver.run: negative fault time";
       Engine.at engine (start +. t_ns) (fun () ->
           sys.System.crash_node ~node))
     faults;
@@ -129,7 +130,7 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
                       Types.Aborted;
                   (* Brief backoff so a retry does not land in the same
                      conflict/staleness window. *)
-                  if abort_backoff_ns > 0.0 then
+                  if Float.compare abort_backoff_ns 0.0 > 0 then
                     Process.sleep engine abort_backoff_ns);
               loop ()
             end
@@ -182,7 +183,7 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
       metrics;
       profile = prof;
     }
-  else if duration <= 0.0 then
+  else if Float.compare duration 0.0 <= 0 then
     invalid_arg
       (Printf.sprintf
          "Driver.run (%s): %d commits in a non-positive measurement \

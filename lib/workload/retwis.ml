@@ -105,9 +105,10 @@ let spec p ~nodes =
       (fun rng ~node ->
         ignore node;
         let r = Rng.float rng in
-        if r < 0.05 then ("add_user", txn_add_user p z rng ~nodes)
-        else if r < 0.20 then ("follow", txn_follow p z rng ~nodes)
-        else if r < 0.50 then ("post_tweet", txn_post_tweet p z rng ~nodes)
+        if Float.compare r 0.05 < 0 then ("add_user", txn_add_user p z rng ~nodes)
+        else if Float.compare r 0.20 < 0 then ("follow", txn_follow p z rng ~nodes)
+        else if Float.compare r 0.50 < 0 then
+          ("post_tweet", txn_post_tweet p z rng ~nodes)
         else ("get_timeline", txn_get_timeline p z rng ~nodes));
   }
 

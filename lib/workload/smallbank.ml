@@ -155,10 +155,13 @@ let spec p ~nodes =
       (fun rng ~node ->
         ignore node;
         let r = Rng.float rng in
-        if r < 0.15 then ("balance", txn_balance p rng ~nodes)
-        else if r < 0.40 then ("deposit_checking", txn_deposit_checking p rng ~nodes)
-        else if r < 0.65 then ("transact_savings", txn_transact_savings p rng ~nodes)
-        else if r < 0.80 then ("amalgamate", txn_amalgamate p rng ~nodes)
+        if Float.compare r 0.15 < 0 then ("balance", txn_balance p rng ~nodes)
+        else if Float.compare r 0.40 < 0 then
+          ("deposit_checking", txn_deposit_checking p rng ~nodes)
+        else if Float.compare r 0.65 < 0 then
+          ("transact_savings", txn_transact_savings p rng ~nodes)
+        else if Float.compare r 0.80 < 0 then
+          ("amalgamate", txn_amalgamate p rng ~nodes)
         else ("write_check", txn_write_check p rng ~nodes));
   }
 

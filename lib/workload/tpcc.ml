@@ -543,13 +543,16 @@ let spec p (sys : System.t) =
     generate =
       (fun rng ~node ->
         let r = Rng.float rng in
-        if r < 0.45 then ("new_order", txn_new_order p items ~nodes rng ~node)
-        else if r < 0.88 then begin
+        if Float.compare r 0.45 < 0 then
+          ("new_order", txn_new_order p items ~nodes rng ~node)
+        else if Float.compare r 0.88 < 0 then begin
           hseq.(node) <- hseq.(node) + 1;
           ("payment", txn_payment p ~nodes rng ~node ~hseq:hseq.(node))
         end
-        else if r < 0.92 then ("order_status", txn_order_status p sys rng ~node)
-        else if r < 0.96 then ("delivery", txn_delivery p sys rng ~node)
+        else if Float.compare r 0.92 < 0 then
+          ("order_status", txn_order_status p sys rng ~node)
+        else if Float.compare r 0.96 < 0 then
+          ("delivery", txn_delivery p sys rng ~node)
         else ("stock_level", txn_stock_level p sys rng ~node));
   }
 
@@ -617,7 +620,8 @@ let check_consistency p (sys : System.t) =
           orders
       done;
       (* Condition 2: w_ytd = sum of district ytd. *)
-      if abs_float (w.Warehouse.w_ytd -. !d_ytd_sum) > 0.01 then
+      if Float.compare (abs_float (w.Warehouse.w_ytd -. !d_ytd_sum)) 0.01 > 0
+      then
         fail "warehouse %d.%d: w_ytd %.2f but district sum %.2f" node wl
           w.Warehouse.w_ytd !d_ytd_sum
     done

@@ -15,7 +15,8 @@ let zeta n theta =
 
 let create ~n ~theta =
   if n <= 0 then invalid_arg "Zipf.create: n";
-  if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta";
+  if Float.compare theta 0.0 < 0 || Float.compare theta 1.0 >= 0 then
+    invalid_arg "Zipf.create: theta";
   if Float.equal theta 0.0 then { n; theta; zetan = 0.0; alpha = 0.0; eta = 0.0 }
   else
     let zetan = zeta n theta in
@@ -32,8 +33,8 @@ let sample t rng =
   else begin
     let u = Xenic_sim.Rng.float rng in
     let uz = u *. t.zetan in
-    if uz < 1.0 then 0
-    else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+    if Float.compare uz 1.0 < 0 then 0
+    else if Float.compare uz (1.0 +. Float.pow 0.5 t.theta) < 0 then 1
     else
       let v =
         float_of_int t.n

@@ -8,6 +8,13 @@
 # is checked, the failure is reported in both the log and stderr, and
 # the script exits nonzero listing every experiment that died.
 set -x
+# Lint gate: refuse to spend bench cycles on a tree with new findings —
+# classic determinism rules plus the suspend/atomicity/domain-shared
+# ratchets (any drift from the checked-in lint/ inventories fails).
+if ! dune build @lint; then
+  echo "run_bench.sh: lint gate failed (dune build @lint)" >&2
+  exit 1
+fi
 : > /root/repo/bench_output.txt
 rm -f /root/repo/BENCH_*.json /root/repo/PROFILE_*.txt /root/repo/PROFILE_*.folded
 failed=""

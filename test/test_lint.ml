@@ -147,6 +147,302 @@ let test_rule_ids_roundtrip () =
     [ "RANDOM"; "WALL-CLOCK"; "HASHTBL-ORDER"; "FLOAT-CMP"; "OBJ-MAGIC"; "CATCH-ALL" ];
   Alcotest.(check bool) "unknown id rejected" true (Lint.rule_of_id "BOGUS" = None)
 
+(* ---- FLOAT-CMP ordering operators ---------------------------------- *)
+
+let test_float_cmp_ordering () =
+  check_ids "< against a float literal" [ "FLOAT-CMP" ] "let f x = x < 1.0\n";
+  check_ids "<= against float arithmetic" [ "FLOAT-CMP" ]
+    "let f x y = x <= y +. 1.0\n";
+  check_ids "> against a float literal" [ "FLOAT-CMP" ] "let f x = x > 0.5\n";
+  check_ids ">= against float_of_int" [ "FLOAT-CMP" ]
+    "let f x n = x >= float_of_int n\n";
+  check_ids "Float.compare is the fix" []
+    "let f x = Float.compare x 1.0 < 0\n";
+  check_ids "int ordering untouched" [] "let f x = x < 1\n"
+
+(* ---- CATCH-ALL via match ... with exception _ ---------------------- *)
+
+let test_catch_all_match_exception () =
+  check_ids "match with exception _ flagged" [ "CATCH-ALL" ]
+    "let h f = match f () with x -> x | exception _ -> 0\n";
+  check_ids "named exception case is fine" []
+    "let h f = match f () with x -> x | exception Not_found -> 0\n";
+  check_ids "constructor-pattern exception case is fine" []
+    "let h f = match f () with x -> x | exception (Failure _) -> 0\n"
+
+(* ---- lexical HASHTBL-ORDER: sort must apply to the traversal ------- *)
+
+(* Each source opens with an unbalanced paren so the parser rejects it
+   and the lexical scan runs. *)
+let lex src = lint ("let _broken = (\n" ^ src)
+
+let test_lexical_hashtbl_direction () =
+  Alcotest.(check (list string))
+    "'sort' as unrelated substring no longer suppresses" [ "HASHTBL-ORDER" ]
+    (ids (lex "let d t = Hashtbl.iter (fun k _ -> ignore sort_order) t\n"));
+  Alcotest.(check (list string))
+    "fold piped into sort still exempt" []
+    (ids
+       (lex
+          "let k t = Hashtbl.fold (fun k _ a -> k :: a) t [] |> List.sort \
+           compare\n"));
+  Alcotest.(check (list string))
+    "pipe into sort on the next line exempt" []
+    (ids
+       (lex
+          "let k t = Hashtbl.fold (fun k _ a -> k :: a) t []\n\
+          \  |> List.sort compare\n"));
+  Alcotest.(check (list string))
+    "sort wrapping the traversal exempt" []
+    (ids
+       (lex
+          "let k t = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) t \
+           [])\n"));
+  Alcotest.(check (list string))
+    "sort earlier on the line but not applied still flagged"
+    [ "HASHTBL-ORDER" ]
+    (ids (lex "let k sorted t = ignore sorted; Hashtbl.iter f t\n"))
+
+(* ---- directive tokenizer and atomic tags --------------------------- *)
+
+let test_split_tokens () =
+  let check msg expected s =
+    Alcotest.(check (list string)) msg expected (Lint.split_tokens s)
+  in
+  check "spaces" [ "allow"; "RANDOM" ] "allow RANDOM";
+  check "tabs" [ "allow"; "RANDOM" ] "allow\tRANDOM";
+  check "comment closer glued to the token" [ "allow"; "RANDOM" ]
+    "allow RANDOM*)";
+  check "closer with spaces" [ "atomic"; "nic-lock-grant" ]
+    "atomic nic-lock-grant *)";
+  check "empty directive" [] "";
+  check "only separators" [] " \t*) "
+
+let test_atomic_tag () =
+  let allow =
+    Lint.allowlist_of_source "(* xenic-lint: atomic hot-path *)\nlet x = 1\n"
+  in
+  Alcotest.(check (option string))
+    "tag covers the next line" (Some "hot-path")
+    (Lint.atomic_tag allow ~line:2);
+  Alcotest.(check (option string))
+    "tag covers its own line" (Some "hot-path")
+    (Lint.atomic_tag allow ~line:1);
+  Alcotest.(check (option string))
+    "tag does not leak further" None
+    (Lint.atomic_tag allow ~line:3);
+  Alcotest.(check (option string))
+    "bare atomic names nothing" None
+    (Lint.atomic_tag
+       (Lint.allowlist_of_source "(* xenic-lint: atomic *)\nlet x = 1\n")
+       ~line:2);
+  Alcotest.(check (option string))
+    "allow directives carry no tag" None
+    (Lint.atomic_tag
+       (Lint.allowlist_of_source "(* xenic-lint: allow RANDOM *)\nlet x = 1\n")
+       ~line:2)
+
+(* ---- analyzer passes: callgraph + may-suspend fixpoint ------------- *)
+
+let parsed file src =
+  match Lint.parse_impl ~filename:file src with
+  | Some ast -> (file, src, ast)
+  | None -> Alcotest.failf "fixture %s did not parse" file
+
+let graph_of files =
+  Callgraph.build (List.map (fun (f, _, ast) -> (f, ast)) files)
+
+let test_suspend_fixpoint () =
+  let files =
+    [
+      parsed "lib/x/work.ml"
+        "let helper eng = Process.sleep eng 1.0\n\
+         let outer eng = helper eng\n\
+         let clean () = 42\n";
+      parsed "lib/x/caller.ml" "let go eng = Work.outer eng\n";
+    ]
+  in
+  let g = graph_of files in
+  let s = Suspend.infer g in
+  Alcotest.(check bool) "seed callee marked" true
+    (Suspend.may_suspend s "Work.helper");
+  Alcotest.(check bool) "transitive caller marked" true
+    (Suspend.may_suspend s "Work.outer");
+  Alcotest.(check bool) "cross-module caller marked" true
+    (Suspend.may_suspend s "Caller.go");
+  Alcotest.(check bool) "pure definition not marked" false
+    (Suspend.may_suspend s "Work.clean");
+  let inv = Suspend.inventory g in
+  Alcotest.(check (list string))
+    "inventory is sorted and names-only"
+    [ "Caller.go"; "Work.helper"; "Work.outer" ]
+    inv
+
+let test_suspend_field_channel () =
+  (* A suspending closure parked in a record field carries the effect to
+     every call through a field of that name. *)
+  let files =
+    [
+      parsed "lib/x/chan.ml"
+        "let make_io eng = { nic_mem = (fun () -> Process.sleep eng 5.0) }\n\
+         let user io = io.nic_mem ()\n";
+    ]
+  in
+  let g = graph_of files in
+  let s = Suspend.infer g in
+  Alcotest.(check bool) "field node marked" true
+    (Suspend.may_suspend s "field:nic_mem");
+  Alcotest.(check bool) "caller through the field marked" true
+    (Suspend.may_suspend s "Chan.user")
+
+(* ---- ATOMICITY: the PR 2 NIC-index double-grant shape -------------- *)
+
+(* The bug class this pass exists for: lock checked, NIC-memory latency
+   charged (suspends), lock granted — two requesters can both pass the
+   check during the same suspension window. *)
+let double_grant_fixture ~annotated =
+  Printf.sprintf
+    "let make_io eng = { nic_mem = (fun () -> Process.sleep eng 5.0) }\n\
+     let try_lock tbl io k ~owner =\n\
+    \  match Hashtbl.find_opt tbl k with\n\
+    \  | Some e -> (\n\
+    \      match e.lock with\n\
+    \      | Some o when o <> owner -> `Locked\n\
+    \      | _ ->\n\
+    \          io.nic_mem ();\n\
+     %s\
+    \          e.lock <- Some owner;\n\
+    \          `Acquired)\n\
+    \  | None -> `Missing\n"
+    (if annotated then "          (* xenic-lint: atomic grant *)\n" else "")
+
+let analyze_fixture src =
+  let files = [ parsed "lib/x/fixture_index.ml" src ] in
+  let g = graph_of files in
+  let s = Suspend.infer g in
+  Atomicity.analyze ~graph:g ~susp:s files
+
+let test_atomicity_double_grant () =
+  match analyze_fixture (double_grant_fixture ~annotated:false) with
+  | [ f ] ->
+      Alcotest.(check string) "lvalue" "e.lock" f.Atomicity.a_lvalue;
+      Alcotest.(check string)
+        "definition" "Fixture_index.try_lock" f.Atomicity.a_def;
+      Alcotest.(check string)
+        "suspending callee" "<field nic_mem>" f.Atomicity.a_callee;
+      Alcotest.(check bool) "unannotated" true (f.Atomicity.a_tag = None);
+      Alcotest.(check bool)
+        "read line precedes suspension" true
+        (f.Atomicity.a_read_line < f.Atomicity.a_susp_line);
+      Alcotest.(check bool)
+        "rendered as ATOMICITY" true
+        (String.length (Atomicity.to_string f) > 0)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_atomicity_annotated () =
+  match analyze_fixture (double_grant_fixture ~annotated:true) with
+  | [ f ] ->
+      Alcotest.(check (option string))
+        "tag recorded" (Some "grant") f.Atomicity.a_tag;
+      Alcotest.(check (list string))
+        "annotated finding enters the audit inventory"
+        [ "lib/x/fixture_index.ml grant e.lock" ]
+        (Atomicity.inventory [ f ])
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_atomicity_fresh_local () =
+  (* State allocated inside the definition is unshared: nobody else can
+     observe it across the suspension, so no finding. *)
+  let clean =
+    analyze_fixture
+      "let f eng =\n\
+      \  let t = Hashtbl.create 8 in\n\
+      \  let v = Hashtbl.find_opt t 1 in\n\
+      \  Process.sleep eng 1.0;\n\
+      \  Hashtbl.replace t 1 2;\n\
+      \  v\n"
+  in
+  Alcotest.(check int) "fresh Hashtbl suppressed" 0 (List.length clean);
+  let shared =
+    analyze_fixture
+      "let f eng t =\n\
+      \  let v = Hashtbl.find_opt t 1 in\n\
+      \  Process.sleep eng 1.0;\n\
+      \  Hashtbl.replace t 1 2;\n\
+      \  v\n"
+  in
+  match shared with
+  | [ f ] -> Alcotest.(check string) "shared table flagged" "t[]" f.Atomicity.a_lvalue
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* ---- DOMAIN-SHARED report ------------------------------------------ *)
+
+let test_domain_shared () =
+  let files =
+    [
+      parsed "lib/x/reg.ml"
+        "let cache = Hashtbl.create 16\n\
+         let get k = Hashtbl.find_opt cache k\n\
+         let wait eng k = Process.sleep eng 1.0; get k\n";
+    ]
+  in
+  let g = graph_of files in
+  let s = Suspend.infer g in
+  match Domain_shared.scan ~graph:g ~susp:s files with
+  | [ e ] ->
+      Alcotest.(check string) "key" "Reg.cache" e.Domain_shared.s_key;
+      Alcotest.(check (list string)) "kind" [ "hashtbl" ] e.Domain_shared.s_kinds;
+      Alcotest.(check (list string))
+        "referencing defs" [ "Reg.get" ] e.Domain_shared.s_refs;
+      Alcotest.(check bool)
+        "no suspending direct refs" false e.Domain_shared.s_suspending_refs;
+      Alcotest.(check string) "report line"
+        "Reg.cache kinds=hashtbl file=lib/x/reg.ml refs=Reg.get \
+         suspending-refs=no"
+        (Domain_shared.report_line e)
+  | es -> Alcotest.failf "expected exactly one entry, got %d" (List.length es)
+
+(* ---- ratchet -------------------------------------------------------- *)
+
+let test_ratchet () =
+  let d = Ratchet.diff ~baseline:[ "a"; "b" ] ~current:[ "b"; "c" ] in
+  Alcotest.(check (list string)) "added" [ "c" ] d.Ratchet.added;
+  Alcotest.(check (list string)) "removed" [ "a" ] d.Ratchet.removed;
+  let d =
+    Ratchet.diff ~baseline:[ "# header"; ""; "a" ] ~current:[ "a"; "# other" ]
+  in
+  Alcotest.(check (list string)) "comments and blanks ignored" []
+    (d.Ratchet.added @ d.Ratchet.removed);
+  Alcotest.(check (list string))
+    "clean check reports nothing" []
+    (Ratchet.check ~name:"suspend" ~baseline:[ "a" ] ~current:[ "a" ]);
+  match Ratchet.check ~name:"suspend" ~baseline:[ "a" ] ~current:[ "a"; "z" ] with
+  | [] -> Alcotest.fail "new entry must fail the ratchet"
+  | header :: rest ->
+      Alcotest.(check bool) "header names the ratchet" true
+        (String.length header > 0);
+      Alcotest.(check bool) "the new entry is listed" true
+        (List.exists (fun l -> l = "  + z") rest)
+
+(* ---- JSON rendering ------------------------------------------------- *)
+
+let test_json () =
+  Alcotest.(check string)
+    "object with escapes"
+    "{\"file\":\"a\\\"b\",\"line\":3,\"ok\":true,\"tag\":null,\"l\":[1,2]}"
+    (Ljson.to_string
+       (Ljson.O
+          [
+            ("file", Ljson.S "a\"b");
+            ("line", Ljson.I 3);
+            ("ok", Ljson.B true);
+            ("tag", Ljson.Null);
+            ("l", Ljson.L [ Ljson.I 1; Ljson.I 2 ]);
+          ]));
+  Alcotest.(check string)
+    "newline escaped" "\"a\\nb\""
+    (Ljson.to_string (Ljson.S "a\nb"))
+
 let () =
   Alcotest.run "xenic_lint"
     [
@@ -159,19 +455,44 @@ let () =
           Alcotest.test_case "hashtbl unsorted" `Quick test_hashtbl_unsorted;
           Alcotest.test_case "hashtbl sorted exempt" `Quick test_hashtbl_sorted;
           Alcotest.test_case "float compare" `Quick test_float_cmp;
+          Alcotest.test_case "float compare ordering" `Quick
+            test_float_cmp_ordering;
           Alcotest.test_case "obj magic" `Quick test_obj_magic;
           Alcotest.test_case "catch all" `Quick test_catch_all;
+          Alcotest.test_case "catch all via match-exception" `Quick
+            test_catch_all_match_exception;
         ] );
       ( "reporting",
         [
           Alcotest.test_case "line numbers" `Quick test_line_numbers;
           Alcotest.test_case "rule ids round-trip" `Quick test_rule_ids_roundtrip;
+          Alcotest.test_case "json rendering" `Quick test_json;
         ] );
       ( "allowlist",
         [
           Alcotest.test_case "per line" `Quick test_allow_line;
           Alcotest.test_case "per file" `Quick test_allow_file;
+          Alcotest.test_case "split tokens" `Quick test_split_tokens;
+          Alcotest.test_case "atomic tags" `Quick test_atomic_tag;
         ] );
       ( "fallback",
-        [ Alcotest.test_case "lexical scan" `Quick test_lexical_fallback ] );
+        [
+          Alcotest.test_case "lexical scan" `Quick test_lexical_fallback;
+          Alcotest.test_case "lexical hashtbl direction" `Quick
+            test_lexical_hashtbl_direction;
+        ] );
+      ( "analyzer",
+        [
+          Alcotest.test_case "suspend fixpoint" `Quick test_suspend_fixpoint;
+          Alcotest.test_case "suspend field channel" `Quick
+            test_suspend_field_channel;
+          Alcotest.test_case "atomicity double grant" `Quick
+            test_atomicity_double_grant;
+          Alcotest.test_case "atomicity annotated" `Quick
+            test_atomicity_annotated;
+          Alcotest.test_case "atomicity fresh locals" `Quick
+            test_atomicity_fresh_local;
+          Alcotest.test_case "domain shared report" `Quick test_domain_shared;
+          Alcotest.test_case "ratchet" `Quick test_ratchet;
+        ] );
     ]
