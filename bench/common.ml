@@ -68,8 +68,8 @@ let replication = 3
 
 let mk_xenic ?(features = Features.full) ?(hw = hw) ?(nodes = cluster_nodes)
     ?(replication = replication) ?(params = Xenic_system.default_params)
-    ~store_cfg () =
-  let engine = Engine.create () in
+    ?domains ~store_cfg () =
+  let engine = Engine.create ?domains () in
   let cfg = Config.make ~nodes ~replication in
   let segments, seg_size, d_max = store_cfg in
   let p =
@@ -78,8 +78,8 @@ let mk_xenic ?(features = Features.full) ?(hw = hw) ?(nodes = cluster_nodes)
   System.of_xenic (Xenic_system.create engine hw cfg p)
 
 let mk_rdma ?(hw = hw) ?(nodes = cluster_nodes) ?(replication = replication)
-    ?(params = Rdma_system.default_params) ~buckets flavor () =
-  let engine = Engine.create () in
+    ?(params = Rdma_system.default_params) ?domains ~buckets flavor () =
+  let engine = Engine.create ?domains () in
   let cfg = Config.make ~nodes ~replication in
   let p = { params with Rdma_system.buckets } in
   System.of_rdma (Rdma_system.create engine hw cfg flavor p)

@@ -172,19 +172,37 @@ let entry_json (e : Domain_shared.entry) =
       ("kinds", Ljson.L (List.map (fun k -> Ljson.S k) e.s_kinds));
       ("refs", Ljson.L (List.map (fun r -> Ljson.S r) e.s_refs));
       ("suspending_refs", Ljson.B e.s_suspending_refs);
+      ( "partitioned",
+        match e.s_tag with Some t -> Ljson.S t | None -> Ljson.Null );
     ]
 
 let run_report fmt roots =
   let files = load roots in
   let graph, susp = build_graph files in
   let entries = Domain_shared.scan ~graph ~susp files in
+  (* The report is also a ratchet: module-level mutable state without a
+     `partitioned <tag>' annotation is a hard error — the engine runs
+     partitions on separate domains, so new ambient globals must name
+     their synchronization story or become engine-local. *)
+  let bad = Domain_shared.unannotated entries in
   (match fmt with
   | Json ->
       print_endline
         (Ljson.to_string
-           (Ljson.O [ ("shared", Ljson.L (List.map entry_json entries)) ]))
+           (Ljson.O
+              [
+                ("shared", Ljson.L (List.map entry_json entries));
+                ("unannotated", Ljson.I (List.length bad));
+              ]))
   | Text -> print_lines (Domain_shared.report entries));
-  0
+  if bad = [] then 0
+  else begin
+    List.iter (fun e -> prerr_endline (Domain_shared.to_string e)) bad;
+    Printf.eprintf "xenic_lint: %d unannotated DOMAIN-SHARED entr%s\n"
+      (List.length bad)
+      (if List.length bad = 1 then "y" else "ies");
+    1
+  end
 
 (* -------------------------------------------------------------------- *)
 

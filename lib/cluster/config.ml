@@ -24,6 +24,27 @@ let replicas t ~shard = primary t ~shard :: backups t ~shard
 
 let holds t ~shard ~node = List.mem node (replicas t ~shard)
 
+(* Contiguous blocks: nodes [0, n/p) on partition 0, and so on, with
+   the first (n mod p) partitions one node larger. Contiguity keeps a
+   node's primary shard and the shards it backs up (ring successors)
+   mostly co-partitioned, which minimizes cross-partition replication
+   traffic under the parallel engine. *)
+let partition_of_node t ~partitions ~node =
+  if partitions <= 0 then
+    invalid_arg "Config.partition_of_node: partitions must be positive";
+  if node < 0 || node >= t.nodes then
+    invalid_arg
+      (Printf.sprintf "Config.partition_of_node: node %d outside [0, %d)" node
+         t.nodes);
+  if partitions >= t.nodes then node
+  else begin
+    let base = t.nodes / partitions and extra = t.nodes mod partitions in
+    (* The first [extra] partitions hold [base + 1] nodes each. *)
+    let boundary = extra * (base + 1) in
+    if node < boundary then node / (base + 1)
+    else extra + ((node - boundary) / base)
+  end
+
 let backup_shards t ~node =
   List.filter
     (fun shard -> List.mem node (backups t ~shard))

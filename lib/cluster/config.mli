@@ -27,3 +27,10 @@ val holds : t -> shard:int -> node:int -> bool
 
 (** Shards for which [node] is a backup. *)
 val backup_shards : t -> node:int -> int list
+
+(** [partition_of_node t ~partitions ~node] assigns nodes to engine
+    partitions in contiguous blocks (sizes differing by at most one;
+    identity when [partitions >= nodes]). Deterministic in (t,
+    partitions, node) only — the parallel engine's node-to-partition
+    map. *)
+val partition_of_node : t -> partitions:int -> node:int -> int

@@ -23,6 +23,7 @@ type entry = {
   s_kinds : string list;  (* sorted: "ref", "hashtbl", ... *)
   s_refs : string list;  (* defs referencing it, sorted *)
   s_suspending_refs : bool;
+  s_tag : string option;  (* [(* xenic-lint: partitioned <tag> *)] *)
 }
 
 open Parsetree
@@ -32,6 +33,45 @@ let flatten_lid = Callgraph.flatten_lid
 let split_last = Callgraph.split_last
 
 let last_mod mods = match List.rev mods with m :: _ -> Some m | [] -> None
+
+(* [(* xenic-lint: partitioned <tag> *)] on the binding's line or the
+   line above declares module-level mutable state deliberately NOT
+   per-partition — with the tag naming the synchronization or
+   per-domain story that makes it safe. Like [atomic <tag>] and
+   [timer:<tag>], the tag is mandatory: a bare [partitioned] names no
+   justification and annotates nothing. Unannotated entries fail
+   `xenic_lint report` — the ratchet that keeps new ambient globals
+   out of the tree now that the engine runs partitions on domains. *)
+let partitioned_key = "xenic-lint:"
+
+let find_substring line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let partitioned_tags src =
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i line ->
+      match find_substring line partitioned_key with
+      | None -> ()
+      | Some idx ->
+          let start = idx + String.length partitioned_key in
+          let rest = String.sub line start (String.length line - start) in
+          (match Lint.split_tokens rest with
+          | "partitioned" :: tag :: _ -> Hashtbl.replace tbl (i + 1) tag
+          | _ -> ()))
+    (String.split_on_char '\n' src);
+  tbl
+
+let tag_at tags ~line =
+  match Hashtbl.find_opt tags line with
+  | Some _ as t -> t
+  | None -> Hashtbl.find_opt tags (line - 1)
 
 (* Field names declared [mutable] anywhere in the analyzed files. *)
 let mutable_fields files =
@@ -119,7 +159,8 @@ let scan ~graph ~susp files =
     (Callgraph.nodes graph);
   let entries =
     List.concat_map
-      (fun (file, _src, ast) ->
+      (fun (file, src, ast) ->
+        let tags = partitioned_tags src in
         let rec structure ~mpath items =
           List.concat_map
             (fun item ->
@@ -140,18 +181,21 @@ let scan ~graph ~susp files =
                                 |> List.filter (fun r -> r <> key)
                                 |> List.sort_uniq String.compare
                               in
+                              let line =
+                                loc.Location.loc_start.Lexing.pos_lnum
+                              in
                               Some
                                 {
                                   s_key = key;
                                   s_file = file;
-                                  s_line =
-                                    loc.Location.loc_start.Lexing.pos_lnum;
+                                  s_line = line;
                                   s_kinds = kinds;
                                   s_refs = refs;
                                   s_suspending_refs =
                                     List.exists
                                       (fun r -> Suspend.may_suspend susp r)
                                       refs;
+                                  s_tag = tag_at tags ~line;
                                 })
                       | [] -> None)
                     vbs
@@ -171,17 +215,31 @@ let scan ~graph ~susp files =
   List.sort (fun a b -> compare (a.s_key, a.s_file) (b.s_key, b.s_file)) entries
 
 let report_line e =
-  Printf.sprintf "%s kinds=%s file=%s refs=%s suspending-refs=%s" e.s_key
+  Printf.sprintf "%s kinds=%s file=%s refs=%s suspending-refs=%s%s" e.s_key
     (String.concat "," e.s_kinds)
     e.s_file
     (match e.s_refs with [] -> "-" | refs -> String.concat "," refs)
     (if e.s_suspending_refs then "yes" else "no")
+    (match e.s_tag with
+    | Some tag -> " partitioned=" ^ tag
+    | None -> "")
+
+let unannotated entries = List.filter (fun e -> e.s_tag = None) entries
+
+let to_string e =
+  Printf.sprintf "%s:%d: DOMAIN-SHARED %s (%s) lacks a `partitioned <tag>' \
+                  annotation — module-level mutable state is shared by every \
+                  partition; make it engine-/partition-local or annotate the \
+                  synchronization story"
+    e.s_file e.s_line e.s_key
+    (String.concat "," e.s_kinds)
 
 let header =
   [
     "# DOMAIN-SHARED inventory: module-level mutable state, shared by every";
-    "# node's processes in-process — the set that must become per-partition";
-    "# or synchronized before the engine is split across domains.";
+    "# node's processes in-process — since the engine runs partitions on";
+    "# separate domains, every entry must carry a `partitioned <tag>'";
+    "# annotation naming its synchronization story (unannotated = error).";
     "# Generated by `xenic_lint report lib`; update with `dune promote`.";
   ]
 

@@ -53,7 +53,12 @@ let send t ~src ~dst ~payload_bytes msgs =
   let serialization = float_of_int wire_bytes /. rate t in
   Process.spawn t.engine (fun () ->
       Resource.use t.node_arr.(src).tx serialization;
-      Process.sleep t.engine t.hw.wire_latency_ns;
+      (* The wire hop is the partition handoff: the wakeup — and the
+         rx/delivery work after it — runs on the destination node's
+         partition. Wire latency is exactly the partitioned engine's
+         lookahead, so the hop is legal in windowed mode by
+         construction. *)
+      Process.sleep ~node:dst t.engine t.hw.wire_latency_ns;
       Resource.use t.node_arr.(dst).rx_link serialization;
       Mailbox.send t.node_arr.(dst).inbox packet)
 
@@ -63,7 +68,7 @@ let transfer t ~src ~dst ~payload_bytes =
   t.bytes <- t.bytes + wire_bytes;
   let serialization = float_of_int wire_bytes /. rate t in
   Resource.use t.node_arr.(src).tx serialization;
-  Process.sleep t.engine t.hw.wire_latency_ns;
+  Process.sleep ~node:dst t.engine t.hw.wire_latency_ns;
   Resource.use t.node_arr.(dst).rx_link serialization
 
 let loopback t ~node msgs =

@@ -452,6 +452,13 @@ let worker_loop t node =
       loop ())
 
 let create engine hw cfg flavor p =
+  (* Same node partitioning as Xenic_system.create: exact-order mode on
+     a multi-domain engine, set before any event is scheduled. *)
+  (if Engine.domains engine > 1 && Engine.partitions engine = 0 then
+     let partitions = min (Engine.domains engine) cfg.Config.nodes in
+     Engine.set_topology engine ~partitions
+       ~node_partition:(fun node ->
+         Config.partition_of_node cfg ~partitions ~node));
   let fabric = Xenic_net.Fabric.create engine hw ~nodes:cfg.Config.nodes in
   Xenic_net.Fabric.set_rate_override fabric
     (Some (Xenic_params.Hw.rdma_rate hw));

@@ -112,6 +112,10 @@ type t = {
   mutable membership : Membership.t option;
   mutable oracle : Oracle.t option;
   mutable trace : Trace.t option;
+  mutable debug_key : int option;
+      (* debugging hook: trace every protocol event touching this key;
+         per-system state, so two systems in one process debug
+         independently *)
 }
 
 (* Timeout/fault machinery armed? *)
@@ -153,10 +157,10 @@ let trace_instant t ~cat ~name ~pid ~tid args =
   | Some tr -> Trace.instant tr ~cat ~name ~pid ~tid ~args ()
 
 (* Temporary debugging hook: trace every protocol event touching a key. *)
-let debug_key : int option ref = ref None
+let set_debug_key t k = t.debug_key <- k
 
 let dbg t key f =
-  if !debug_key = Some key then
+  if t.debug_key = Some key then
     Printf.printf "[%10.0f] %s\n%!" (Engine.now t.engine) (f ())
 
 (* ------------------------------------------------------------------ *)
@@ -578,6 +582,16 @@ let dispatch_loop t node =
       loop ())
 
 let create engine hw cfg p =
+  (* Multi-domain engine: partition by node before any event exists.
+     Exact-order mode (no lookahead) — the driver's closed-loop state
+     couples all nodes at zero lookahead, so windowed parallelism
+     cannot apply; execution stays in global (time, seq) order with
+     each node's events running on its partition's domain. *)
+  (if Engine.domains engine > 1 && Engine.partitions engine = 0 then
+     let partitions = min (Engine.domains engine) cfg.Config.nodes in
+     Engine.set_topology engine ~partitions
+       ~node_partition:(fun node ->
+         Config.partition_of_node cfg ~partitions ~node));
   let fabric = Xenic_net.Fabric.create engine hw ~nodes:cfg.Config.nodes in
   let nodes =
     Array.init cfg.Config.nodes (fun id ->
@@ -632,6 +646,7 @@ let create engine hw cfg p =
       membership = None;
       oracle = None;
       trace = None;
+      debug_key = None;
     }
   in
   Array.iter

@@ -8,11 +8,16 @@
    on the server side of an RPC, where message [deliver] closures are
    wrapped with {!preserve} at send time.
 
-   The context is a plain global: the simulation is single-threaded and
-   cooperative, so "the running process" is well defined at every
-   instant. Reads and writes are O(1) record operations; per-context
-   resource accounting is additionally gated on {!enabled} so
-   non-profiled runs pay only the save/restore moves. *)
+   The context is NOT a process-global: it lives in an explicit
+   {!state} record owned by the engine (one per partition on a
+   partitioned engine) and installed into a domain-local slot for the
+   span of an [Engine.run] / partition drain. Two engines interleaved
+   in one process therefore cannot observe each other's context, and
+   two partitions of one engine running on separate domains each see
+   their own state. Reads and writes are a [Domain.DLS.get] plus an
+   O(1) record operation; per-context resource accounting is
+   additionally gated on {!enabled} so non-profiled runs pay only the
+   save/restore moves. *)
 
 type ctx = { stack : string; node : int; phase : string; cls : string }
 
@@ -30,35 +35,57 @@ let to_string c = Printf.sprintf "%s;n%d;%s;%s" c.stack c.node c.cls c.phase
 
 let default = { stack = "-"; node = -1; phase = "-"; cls = "-" }
 
-let current = ref default
+type state = { mutable cur : ctx; mutable on : bool }
 
-let enabled_flag = ref false
+let fresh () = { cur = default; on = false }
 
-let enabled () = !enabled_flag
+(* The domain-local slot holding the installed state. The key itself is
+   immutable; each domain lazily materializes its own neutral state the
+   first time anything reads the ambient context outside an engine run
+   (engine setup code, tests poking Resource directly). *)
+let slot : state Domain.DLS.key = Domain.DLS.new_key fresh
 
-let set_enabled v = enabled_flag := v
+let installed () = Domain.DLS.get slot
 
-let get () = !current
+let install st =
+  let prev = Domain.DLS.get slot in
+  Domain.DLS.set slot st;
+  prev
 
-let set c = current := c
+let enabled () = (installed ()).on
 
-let set_phase phase = current := { !current with phase }
+let set_enabled v = (installed ()).on <- v
 
-let reset () = current := default
+let state_enabled st = st.on
+
+let set_state_enabled st v = st.on <- v
+
+let reset_state st = st.cur <- default
+
+let get () = (installed ()).cur
+
+let set c = (installed ()).cur <- c
+
+let set_phase phase =
+  let st = installed () in
+  st.cur <- { st.cur with phase }
+
+let reset () = (installed ()).cur <- default
 
 let with_ctx c f =
-  let saved = !current in
-  current := c;
+  let st = installed () in
+  let saved = st.cur in
+  st.cur <- c;
   match f () with
   | r ->
-      current := saved;
+      st.cur <- saved;
       r
   | exception e ->
-      current := saved;
+      st.cur <- saved;
       raise e
 
 let preserve f =
-  let c = !current in
+  let c = get () in
   fun () -> with_ctx c f
 
 module Ctx_map = Map.Make (struct

@@ -1,3 +1,47 @@
+(* Discrete-event engine, in three execution modes sharing one API:
+
+   - {e legacy} (no topology, or a topology on a 1-domain engine
+     without lookahead): the original single-heap loop, untouched on
+     the hot path;
+
+   - {e exact-order multi-domain} (topology without lookahead,
+     domains > 1): one heap per partition, a coordinator that dispatches
+     the globally minimal (time, seq) event to its owner partition's
+     domain through a baton handshake. Exactly one event executes at
+     any instant, so the event order — and every digest, trace byte and
+     oracle verdict derived from it — is identical to the legacy loop
+     by construction, while each partition's events really run on its
+     domain (per-domain caches, per-partition ambient Attrib state).
+     This is the parity mode the golden stacks run under
+     XENIC_DOMAINS=2: their closed-loop driver shares commit counters
+     across all nodes at zero lookahead, which rules out windowed
+     parallelism without changing observable behavior;
+
+   - {e windowed conservative} (topology with a positive lookahead):
+     classic conservative PDES. Each window executes every event with
+     time < T + lookahead (T = global minimum) concurrently across
+     partitions; events an event schedules onto its own partition draw
+     sequence numbers from a per-partition block carved out of the
+     global counter at window start, and cross-partition events — legal
+     only at or beyond the window horizon, the lookahead discipline —
+     travel through bounded channels and are merged at the barrier in
+     the order (parent time, parent seq, schedule index), which equals
+     the order a sequential execution would have scheduled them in.
+     Partition count, blocks, and the merge are all independent of the
+     domain count, so a 1-domain and an n-domain run of the same
+     partitioned model are bit-identical. Requires the model to keep
+     partitions independent below the lookahead (no shared mutable
+     state, cross-partition delays >= lookahead) — violations of the
+     time bound fail deterministically. *)
+
+type xev = {
+  x_time : float;
+  x_ptime : float;  (* scheduling parent's execution time *)
+  x_pseq : int;  (* scheduling parent's sequence number *)
+  x_k : int;  (* index among the parent's schedules *)
+  x_fn : unit -> unit;
+}
+
 type t = {
   mutable now : float;
   mutable seq : int;
@@ -6,9 +50,57 @@ type t = {
   strict : bool;
   mutable checks : (unit -> string list) list;  (* newest first *)
   mutable violations : string list;  (* newest first *)
+  mu : Mutex.t;  (* orders checks/violations when partitions share them *)
+  domains : int;
+  attrib : Attrib.state;
+      (* ambient attribution state installed for legacy runs and for
+         engine-scoped setup code ({!with_attrib}) *)
+  mutable parts : part array;  (* [||] until {!set_topology} *)
+  mutable node_part : int -> int;
+  mutable lookahead : float;
+  mutable windowed : bool;
+  mutable horizon : float;  (* windowed: the running window's bound *)
+  mutable cur_part : int;  (* exact mode: partition of the executing event *)
 }
 
-let create ?(strict = false) () =
+and part = {
+  p_id : int;
+  p_eng : t;
+  p_heap : (unit -> unit) Heap.t;
+  p_attrib : Attrib.state;
+  mutable p_now : float;
+  mutable p_events : int;
+  mutable p_seq_next : int;  (* windowed: next seq in this window's block *)
+  mutable p_seq_limit : int;
+  mutable p_cur_time : float;  (* identity of the executing event ... *)
+  mutable p_cur_seq : int;
+  mutable p_cur_k : int;  (* ... and how many schedules it has issued *)
+  p_out : xev Xchan.t array;  (* handoffs, one channel per destination *)
+}
+
+(* The partition whose window drain is running on this domain, if any:
+   set for the span of a drain, so schedules from its events resolve
+   their origin without threading the partition through every model
+   layer. The key itself is immutable; the default is "no partition". *)
+let cur_slot : part option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Default domain count, read once per process: `XENIC_DOMAINS=n` makes
+   every engine (whose creator does not pass ~domains) an n-domain one.
+   The test suite uses it to run identical binaries in both modes. *)
+let env_domains =
+  match Sys.getenv_opt "XENIC_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 && d <= 64 -> d
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "XENIC_DOMAINS: expected an integer in [1, 64], got %S" s))
+
+let create ?(strict = false) ?domains () =
+  let domains = match domains with Some d -> d | None -> env_domains in
+  if domains < 1 then invalid_arg "Engine.create: domains must be >= 1";
   {
     now = 0.0;
     seq = 0;
@@ -17,41 +109,199 @@ let create ?(strict = false) () =
     strict;
     checks = [];
     violations = [];
+    mu = Mutex.create ();
+    domains;
+    attrib = Attrib.fresh ();
+    parts = [||];
+    node_part = (fun _ -> 0);
+    lookahead = 0.0;
+    windowed = false;
+    horizon = infinity;
+    cur_part = 0;
   }
 
-let now t = t.now
+let domains t = t.domains
+
+let partitions t = Array.length t.parts
+
+let now t =
+  if t.windowed then
+    match Domain.DLS.get cur_slot with
+    | Some p when p.p_eng == t -> p.p_now
+    | _ -> t.now
+  else t.now
 
 let strict t = t.strict
 
-let register_check t f = if t.strict then t.checks <- f :: t.checks
+let register_check t f =
+  if t.strict then begin
+    Mutex.lock t.mu;
+    t.checks <- f :: t.checks;
+    Mutex.unlock t.mu
+  end
 
 let report_violation t msg =
-  if t.strict then t.violations <- msg :: t.violations
+  if t.strict then begin
+    Mutex.lock t.mu;
+    t.violations <- msg :: t.violations;
+    Mutex.unlock t.mu
+  end
 
 let sanitize t =
   List.rev t.violations
   @ List.concat_map (fun check -> check ()) (List.rev t.checks)
 
-let at t time f =
-  if time < t.now then
+(* Sequence numbers handed to each partition per window. Exhausting a
+   block is a deterministic error, not a silent reallocation — blocks
+   must stay disjoint without cross-domain coordination. *)
+let seq_block = 1 lsl 20
+
+let set_topology ?lookahead ?(channel_capacity = 8192) t ~partitions
+    ~node_partition =
+  if partitions <= 0 then
+    invalid_arg "Engine.set_topology: partitions must be positive";
+  if channel_capacity <= 0 then
+    invalid_arg "Engine.set_topology: channel_capacity must be positive";
+  (match lookahead with
+  | Some l when Float.compare l 0.0 <= 0 ->
+      invalid_arg "Engine.set_topology: lookahead must be positive"
+  | _ -> ());
+  if Array.length t.parts > 0 then
+    invalid_arg "Engine.set_topology: topology already set";
+  if (not (Heap.is_empty t.heap)) || t.events_run > 0 then
+    invalid_arg "Engine.set_topology: engine already has events";
+  match lookahead with
+  | None when t.domains = 1 ->
+      (* Single domain, exact order: the legacy single-heap loop IS that
+         semantics, and it is the baseline the multi-domain modes are
+         byte-compared against — leave it untouched. *)
+      ()
+  | _ ->
+      let dummy_x =
+        { x_time = 0.0; x_ptime = 0.0; x_pseq = 0; x_k = 0; x_fn = ignore }
+      in
+      t.parts <-
+        Array.init partitions (fun i ->
+            {
+              p_id = i;
+              p_eng = t;
+              p_heap = Heap.create ~dummy:(fun () -> ());
+              p_attrib =
+                (let st = Attrib.fresh () in
+                 Attrib.set_state_enabled st (Attrib.state_enabled t.attrib);
+                 st);
+              p_now = t.now;
+              p_events = 0;
+              p_seq_next = 0;
+              p_seq_limit = 0;
+              p_cur_time = 0.0;
+              p_cur_seq = 0;
+              p_cur_k = 0;
+              p_out =
+                Array.init partitions (fun _ ->
+                    Xchan.create ~capacity:channel_capacity ~dummy:dummy_x);
+            });
+      t.node_part <-
+        (fun n ->
+          let p = node_partition n in
+          if p < 0 || p >= partitions then
+            invalid_arg
+              (Printf.sprintf
+                 "Engine: node %d mapped to partition %d outside [0, %d)" n p
+                 partitions);
+          p);
+      (match lookahead with
+      | Some l ->
+          t.lookahead <- l;
+          t.windowed <- true
+      | None -> ())
+
+(* Partitioned scheduling. Exact mode: the global counter assigns seqs
+   in scheduling order exactly like the legacy path — the partition only
+   chooses which domain will execute the event. Windowed mode: local
+   schedules draw from the partition's window block; cross-partition
+   schedules must respect the lookahead bound and are deferred to the
+   barrier with their parent's identity as the merge key. *)
+let schedule_part t node time f =
+  let parts = t.parts in
+  if not t.windowed then begin
+    let dst = match node with Some n -> t.node_part n | None -> t.cur_part in
+    t.seq <- t.seq + 1;
+    Heap.push parts.(dst).p_heap ~time ~seq:t.seq f
+  end
+  else
+    match Domain.DLS.get cur_slot with
+    | Some p when p.p_eng == t ->
+        let dst = match node with Some n -> t.node_part n | None -> p.p_id in
+        if dst = p.p_id then begin
+          if p.p_seq_next >= p.p_seq_limit then
+            invalid_arg
+              (Printf.sprintf
+                 "Engine: partition %d exhausted its %d-event window block"
+                 p.p_id seq_block);
+          let s = p.p_seq_next in
+          p.p_seq_next <- s + 1;
+          Heap.push p.p_heap ~time ~seq:s f
+        end
+        else begin
+          if time < t.horizon then
+            invalid_arg
+              (Printf.sprintf
+                 "Engine: cross-partition event at %.1f violates the \
+                  lookahead bound (window horizon %.1f)"
+                 time t.horizon);
+          let k = p.p_cur_k in
+          p.p_cur_k <- k + 1;
+          let x =
+            {
+              x_time = time;
+              x_ptime = p.p_cur_time;
+              x_pseq = p.p_cur_seq;
+              x_k = k;
+              x_fn = f;
+            }
+          in
+          if not (Xchan.push p.p_out.(dst) x) then
+            invalid_arg
+              (Printf.sprintf
+                 "Engine: cross-partition channel %d->%d full (capacity %d); \
+                  raise ?channel_capacity"
+                 p.p_id dst
+                 (Xchan.capacity p.p_out.(dst)))
+        end
+    | _ ->
+        (* Outside any window (setup code, between runs): the global
+           counter is free and the heaps are quiescent. *)
+        let dst = match node with Some n -> t.node_part n | None -> 0 in
+        t.seq <- t.seq + 1;
+        Heap.push parts.(dst).p_heap ~time ~seq:t.seq f
+
+let at ?node t time f =
+  let cur = now t in
+  if time < cur then
     invalid_arg
-      (Printf.sprintf "Engine.at: time %.1f is before now %.1f" time t.now);
-  t.seq <- t.seq + 1;
-  Heap.push t.heap ~time ~seq:t.seq f
+      (Printf.sprintf "Engine.at: time %.1f is before now %.1f" time cur);
+  if Array.length t.parts = 0 then begin
+    t.seq <- t.seq + 1;
+    Heap.push t.heap ~time ~seq:t.seq f
+  end
+  else schedule_part t node time f
 
-let after t delay f = at t (t.now +. delay) f
+let after ?node t delay f = at ?node t (now t +. delay) f
 
-(* The dispatch loop is the simulator's single hot path and allocates
-   nothing per event: [Heap.min_time] reads the key in place (no
-   option/tuple) and [Heap.pop] returns the stored closure. Events are
-   dispatched in strict (time, seq) order; same-timestamp events —
+(* ------------------------------------------------------------------ *)
+(* Legacy single-heap loop — the simulator's single hot path; see the
+   heap comments. Allocates nothing per event: [Heap.min_time] reads
+   the key in place and [Heap.pop] returns the stored closure. Events
+   dispatch in strict (time, seq) order; same-timestamp events —
    including ones the dispatched handlers schedule for the current
    instant — drain in an inner batch that advances the clock once and
    skips the redundant [until] comparison ([time <= now <= until]).
    The batch condition is [min_time <= now]: [Engine.at] rejects
    scheduling in the past, so [<=] means "at the current instant"
    without a float equality. *)
-let run ?(until = infinity) t =
+
+let run_legacy ~until t =
   let start = t.events_run in
   let h = t.heap in
   let continue = ref true in
@@ -81,6 +331,445 @@ let run ?(until = infinity) t =
   if until <> infinity && until > t.now then t.now <- until;
   t.events_run - start
 
+(* ------------------------------------------------------------------ *)
+(* Exact-order multi-domain mode. *)
+
+(* Index of the partition holding the globally minimal (time, seq)
+   event; -1 when every heap is empty. *)
+let global_min parts =
+  let best = ref (-1) in
+  let bt = ref 0.0 and bs = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if not (Heap.is_empty p.p_heap) then begin
+        let ti = Heap.min_time p.p_heap in
+        let si = Heap.min_seq p.p_heap in
+        if !best < 0 || ti < !bt || (Float.equal ti !bt && si < !bs) then begin
+          best := i;
+          bt := ti;
+          bs := si
+        end
+      end)
+    parts;
+  !best
+
+(* Baton handshake: the coordinator hands one event at a time to a
+   worker domain and blocks until it completes, so at most one event
+   executes at any instant and every mutation it makes is ordered
+   before the next event by the mutex pair. *)
+type job = { j_part : part; j_fn : unit -> unit }
+
+type baton = {
+  b_mu : Mutex.t;
+  b_cv : Condition.t;
+  mutable b_job : job option;
+  mutable b_done : bool;
+  mutable b_quit : bool;
+  mutable b_exn : (exn * Printexc.raw_backtrace) option;
+}
+
+let make_baton () =
+  {
+    b_mu = Mutex.create ();
+    b_cv = Condition.create ();
+    b_job = None;
+    b_done = false;
+    b_quit = false;
+    b_exn = None;
+  }
+
+let worker_loop b =
+  let rec loop () =
+    Mutex.lock b.b_mu;
+    while (match b.b_job with None -> not b.b_quit | Some _ -> false) do
+      Condition.wait b.b_cv b.b_mu
+    done;
+    match b.b_job with
+    | None -> Mutex.unlock b.b_mu  (* quit requested *)
+    | Some job ->
+        b.b_job <- None;
+        Mutex.unlock b.b_mu;
+        let prev = Attrib.install job.j_part.p_attrib in
+        (try job.j_fn ()
+         with e -> b.b_exn <- Some (e, Printexc.get_raw_backtrace ()));
+        ignore (Attrib.install prev);
+        Mutex.lock b.b_mu;
+        b.b_done <- true;
+        Condition.signal b.b_cv;
+        Mutex.unlock b.b_mu;
+        loop ()
+  in
+  loop ()
+
+let dispatch b job =
+  Mutex.lock b.b_mu;
+  b.b_job <- Some job;
+  b.b_done <- false;
+  Condition.signal b.b_cv;
+  while not b.b_done do
+    Condition.wait b.b_cv b.b_mu
+  done;
+  Mutex.unlock b.b_mu
+
+let run_exact ~until t =
+  let start = t.events_run in
+  let parts = t.parts in
+  let nslots = min t.domains (Array.length parts) in
+  let batons = Array.init (nslots - 1) (fun _ -> make_baton ()) in
+  let workers =
+    Array.map (fun b -> Domain.spawn (fun () -> worker_loop b)) batons
+  in
+  let stop () =
+    Array.iter
+      (fun b ->
+        Mutex.lock b.b_mu;
+        b.b_quit <- true;
+        Condition.signal b.b_cv;
+        Mutex.unlock b.b_mu)
+      batons;
+    Array.iter Domain.join workers
+  in
+  Fun.protect ~finally:stop @@ fun () ->
+  let continue = ref true in
+  while !continue do
+    let i = global_min parts in
+    if i < 0 then continue := false
+    else begin
+      let p = parts.(i) in
+      let time = Heap.min_time p.p_heap in
+      if time > until then continue := false
+      else begin
+        if t.strict && time < t.now then
+          report_violation t
+            (Printf.sprintf
+               "engine: non-monotonic time (event at %.1f dispatched after \
+                clock reached %.1f)"
+               time t.now);
+        t.now <- time;
+        p.p_now <- time;
+        t.events_run <- t.events_run + 1;
+        p.p_events <- p.p_events + 1;
+        t.cur_part <- i;
+        let fn = Heap.pop p.p_heap in
+        let slot = i mod nslots in
+        if slot = 0 then begin
+          let prev = Attrib.install p.p_attrib in
+          Fun.protect ~finally:(fun () -> ignore (Attrib.install prev)) fn
+        end
+        else begin
+          let b = batons.(slot - 1) in
+          dispatch b { j_part = p; j_fn = fn };
+          match b.b_exn with
+          | Some (e, bt) ->
+              b.b_exn <- None;
+              Printexc.raise_with_backtrace e bt
+          | None -> ()
+        end
+      end
+    end
+  done;
+  (* xenic-lint: allow FLOAT-CMP *)
+  if until <> infinity && until > t.now then t.now <- until;
+  t.events_run - start
+
+(* ------------------------------------------------------------------ *)
+(* Windowed conservative mode. *)
+
+(* Drain one partition for the window: every event strictly below the
+   horizon (and within [until]), in the partition heap's (time, seq)
+   order. Runs with the partition's ambient Attrib state installed and
+   the partition registered in [cur_slot] so its schedules resolve
+   their origin. *)
+let drain_window ~until t p =
+  let prev = Attrib.install p.p_attrib in
+  Domain.DLS.set cur_slot (Some p);
+  let finish () =
+    Domain.DLS.set cur_slot None;
+    ignore (Attrib.install prev)
+  in
+  Fun.protect ~finally:finish @@ fun () ->
+  let continue = ref true in
+  while !continue do
+    if Heap.is_empty p.p_heap then continue := false
+    else begin
+      let time = Heap.min_time p.p_heap in
+      if time >= t.horizon || time > until then continue := false
+      else begin
+        if t.strict && time < p.p_now then
+          report_violation t
+            (Printf.sprintf
+               "engine: non-monotonic partition %d time (event at %.1f after \
+                clock reached %.1f)"
+               p.p_id time p.p_now);
+        let seq = Heap.min_seq p.p_heap in
+        p.p_now <- time;
+        p.p_cur_time <- time;
+        p.p_cur_seq <- seq;
+        p.p_cur_k <- 0;
+        p.p_events <- p.p_events + 1;
+        (Heap.pop p.p_heap) ()
+      end
+    end
+  done
+
+(* Persistent window workers: worker [s] (1-based) drains partitions
+   [j] with [j mod nslots = s] each window; the coordinator drains
+   slot 0 inline. An atomic generation counter releases the workers
+   into a window; an atomic completion count closes the barrier — the
+   SC atomics order all partition mutations and channel pushes of
+   window [g] before the coordinator's merge for window [g]. Windows
+   are short (tens of microseconds of simulated work), so both sides
+   spin briefly on the atomics before falling back to the condition
+   variable: a futex sleep/wake per window would otherwise dominate
+   the window's own cost. *)
+type wctl = {
+  w_mu : Mutex.t;
+  w_cv : Condition.t;
+  w_gen : int Atomic.t;  (* current window generation; 0 = none yet *)
+  w_done : int Atomic.t;  (* workers finished with the current window *)
+  w_quit : bool Atomic.t;
+  w_waiting : bool Atomic.t;  (* coordinator gave up spinning for done *)
+  mutable w_sleepers : int;  (* workers asleep on [w_cv]; under [w_mu] *)
+  mutable w_until : float;  (* written before the gen bump, read after *)
+}
+
+(* ~5k relax iterations = a few microseconds: long enough to cover the
+   coordinator's merge (release side) and the skew between partitions
+   finishing a window (completion side), short enough that a genuinely
+   idle wait parks on the condvar. On a host without real parallelism
+   (one core) spinning only steals the running domain's timeslice from
+   the domain it is waiting for, so park immediately instead. *)
+let spin_budget =
+  if Domain.recommended_domain_count () > 1 then 5_000 else 0
+
+let run_windowed ~until t =
+  let start = t.events_run in
+  let parts = t.parts in
+  let nparts = Array.length parts in
+  let nslots = min t.domains nparts in
+  let exns = Array.make nparts None in
+  let drain_slot ~until s =
+    let j = ref s in
+    while !j < nparts do
+      let p = parts.(!j) in
+      (try drain_window ~until t p
+       with e -> exns.(!j) <- Some (e, Printexc.get_raw_backtrace ()));
+      j := !j + nslots
+    done
+  in
+  let ctl =
+    {
+      w_mu = Mutex.create ();
+      w_cv = Condition.create ();
+      w_gen = Atomic.make 0;
+      w_done = Atomic.make 0;
+      w_quit = Atomic.make false;
+      w_waiting = Atomic.make false;
+      w_sleepers = 0;
+      w_until = until;
+    }
+  in
+  (* Wait (spin, then sleep) until the generation moves past [seen];
+     [None] means quit. *)
+  let await_window seen =
+    let rec spin n =
+      if Atomic.get ctl.w_quit then None
+      else
+        let g = Atomic.get ctl.w_gen in
+        if g <> seen then Some g
+        else if n > 0 then begin
+          Domain.cpu_relax ();
+          spin (n - 1)
+        end
+        else begin
+          Mutex.lock ctl.w_mu;
+          ctl.w_sleepers <- ctl.w_sleepers + 1;
+          while
+            Atomic.get ctl.w_gen = seen && not (Atomic.get ctl.w_quit)
+          do
+            Condition.wait ctl.w_cv ctl.w_mu
+          done;
+          ctl.w_sleepers <- ctl.w_sleepers - 1;
+          Mutex.unlock ctl.w_mu;
+          if Atomic.get ctl.w_quit then None else Some (Atomic.get ctl.w_gen)
+        end
+    in
+    spin spin_budget
+  in
+  let window_worker s =
+    let seen = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match await_window !seen with
+      | None -> continue := false
+      | Some g ->
+          seen := g;
+          drain_slot ~until:ctl.w_until s;
+          Atomic.incr ctl.w_done;
+          (* Only pay the futex wake when the coordinator stopped
+             spinning: either it sees [w_waiting] false and our [incr]
+             in its pre-sleep recheck, or it set [w_waiting] first and
+             this broadcast reaches it. *)
+          if Atomic.get ctl.w_waiting then begin
+            Mutex.lock ctl.w_mu;
+            Condition.broadcast ctl.w_cv;
+            Mutex.unlock ctl.w_mu
+          end
+    done
+  in
+  let workers =
+    Array.init (nslots - 1) (fun s ->
+        Domain.spawn (fun () -> window_worker (s + 1)))
+  in
+  let stop () =
+    Atomic.set ctl.w_quit true;
+    Mutex.lock ctl.w_mu;
+    Condition.broadcast ctl.w_cv;
+    Mutex.unlock ctl.w_mu;
+    Array.iter Domain.join workers
+  in
+  Fun.protect ~finally:stop @@ fun () ->
+  let continue = ref true in
+  while !continue do
+    let i = global_min parts in
+    if i < 0 then continue := false
+    else begin
+      let tmin = Heap.min_time parts.(i).p_heap in
+      if tmin > until then continue := false
+      else begin
+        t.now <- tmin;
+        t.horizon <- tmin +. t.lookahead;
+        (* Disjoint per-partition seq blocks, low partitions first:
+           the assignment depends only on the window sequence, never on
+           the domain count or any interleaving. *)
+        Array.iter
+          (fun p ->
+            p.p_seq_next <- t.seq + 1;
+            p.p_seq_limit <- t.seq + 1 + seq_block;
+            t.seq <- t.seq + seq_block)
+          parts;
+        let before =
+          Array.fold_left (fun acc p -> acc + p.p_events) 0 parts
+        in
+        (* Release the workers into this window, drain slot 0 inline,
+           then close the barrier. *)
+        if nslots > 1 then begin
+          ctl.w_until <- until;
+          Atomic.set ctl.w_done 0;
+          Atomic.incr ctl.w_gen;
+          (* Wake only workers that gave up spinning and parked: a
+             worker that is between its sleeper increment and its
+             [Condition.wait] rechecks the generation under the mutex
+             and skips the wait. *)
+          Mutex.lock ctl.w_mu;
+          if ctl.w_sleepers > 0 then Condition.broadcast ctl.w_cv;
+          Mutex.unlock ctl.w_mu
+        end;
+        drain_slot ~until 0;
+        if nslots > 1 then begin
+          let rec wait_done n =
+            if Atomic.get ctl.w_done < nslots - 1 then
+              if n > 0 then begin
+                Domain.cpu_relax ();
+                wait_done (n - 1)
+              end
+              else begin
+                Atomic.set ctl.w_waiting true;
+                Mutex.lock ctl.w_mu;
+                while Atomic.get ctl.w_done < nslots - 1 do
+                  Condition.wait ctl.w_cv ctl.w_mu
+                done;
+                Mutex.unlock ctl.w_mu;
+                Atomic.set ctl.w_waiting false
+              end
+          in
+          wait_done spin_budget
+        end;
+        Array.iter
+          (function
+            | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+            | None -> ())
+          exns;
+        t.events_run <-
+          t.events_run
+          + (Array.fold_left (fun acc p -> acc + p.p_events) 0 parts - before);
+        (* Barrier merge: hand every deferred cross-partition event a
+           fresh global seq in (parent time, parent seq, schedule
+           index) order — the order a sequential run would have
+           scheduled them in, so equal-time events drain from the
+           target heap in global schedule order, not arrival order. *)
+        let xs = ref [] in
+        Array.iter
+          (fun src ->
+            Array.iteri
+              (fun dst ch ->
+                let rec drain () =
+                  match Xchan.pop ch with
+                  | None -> ()
+                  | Some x ->
+                      xs := (dst, x) :: !xs;
+                      drain ()
+                in
+                drain ())
+              src.p_out)
+          parts;
+        let xs =
+          List.sort
+            (fun (_, a) (_, b) ->
+              let c = Float.compare a.x_ptime b.x_ptime in
+              if c <> 0 then c
+              else
+                let c = Int.compare a.x_pseq b.x_pseq in
+                if c <> 0 then c else Int.compare a.x_k b.x_k)
+            !xs
+        in
+        List.iter
+          (fun (dst, x) ->
+            t.seq <- t.seq + 1;
+            Heap.push parts.(dst).p_heap ~time:x.x_time ~seq:t.seq x.x_fn)
+          xs
+      end
+    end
+  done;
+  Array.iter (fun p -> if p.p_now > t.now then t.now <- p.p_now) parts;
+  (* xenic-lint: allow FLOAT-CMP *)
+  if until <> infinity && until > t.now then begin
+    t.now <- until;
+    Array.iter
+      (fun p -> if until > p.p_now then p.p_now <- until)
+      parts
+  end;
+  t.events_run - start
+
+let run ?(until = infinity) t =
+  if Array.length t.parts = 0 then begin
+    (* The engine's ambient Attrib state is live for the span of the
+       run: two engines interleaved in one process each see their own
+       attribution context (and enabled flag), never each other's. *)
+    let prev = Attrib.install t.attrib in
+    Fun.protect ~finally:(fun () -> ignore (Attrib.install prev)) @@ fun () ->
+    run_legacy ~until t
+  end
+  else if t.windowed then run_windowed ~until t
+  else run_exact ~until t
+
 let events_run t = t.events_run
 
-let idle t = Heap.is_empty t.heap
+let idle t =
+  if Array.length t.parts = 0 then Heap.is_empty t.heap
+  else Array.for_all (fun p -> Heap.is_empty p.p_heap) t.parts
+
+(* ------------------------------------------------------------------ *)
+(* Ambient attribution state, owned by the engine. *)
+
+let with_attrib t f =
+  let prev = Attrib.install t.attrib in
+  Fun.protect ~finally:(fun () -> ignore (Attrib.install prev)) f
+
+let set_attrib_enabled t v =
+  Attrib.set_state_enabled t.attrib v;
+  Array.iter (fun p -> Attrib.set_state_enabled p.p_attrib v) t.parts
+
+let reset_attrib t =
+  Attrib.reset_state t.attrib;
+  Array.iter (fun p -> Attrib.reset_state p.p_attrib) t.parts

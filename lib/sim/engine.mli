@@ -1,37 +1,98 @@
 (** Deterministic discrete-event simulation engine.
 
     Time is a [float] count of {e nanoseconds} since simulation start.
-    Events scheduled for the same instant run in scheduling order. The
-    engine is single-domain; determinism follows from the total event
-    order and from components drawing randomness from their own
-    {!Rng.t} streams. *)
+    Events scheduled for the same instant run in scheduling order.
+    Determinism follows from the total (time, seq) event order and from
+    components drawing randomness from their own {!Rng.t} streams.
+
+    The engine runs in one of three modes:
+
+    - {b single-domain} (the default): the original single-heap loop.
+    - {b exact-order multi-domain} ({!set_topology} without lookahead on
+      an engine created with [domains > 1]): per-partition heaps whose
+      events execute on separate domains, one event at a time in global
+      (time, seq) order — behavior, digests and traces are bit-identical
+      to the single-domain run by construction.
+    - {b windowed conservative} ({!set_topology} with [~lookahead]):
+      partitions execute windows of [lookahead] ns concurrently;
+      cross-partition events must land at or beyond the window horizon
+      and are merged deterministically at the barrier. Requires a
+      partition-clean model (no mutable state shared across partitions,
+      cross-partition delays >= lookahead); results are bit-identical
+      across domain counts for a fixed partition count.
+
+    The default domain count is the [XENIC_DOMAINS] environment
+    variable (1 when unset), so a test binary can run both modes
+    unmodified. *)
 
 type t
 
-(** [create ?strict ()] builds an engine. With [~strict:true] the
-    engine runs in {e sanitizer} mode: sim primitives (ivars,
+(** [create ?strict ?domains ()] builds an engine. With [~strict:true]
+    the engine runs in {e sanitizer} mode: sim primitives (ivars,
     resources, mailboxes, processes) register end-of-run invariant
     checks on creation and the event loop tracks clock monotonicity;
     {!sanitize} reports every violation. Strict mode keeps a closure
     per created primitive alive for the lifetime of the engine, so it
-    is intended for tests, not for large benchmark runs. *)
-val create : ?strict:bool -> unit -> t
+    is intended for tests, not for large benchmark runs.
+
+    [domains] (default: [XENIC_DOMAINS], or 1) is the number of OCaml
+    domains partitioned runs may use; it has no effect until
+    {!set_topology} installs a partitioning. *)
+val create : ?strict:bool -> ?domains:int -> unit -> t
 
 (** Whether the engine was created with [~strict:true]. *)
 val strict : t -> bool
 
-(** Current simulated time in nanoseconds. *)
+(** The engine's domain budget (1 = single-domain). *)
+val domains : t -> int
+
+(** Number of partitions installed by {!set_topology}; 0 before (or
+    when the 1-domain exact-order request collapsed to the legacy
+    single-heap path). *)
+val partitions : t -> int
+
+(** [set_topology t ~partitions ~node_partition] partitions the engine:
+    events tagged with [~node:n] (see {!at}) belong to partition
+    [node_partition n]; untagged events inherit the partition of the
+    event that scheduled them. Must be called before any event is
+    scheduled, at most once.
+
+    Without [?lookahead]: exact-order mode — on a 1-domain engine this
+    is a no-op (the legacy loop already is that semantics), on a
+    multi-domain engine each partition's events execute on its domain,
+    one at a time, in the exact global order.
+
+    With [?lookahead] (> 0, ns): windowed conservative mode — an event
+    may schedule onto another partition only at [>= lookahead] past the
+    current window's start; violations raise deterministically. Cross-
+    partition handoffs travel through bounded channels of
+    [?channel_capacity] (default 8192) entries; overflow raises
+    deterministically. *)
+val set_topology :
+  ?lookahead:float ->
+  ?channel_capacity:int ->
+  t ->
+  partitions:int ->
+  node_partition:(int -> int) ->
+  unit
+
+(** Current simulated time in nanoseconds. In windowed mode, inside a
+    window, this is the executing partition's clock. *)
 val now : t -> float
 
-(** [at t time f] schedules [f] to run at absolute [time]. Scheduling in
-    the past raises [Invalid_argument]. *)
-val at : t -> float -> (unit -> unit) -> unit
+(** [at t time f] schedules [f] to run at absolute [time]. Scheduling
+    in the past raises [Invalid_argument]. [~node] assigns the event to
+    the node's partition on a partitioned engine (ignored otherwise);
+    untagged events inherit the scheduling event's partition. *)
+val at : ?node:int -> t -> float -> (unit -> unit) -> unit
 
 (** [after t delay f] schedules [f] to run [delay] ns from now. *)
-val after : t -> float -> (unit -> unit) -> unit
+val after : ?node:int -> t -> float -> (unit -> unit) -> unit
 
 (** [run ?until t] executes events in order until the queue is empty or
-    the next event is past [until]. Returns the number of events run. *)
+    the next event is past [until]. Returns the number of events run.
+    On a partitioned engine this spawns (and joins) the worker domains
+    for the span of the call. *)
 val run : ?until:float -> t -> int
 
 (** Total events executed so far. *)
@@ -39,6 +100,25 @@ val events_run : t -> int
 
 (** True if no events remain. *)
 val idle : t -> bool
+
+(** {2 Ambient attribution state}
+
+    The engine owns the {!Attrib.state} (one per partition when
+    partitioned) that is installed as the domain-local ambient context
+    while the engine runs. *)
+
+(** [with_attrib t f] runs [f] with the engine's ambient state
+    installed — for setup code (e.g. the driver spawning workload
+    processes) whose pre-run segments must see the same attribution
+    state the run itself will. *)
+val with_attrib : t -> (unit -> 'a) -> 'a
+
+(** Enable/disable per-context resource accounting on the engine's
+    ambient state (all partitions). *)
+val set_attrib_enabled : t -> bool -> unit
+
+(** Reset the ambient context(s) to {!Attrib.default}. *)
+val reset_attrib : t -> unit
 
 (** {2 Sanitizer plumbing}
 

@@ -56,8 +56,8 @@ let suspend register =
   try perform (Suspend register)
   with Effect.Unhandled _ -> raise Not_in_process
 
-let sleep engine delay =
-  suspend (fun resume -> Engine.after engine delay (fun () -> resume ()))
+let sleep ?node engine delay =
+  suspend (fun resume -> Engine.after ?node engine delay (fun () -> resume ()))
 
 let with_timeout engine ~timeout_ns f =
   suspend (fun resume ->

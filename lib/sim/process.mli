@@ -15,8 +15,13 @@ val spawn : Engine.t -> (unit -> unit) -> unit
 (** [spawn_at engine ~delay f] starts [f] after [delay] ns. *)
 val spawn_at : Engine.t -> delay:float -> (unit -> unit) -> unit
 
-(** Block the calling process for [delay] simulated nanoseconds. *)
-val sleep : Engine.t -> float -> unit
+(** Block the calling process for [delay] simulated nanoseconds. On a
+    partitioned engine, [~node] makes the wakeup — and everything the
+    process does after it, until its next tagged hop — belong to that
+    node's partition; the fabric tags its wire-latency hop with the
+    destination so delivery-side work runs on the destination's
+    partition. Ignored on an unpartitioned engine. *)
+val sleep : ?node:int -> Engine.t -> float -> unit
 
 (** [with_timeout engine ~timeout_ns f] runs [f] as a child process and
     blocks like {!sleep} until it finishes — returning [Some result] —

@@ -15,6 +15,22 @@ let next t =
 
 let split t = { state = next t }
 
+(* Child stream keyed by [index], without advancing the parent: the
+   parent's position is xor-folded with the index-th gamma step and
+   remixed, so distinct indices give decorrelated streams and the same
+   (parent, index) pair always gives the same stream. Partitioned
+   engines use this to give partition [i] the stream seed xor f(i) —
+   every partition's draws are independent of how many partitions (or
+   domains) exist, and of any interleaving. *)
+let derive t ~index =
+  if index < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  {
+    state =
+      mix
+        (Int64.logxor t.state
+           (Int64.mul (Int64.of_int (index + 1)) golden_gamma));
+  }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let r = Int64.to_int (next t) land max_int in

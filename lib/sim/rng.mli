@@ -11,6 +11,15 @@ val create : seed:int64 -> t
 (** [split t] derives an independent stream from [t], advancing [t]. *)
 val split : t -> t
 
+(** [derive t ~index] derives an independent stream keyed by [index]
+    {e without} advancing [t]: the same (parent position, index) pair
+    always yields the same stream. This is the partition-safe
+    derivation — each partition of a parallel engine derives its own
+    stream by partition id, so no partition's draws depend on another
+    partition's (or on the domain count), where sequential {!split}
+    calls from concurrent partitions would race on the parent. *)
+val derive : t -> index:int -> t
+
 (** Next raw 64-bit value. *)
 val next : t -> int64
 

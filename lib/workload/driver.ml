@@ -44,8 +44,8 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
   let prof_baseline = Xenic_profile.Profile.baseline prof_resources in
   let prof_start = Engine.now engine in
   if profile then begin
-    Attrib.set_enabled true;
-    Attrib.reset ()
+    Engine.set_attrib_enabled engine true;
+    Engine.reset_attrib engine
   end;
   let stop_sampler =
     match trace with
@@ -94,6 +94,11 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
       sys.System.stop_background ()
     end
   in
+  (* Spawn under the engine's ambient attribution state: each slot's
+     first segment runs right here, before [Engine.run], and its
+     context writes and resource accounting must hit the same state the
+     run itself installs. *)
+  Engine.with_attrib engine @@ fun () ->
   List.iter (fun node ->
     for _slot = 1 to concurrency do
       let rng = Rng.split root in
@@ -162,8 +167,8 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
           ~elapsed_ns:(Engine.now engine -. prof_start)
           ()
       in
-      Attrib.set_enabled false;
-      Attrib.reset ();
+      Engine.set_attrib_enabled engine false;
+      Engine.reset_attrib engine;
       Some p
     end
   in

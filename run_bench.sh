@@ -17,6 +17,15 @@ if ! dune build @lint; then
 fi
 : > /root/repo/bench_output.txt
 rm -f /root/repo/BENCH_*.json /root/repo/PROFILE_*.txt /root/repo/PROFILE_*.folded
+# Domain-parity gate: every stack must produce bit-identical digests on
+# 1-domain and 2-domain engines before any experiment spends cycles —
+# a divergence means the partitioned engine is broken and every number
+# below it would be suspect.
+if ! timeout 2400 dune exec bench/main.exe -- parity \
+    >> /root/repo/bench_output.txt 2>&1; then
+  echo "run_bench.sh: domain-parity gate failed (bench/main.exe parity)" >&2
+  exit 1
+fi
 failed=""
 for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace profile sim scale; do
   timeout 2400 dune exec bench/main.exe -- "$exp" >> /root/repo/bench_output.txt 2>&1

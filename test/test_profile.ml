@@ -21,19 +21,23 @@ let hw = Xenic_params.Hw.testbed
    service sum (175), queue area the wait sum (250). *)
 let test_fifo_accounting () =
   let eng = Engine.create () in
-  Attrib.set_enabled true;
-  Attrib.reset ();
+  Engine.set_attrib_enabled eng true;
+  Engine.reset_attrib eng;
   let res = Resource.create eng ~name:"cpu" ~servers:1 in
-  List.iteri
-    (fun i dur ->
-      Process.spawn eng (fun () ->
-          Attrib.set { Attrib.stack = "T"; node = i; phase = "p"; cls = "c" };
-          Resource.use res dur))
-    [ 100.0; 50.0; 25.0 ];
+  (* Spawn under the engine's ambient state: the first segment of each
+     process (through the immediate grant) runs before [Engine.run]. *)
+  Engine.with_attrib eng (fun () ->
+      List.iteri
+        (fun i dur ->
+          Process.spawn eng (fun () ->
+              Attrib.set
+                { Attrib.stack = "T"; node = i; phase = "p"; cls = "c" };
+              Resource.use res dur))
+        [ 100.0; 50.0; 25.0 ]);
   ignore (Engine.run eng);
   let stats = Resource.stats res in
-  Attrib.set_enabled false;
-  Attrib.reset ();
+  Engine.set_attrib_enabled eng false;
+  Engine.reset_attrib eng;
   Alcotest.(check int) "three contexts" 3 (List.length stats);
   List.iteri
     (fun i (want_wait, want_service) ->
@@ -57,7 +61,7 @@ let test_fifo_accounting () =
 (* Accounting is off by default: an unprofiled run records nothing. *)
 let test_accounting_gated () =
   let eng = Engine.create () in
-  Attrib.reset ();
+  Engine.reset_attrib eng;
   let res = Resource.create eng ~name:"cpu" ~servers:1 in
   List.iter
     (fun dur -> Process.spawn eng (fun () -> Resource.use res dur))

@@ -157,6 +157,62 @@ let test_engine_no_past_qcheck =
       ignore (Engine.run eng);
       !raised)
 
+(* Property: windowed-mode partition handoff ordering. Two partitions,
+   each with a root event in the first window that schedules a mix of
+   same-partition and cross-partition events, ALL at one equal
+   timestamp beyond the window horizon — the batch a single
+   [Heap.next_at_or_before] window drains in one go. The drain order at
+   each destination must be the global scheduling-seq order (partition-
+   local events in emission order, then handed-off events in their
+   source's emission order), never the channel arrival order — and must
+   be bit-identical between a 1-domain and a 2-domain run of the same
+   topology. *)
+let run_handoff ~domains items =
+  let eng = Engine.create ~domains () in
+  Engine.set_topology ~lookahead:100.0 eng ~partitions:2
+    ~node_partition:(fun n -> n);
+  (* logs.(d) is only ever touched by partition d's events, so in the
+     2-domain run each cell stays domain-local; the run/join barrier
+     orders the final reads. *)
+  let logs = [| ref []; ref [] |] in
+  let t_batch = 150.0 in
+  for p = 0 to 1 do
+    Engine.at ~node:p eng 10.0 (fun () ->
+        List.iter
+          (fun (i, src, cross) ->
+            if src = p then begin
+              let dst = if cross then 1 - p else p in
+              Engine.at ~node:dst eng t_batch (fun () ->
+                  logs.(dst) := i :: !(logs.(dst)))
+            end)
+          items)
+  done;
+  ignore (Engine.run eng);
+  (List.rev !(logs.(0)), List.rev !(logs.(1)))
+
+let test_engine_handoff_order_qcheck =
+  QCheck.Test.make
+    ~name:"windowed handoff drains equal-time batch in global seq order"
+    ~count:150
+    QCheck.(list (pair bool bool))
+    (fun raw ->
+      let items =
+        List.mapi (fun i (s, c) -> (i, (if s then 1 else 0), c)) raw
+      in
+      let expect dst =
+        List.filter_map
+          (fun (i, src, cross) ->
+            if src = dst && not cross then Some i else None)
+          items
+        @ List.filter_map
+            (fun (i, src, cross) ->
+              if src = 1 - dst && cross then Some i else None)
+            items
+      in
+      let one = run_handoff ~domains:1 items in
+      let two = run_handoff ~domains:2 items in
+      one = two && one = (expect 0, expect 1))
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -676,6 +732,7 @@ let () =
           Alcotest.test_case "no past scheduling" `Quick test_engine_no_past;
           qt test_engine_fifo_qcheck;
           qt test_engine_no_past_qcheck;
+          qt test_engine_handoff_order_qcheck;
         ] );
       ( "process",
         [
