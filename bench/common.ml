@@ -111,7 +111,7 @@ let sweep ?(concurrencies = [ 1; 2; 4; 8; 16; 32 ]) ~target ~load ~spec mk_sys =
         median_us = result.Xenic_workload.Driver.median_latency_us;
         p99_us = result.Xenic_workload.Driver.p99_latency_us;
         abort_rate = result.Xenic_workload.Driver.abort_rate;
-        sys_metrics = sys.System.metrics;
+        sys_metrics = sys.System.metrics ();
       })
     concurrencies
 

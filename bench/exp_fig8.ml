@@ -121,7 +121,7 @@ let run_tpcc_full () =
                 median_us = result.Driver.median_latency_us;
                 p99_us = result.Driver.p99_latency_us;
                 abort_rate = result.Driver.abort_rate;
-                sys_metrics = sys.System.metrics;
+                sys_metrics = sys.System.metrics ();
               })
             (concurrencies ())
         in

@@ -29,7 +29,7 @@ let run_retwis_tput () =
          ~target:(Common.scale 12_000))
         .Driver.tput_per_server
     in
-    collected := (tag, sys.System.metrics) :: !collected;
+    collected := (tag, sys.System.metrics ()) :: !collected;
     tput
   in
   let drtmh =
@@ -43,7 +43,7 @@ let run_retwis_tput () =
          ~target:(Common.scale 12_000))
         .Driver.tput_per_server
     in
-    collected := ("DrTM+H", sys.System.metrics) :: !collected;
+    collected := ("DrTM+H", sys.System.metrics ()) :: !collected;
     tput
   in
   let t =
@@ -96,7 +96,7 @@ let run_smallbank_latency () =
       (Driver.run sys spec ~concurrency:2 ~target:(Common.scale 6_000))
         .Driver.median_latency_us
     in
-    collected := (tag, sys.System.metrics) :: !collected;
+    collected := (tag, sys.System.metrics ()) :: !collected;
     med
   in
   let drtmh =
@@ -111,7 +111,7 @@ let run_smallbank_latency () =
       (Driver.run sys spec ~concurrency:2 ~target:(Common.scale 6_000))
         .Driver.median_latency_us
     in
-    collected := ("DrTM+H", sys.System.metrics) :: !collected;
+    collected := ("DrTM+H", sys.System.metrics ()) :: !collected;
     med
   in
   let t =

@@ -39,7 +39,7 @@ let systems ~domains =
    counter increment. *)
 let digest sys (r : Driver.result) =
   let counters =
-    Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics)
+    Xenic_stats.Counter.to_list (Metrics.counters (sys.System.metrics ()))
   in
   String.concat "\n"
     (Printf.sprintf "ev=%d now=%h c=%d a=%d tput=%h med=%h p99=%h dur=%h"

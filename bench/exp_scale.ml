@@ -83,7 +83,7 @@ let record_cell ~name ~nodes ~replication (sys, (result : Driver.result)) =
   Common.json_num (k "median_us") result.Driver.median_latency_us;
   Common.json_num (k "p99_us") result.Driver.p99_latency_us;
   Common.json_num (k "abort_rate") result.Driver.abort_rate;
-  let m = sys.System.metrics in
+  let m = sys.System.metrics () in
   List.iter
     (fun (reason, n) ->
       if n > 0 then Common.json_int (k ("aborts " ^ reason)) n)

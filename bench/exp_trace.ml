@@ -63,7 +63,7 @@ let run_system ~label mk_sys =
     path;
   Common.note "%s: same-seed reruns byte-identical: %s" label
     (if deterministic then "yes" else "NO -- DETERMINISM VIOLATION");
-  let m = sys.System.metrics in
+  let m = sys.System.metrics () in
   let reason_total =
     List.fold_left (fun acc (_, n) -> acc + n) 0 (Metrics.abort_reason_counts m)
   in

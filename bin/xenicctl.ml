@@ -137,7 +137,7 @@ let execute ?trace_out ?profile_out system workload nodes replication
     (100.0 *. result.Driver.abort_rate);
   List.iter
     (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v)
-    (Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics));
+    (Xenic_stats.Counter.to_list (Metrics.counters (sys.System.metrics ())));
   (match (profile_out, result.Driver.profile) with
   | Some base, Some prof ->
       let report = Xenic_profile.Profile.report prof in
@@ -166,7 +166,7 @@ let execute ?trace_out ?profile_out system workload nodes replication
            trace is truncated and not comparable across runs. Lower the \
            target or raise the trace limit.\n"
           (Xenic_sim.Trace.dropped tr);
-      let m = sys.System.metrics in
+      let m = sys.System.metrics () in
       let t =
         Xenic_stats.Table.create ~title:"Per-phase latency breakdown"
           ~columns:[ "phase"; "count"; "mean us"; "med us"; "p99 us" ]

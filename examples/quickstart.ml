@@ -69,5 +69,5 @@ let () =
   Format.printf "a = %s@.b = %s@." (show a) (show b);
   Format.printf "wire: %d messages, NIC cores %.1f%% busy@."
     (int_of_float
-       (Xenic_stats.Counter.get (Metrics.counters sys.System.metrics) "msgs"))
+       (Xenic_stats.Counter.get (Metrics.counters (sys.System.metrics ())) "msgs"))
     (100.0 *. sys.System.nic_util ())

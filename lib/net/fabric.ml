@@ -10,8 +10,12 @@ type 'm t = {
   engine : Engine.t;
   hw : Xenic_params.Hw.t;
   node_arr : 'm node array;
-  mutable frames : int;
-  mutable bytes : int;
+  (* Wire accounting is sharded by source node: a send mutates only its
+     source's slot, which belongs to the executing partition, so the
+     counters are race-free under the windowed parallel engine; the
+     totals are sums, which integer addition makes order-independent. *)
+  frames_arr : int array;
+  bytes_arr : int array;
   mutable rate_override : float option;
 }
 
@@ -27,8 +31,8 @@ let create engine hw ~nodes =
     engine;
     hw;
     node_arr = Array.init nodes make;
-    frames = 0;
-    bytes = 0;
+    frames_arr = Array.make nodes 0;
+    bytes_arr = Array.make nodes 0;
     rate_override = None;
   }
 
@@ -47,8 +51,8 @@ let rate t =
 
 let send t ~src ~dst ~payload_bytes msgs =
   let wire_bytes = payload_bytes + t.hw.eth_frame_overhead_b in
-  t.frames <- t.frames + 1;
-  t.bytes <- t.bytes + wire_bytes;
+  t.frames_arr.(src) <- t.frames_arr.(src) + 1;
+  t.bytes_arr.(src) <- t.bytes_arr.(src) + wire_bytes;
   let packet = { Packet.src; dst; wire_bytes; msgs } in
   let serialization = float_of_int wire_bytes /. rate t in
   Process.spawn t.engine (fun () ->
@@ -64,8 +68,8 @@ let send t ~src ~dst ~payload_bytes msgs =
 
 let transfer t ~src ~dst ~payload_bytes =
   let wire_bytes = payload_bytes + t.hw.eth_frame_overhead_b in
-  t.frames <- t.frames + 1;
-  t.bytes <- t.bytes + wire_bytes;
+  t.frames_arr.(src) <- t.frames_arr.(src) + 1;
+  t.bytes_arr.(src) <- t.bytes_arr.(src) + wire_bytes;
   let serialization = float_of_int wire_bytes /. rate t in
   Resource.use t.node_arr.(src).tx serialization;
   Process.sleep ~node:dst t.engine t.hw.wire_latency_ns;
@@ -82,8 +86,8 @@ let link_busy t ~node =
 let resources t =
   Array.to_list t.node_arr |> List.concat_map (fun n -> [ n.tx; n.rx_link ])
 
-let frames_sent t = t.frames
+let frames_sent t = Array.fold_left ( + ) 0 t.frames_arr
 
-let bytes_sent t = t.bytes
+let bytes_sent t = Array.fold_left ( + ) 0 t.bytes_arr
 
 let set_rate_override t r = t.rate_override <- r

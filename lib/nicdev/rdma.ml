@@ -7,7 +7,9 @@ type 'm t = {
   fabric : 'm Fabric.t;
   hw : Xenic_params.Hw.t;
   units : Resource.t array;  (* per-node NIC processing unit *)
-  mutable verbs : int;
+  verbs_arr : int array;
+      (* verb count sharded by initiator node, so issuing is race-free
+         under the windowed parallel engine; the total is a sum *)
 }
 
 (* Wire header sizes for verbs: transport + RETH/AETH-style headers. *)
@@ -27,7 +29,7 @@ let create fabric =
           Resource.create (Fabric.engine fabric)
             ~name:(Printf.sprintf "rdma%d" i)
             ~servers:1);
-    verbs = 0;
+    verbs_arr = Array.make (Fabric.nodes fabric) 0;
   }
 
 let hw t = t.hw
@@ -56,7 +58,7 @@ let target_pcie_ns t = function
       t.hw.rdma_target_read_pcie_ns +. (0.5 *. t.hw.rdma_target_write_pcie_ns)
 
 let one_sided ?(pay_submit = true) t ~src ~dst verb ~bytes ~at_target =
-  t.verbs <- t.verbs + 1;
+  t.verbs_arr.(src) <- t.verbs_arr.(src) + 1;
   if pay_submit then Process.sleep (engine t) t.hw.rdma_submit_ns;
   Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
   Fabric.transfer t.fabric ~src ~dst
@@ -86,7 +88,7 @@ let one_sided_many t ~src verbs =
       Process.parallel (engine t) (first :: others)
 
 let rpc_send ?(pay_submit = true) t ~src ~dst ~bytes msg =
-  t.verbs <- t.verbs + 1;
+  t.verbs_arr.(src) <- t.verbs_arr.(src) + 1;
   if pay_submit then Process.sleep (engine t) t.hw.rdma_submit_ns;
   Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
   Fabric.send t.fabric ~src ~dst ~payload_bytes:(req_header_b + bytes) [ msg ]
@@ -97,6 +99,9 @@ let rpc_recv_cost t ~node =
   Resource.use t.units.(node) t.hw.rdma_hw_op_ns;
   Process.sleep (engine t) t.hw.rdma_target_write_pcie_ns
 
-let verbs_issued t = t.verbs
+let verbs_issued t = Array.fold_left ( + ) 0 t.verbs_arr
+
+let unit_busy t ~node =
+  Resource.in_use t.units.(node) + Resource.queue_length t.units.(node)
 
 let resources t = Array.to_list t.units

@@ -51,6 +51,12 @@ val rpc_recv_cost : 'm t -> node:int -> unit
 (** Verbs issued, by kind, for accounting. *)
 val verbs_issued : 'm t -> int
 
+(** Instantaneous load on [node]'s NIC processing unit: slots held plus
+    waiters queued behind the (single-server) unit, so 0 = idle, 1 =
+    busy, > 1 = backlog. The ingress-occupancy signal admission control
+    samples. *)
+val unit_busy : 'm t -> node:int -> int
+
 (** The per-node NIC processing units, for the profiler. Names are
     node-unique ([rdma<n>]). *)
 val resources : 'm t -> Xenic_sim.Resource.t list

@@ -44,4 +44,15 @@ let scaled_exec_ns t host_ns = host_ns /. t.hw.nic_core_speed_ratio
 
 let core_utilization t = Resource.utilization t.cores
 
+(* Instantaneous ingress pressure: the most loaded of the SoC core
+   pool, the packet-I/O path and the DMA queues, where 1.0 means every
+   server busy and > 1.0 means a backlog is queueing behind them. *)
+let ingress_occupancy t =
+  let frac r =
+    float_of_int (Resource.in_use r + Resource.queue_length r)
+    /. float_of_int (Resource.servers r)
+  in
+  Float.max (frac t.cores)
+    (Float.max (frac t.pkt_io_path) (Xenic_pcie.Dma.occupancy t.dma))
+
 let resources t = [ t.cores; t.pkt_io_path ] @ Xenic_pcie.Dma.resources t.dma

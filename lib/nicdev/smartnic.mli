@@ -46,6 +46,11 @@ val scaled_exec_ns : t -> float -> float
 (** Aggregate core utilization in [0, 1]. *)
 val core_utilization : t -> float
 
+(** Instantaneous ingress pressure: the most loaded of the core pool,
+    packet-I/O path and DMA queues ((busy + queued) / servers, so
+    > 1.0 means a backlog). The signal admission control samples. *)
+val ingress_occupancy : t -> float
+
 (** Core pool, packet-I/O path and DMA resources of this NIC, for the
     profiler. Names are per-device; callers must node-prefix them. *)
 val resources : t -> Xenic_sim.Resource.t list

@@ -126,5 +126,15 @@ let queues_busy t =
     (fun acc q -> acc + Resource.in_use q.engine_res)
     0 t.queues
 
+let occupancy t =
+  let load =
+    Array.fold_left
+      (fun acc q ->
+        acc + Resource.in_use q.engine_res + Resource.queue_length q.engine_res
+        + q.pending_count)
+      0 t.queues
+  in
+  float_of_int load /. float_of_int (Array.length t.queues)
+
 let resources t =
   (Array.to_list t.queues |> List.map (fun q -> q.engine_res)) @ [ t.bus ]

@@ -45,6 +45,12 @@ val utilization : t -> float
     utilization-timeline sampling. *)
 val queues_busy : t -> int
 
+(** Instantaneous queue load — busy engines plus waiting and gathering
+    requests, per queue — as a dimensionless occupancy: 0 = idle,
+    1 = every engine busy with nothing queued, > 1 = backlog. The
+    ingress signal admission control samples. *)
+val occupancy : t -> float
+
 (** The queue engines (in index order) followed by the shared PCIe bus,
     for the profiler's bottleneck accounting. Names are per-device
     ([dmaq<i>], [pcie-bus]); callers must node-prefix them. *)

@@ -1,0 +1,96 @@
+(* Bounded admission control for one coordinator: a depth-limited
+   admission window, an ingress-backpressure threshold, and a service
+   deadline. Pure bookkeeping — the open-loop driver owns the actual
+   request queue and calls in at arrival, dequeue and completion. *)
+
+type cause = Queue_full | Backpressure | Deadline
+
+let cause_name = function
+  | Queue_full -> "queue-full"
+  | Backpressure -> "backpressure"
+  | Deadline -> "deadline"
+
+let all_causes = [ Queue_full; Backpressure; Deadline ]
+
+let cause_index = function Queue_full -> 0 | Backpressure -> 1 | Deadline -> 2
+
+type config = {
+  capacity : int;
+  backpressure : float;
+  deadline_ns : float;
+}
+
+let unlimited =
+  { capacity = max_int; backpressure = infinity; deadline_ns = infinity }
+
+type t = {
+  cfg : config;
+  mutable depth : int;
+  mutable offered : int;
+  mutable admitted : int;
+  shed : int array;
+}
+
+let create cfg =
+  if cfg.capacity < 1 then invalid_arg "Admission.create: capacity";
+  if Float.compare cfg.backpressure 0.0 <= 0 then
+    invalid_arg "Admission.create: backpressure";
+  if Float.compare cfg.deadline_ns 0.0 <= 0 then
+    invalid_arg "Admission.create: deadline_ns";
+  {
+    cfg;
+    depth = 0;
+    offered = 0;
+    admitted = 0;
+    shed = Array.make (List.length all_causes) 0;
+  }
+
+let config t = t.cfg
+
+let depth t = t.depth
+
+let count_shed t cause =
+  let i = cause_index cause in
+  t.shed.(i) <- t.shed.(i) + 1
+
+(* Arrival-time decision. A [Queue_full] or [Backpressure] result means
+   the request was never admitted; [Ok] holds one unit of depth until
+   {!finish} or {!drop_expired} releases it. Queue-full is checked
+   first: a full queue sheds regardless of what the NIC looks like. *)
+let offer t ~occupancy =
+  t.offered <- t.offered + 1;
+  if t.depth >= t.cfg.capacity then begin
+    count_shed t Queue_full;
+    Error Queue_full
+  end
+  else if Float.compare occupancy t.cfg.backpressure >= 0 then begin
+    count_shed t Backpressure;
+    Error Backpressure
+  end
+  else begin
+    t.depth <- t.depth + 1;
+    t.admitted <- t.admitted + 1;
+    Ok ()
+  end
+
+(* Dequeue-time deadline check: a request that already waited past the
+   deadline would miss it no matter how fast service is — drop it
+   instead of burning service capacity on a response nobody is waiting
+   for (the classic metastable-retry fuel). *)
+let drop_expired t ~waited_ns =
+  if Float.compare waited_ns t.cfg.deadline_ns >= 0 then begin
+    t.depth <- t.depth - 1;
+    count_shed t Deadline;
+    true
+  end
+  else false
+
+let finish t = t.depth <- t.depth - 1
+
+let offered t = t.offered
+
+let admitted t = t.admitted
+
+let shed_count t cause = t.shed.(cause_index cause)
+
+let shed_total t = Array.fold_left ( + ) 0 t.shed

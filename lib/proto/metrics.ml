@@ -9,6 +9,7 @@ type abort_reason =
   | Timeout
   | Stale_epoch
   | Crashed_owner
+  | Shed
 
 let abort_reason_name = function
   | Lock_conflict -> "lock-conflict"
@@ -16,9 +17,17 @@ let abort_reason_name = function
   | Timeout -> "timeout"
   | Stale_epoch -> "stale-epoch"
   | Crashed_owner -> "crashed-owner"
+  | Shed -> "shed"
 
 let all_abort_reasons =
-  [ Lock_conflict; Validation_failure; Timeout; Stale_epoch; Crashed_owner ]
+  [
+    Lock_conflict;
+    Validation_failure;
+    Timeout;
+    Stale_epoch;
+    Crashed_owner;
+    Shed;
+  ]
 
 let reason_index = function
   | Lock_conflict -> 0
@@ -26,6 +35,7 @@ let reason_index = function
   | Timeout -> 2
   | Stale_epoch -> 3
   | Crashed_owner -> 4
+  | Shed -> 5
 
 type t = {
   latencies : Histogram.t;

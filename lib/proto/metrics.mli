@@ -12,6 +12,9 @@ type abort_reason =
   | Timeout  (** a request deadline expired *)
   | Stale_epoch  (** fenced: epoch advanced under the transaction *)
   | Crashed_owner  (** a participant or the coordinator died mid-flight *)
+  | Shed
+      (** dropped by admission control before execution: queue full,
+          ingress backpressure, or a deadline it could no longer meet *)
 
 val abort_reason_name : abort_reason -> string
 

@@ -38,6 +38,19 @@ let record_commit t ~id ~reads ~writes =
   t.txns <- { id; reads; writes } :: t.txns;
   t.n <- t.n + 1
 
+(* Flush a partition-local buffer into the main oracle, preserving the
+   buffer's recording order. Used by partition-sharded systems, which
+   buffer commits per partition during a windowed parallel run and
+   merge them (in partition index order) once the run is sequential
+   again — [check] is order-robust (the precedence graph comes from
+   versions, not list order), but a deterministic merge keeps verdict
+   messages and digests stable. *)
+let absorb ~into src =
+  into.txns <- src.txns @ into.txns;
+  into.n <- into.n + src.n;
+  src.txns <- [];
+  src.n <- 0
+
 type state = Unknown | Known of bytes option
 
 let describe = function

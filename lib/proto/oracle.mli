@@ -45,5 +45,11 @@ val record_commit :
 (** Number of commits recorded. *)
 val txn_count : t -> int
 
+(** [absorb ~into src] moves every commit recorded in [src] into
+    [into], preserving [src]'s recording order, and empties [src].
+    For partition-local buffers merged after a windowed parallel run;
+    call only when no recording is concurrently in flight. *)
+val absorb : into:t -> t -> unit
+
 (** Verify the recorded history (see above). *)
 val check : t -> verdict

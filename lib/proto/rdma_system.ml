@@ -21,6 +21,11 @@ type params = {
   req_timeout_ns : float option;
   retry_backoff_ns : float;
   max_retries : int;
+  partitions : int;
+      (* > 0: windowed conservative-PDES topology over this many node
+         partitions, with metrics and the oracle feed sharded per
+         partition (same contract as [Xenic_system.params.partitions]:
+         un-armed runs only, no membership/trace). 0: legacy. *)
 }
 
 let default_params =
@@ -34,6 +39,7 @@ let default_params =
     req_timeout_ns = None;
     retry_backoff_ns = 30_000.0;
     max_retries = 10;
+    partitions = 0;
   }
 
 type msg = { bytes : int; deliver : unit -> unit }
@@ -74,6 +80,12 @@ type t = {
   rdma : msg Rdma.t;
   nodes : node array;
   metrics : Metrics.t;
+  part_metrics : Metrics.t array;
+      (* per-partition metrics shards under a windowed topology; empty
+         when [p.partitions = 0] (everything records into [metrics]) *)
+  part_oracle : Oracle.t array;
+      (* per-partition oracle buffers, flushed by [sync]; empty when
+         [p.partitions = 0] *)
   mutable oracle : Oracle.t option;
   primaries : int array;  (* shard -> current primary (routing view) *)
   alive : bool array;  (* routing view: false once declared dead *)
@@ -91,9 +103,25 @@ let cfg t = t.cfg
 
 let flavor t = t.flavor
 
-let metrics t = t.metrics
+(* The metrics object protocol events record into: the partition-local
+   shard under a windowed topology, the shared object otherwise. *)
+let mx t =
+  if Array.length t.part_metrics = 0 then t.metrics
+  else t.part_metrics.(Engine.current_partition t.engine)
 
-let counters t = Metrics.counters t.metrics
+(* Reported metrics: sharded runs merge the partitions into a fresh
+   object in partition-index order (deterministic for a fixed partition
+   count, independent of domain count). *)
+let metrics t =
+  if Array.length t.part_metrics = 0 then t.metrics
+  else begin
+    let m = Metrics.create () in
+    Metrics.merge ~into:m t.metrics;
+    Array.iter (fun pm -> Metrics.merge ~into:m pm) t.part_metrics;
+    m
+  end
+
+let counters t = Metrics.counters (mx t)
 
 let set_trace t tr = t.trace <- tr
 
@@ -108,7 +136,7 @@ let trace_instant t ~cat ~name ~pid ~tid args =
    start. *)
 let phase_mark t ~src ~seq name t_prev =
   let now = Engine.now t.engine in
-  Metrics.record_phase t.metrics ~phase:name (now -. t_prev);
+  Metrics.record_phase (mx t) ~phase:name (now -. t_prev);
   (match t.trace with
   | None -> ()
   | Some tr ->
@@ -452,9 +480,20 @@ let worker_loop t node =
       loop ())
 
 let create engine hw cfg flavor p =
-  (* Same node partitioning as Xenic_system.create: exact-order mode on
-     a multi-domain engine, set before any event is scheduled. *)
-  (if Engine.domains engine > 1 && Engine.partitions engine = 0 then
+  (* Same node partitioning as Xenic_system.create: windowed mode when
+     [p.partitions > 0] (open-loop runs; lookahead = the wire latency
+     every cross-node message pays), exact-order mode otherwise on a
+     multi-domain engine. Set before any event is scheduled. *)
+  (if p.partitions > 0 then begin
+     if Engine.partitions engine <> 0 then
+       invalid_arg "Rdma_system.create: engine already has a topology";
+     let partitions = min p.partitions cfg.Config.nodes in
+     Engine.set_topology engine ~lookahead:hw.Xenic_params.Hw.wire_latency_ns
+       ~partitions
+       ~node_partition:(fun node ->
+         Config.partition_of_node cfg ~partitions ~node)
+   end
+   else if Engine.domains engine > 1 && Engine.partitions engine = 0 then
      let partitions = min (Engine.domains engine) cfg.Config.nodes in
      Engine.set_topology engine ~partitions
        ~node_partition:(fun node ->
@@ -509,6 +548,14 @@ let create engine hw cfg flavor p =
       rdma;
       nodes;
       metrics = Metrics.create ();
+      part_metrics =
+        (if p.partitions > 0 then
+           Array.init (Engine.partitions engine) (fun _ -> Metrics.create ())
+         else [||]);
+      part_oracle =
+        (if p.partitions > 0 then
+           Array.init (Engine.partitions engine) (fun _ -> Oracle.create ())
+         else [||]);
       oracle = None;
       primaries =
         Array.init cfg.Config.nodes (fun shard -> Config.primary cfg ~shard);
@@ -564,6 +611,22 @@ let host_utilization t =
   Array.fold_left (fun acc n -> acc +. Resource.utilization n.host) 0.0 t.nodes
   /. float_of_int (Array.length t.nodes)
 
+(* Admission-control hooks (open-loop driver): shed = aborted with
+   reason [Shed]; backpressure = the most loaded of the host RPC pool
+   and the (single-server) RDMA NIC processing unit. *)
+let record_shed t ~latency_ns =
+  let m = mx t in
+  Metrics.record m ~latency_ns Types.Aborted;
+  Metrics.record_abort_reason m Metrics.Shed
+
+let ingress_occupancy t ~node =
+  let n = t.nodes.(node) in
+  let host_frac =
+    float_of_int (Resource.in_use n.host + Resource.queue_length n.host)
+    /. float_of_int (Resource.servers n.host)
+  in
+  Float.max host_frac (float_of_int (Rdma.unit_busy t.rdma ~node))
+
 (* Instantaneous-occupancy gauges for the trace sampler (RDMA baselines
    have no SmartNIC: links and host pools only). *)
 let util_sources t =
@@ -611,6 +674,14 @@ let quiesce t =
 
 let set_oracle t o = t.oracle <- Some o
 
+(* Flush the partition-local oracle buffers into the attached oracle in
+   partition-index order; call between engine runs only. No-op on
+   unsharded systems. *)
+let sync t =
+  match t.oracle with
+  | None -> ()
+  | Some o -> Array.iter (fun po -> Oracle.absorb ~into:o po) t.part_oracle
+
 (* Report a committed transaction to the serializability oracle.
    Execution reads carry values; locked entries carry values when the
    flavor fetched them (DrTM+R's post-CAS READ, where [None] means the
@@ -619,6 +690,10 @@ let oracle_commit t ~id ~read_results ~locked_entries ~seq_ops =
   match t.oracle with
   | None -> ()
   | Some o ->
+      let o =
+        if Array.length t.part_oracle = 0 then o
+        else t.part_oracle.(Engine.current_partition t.engine)
+      in
       let read_keys = List.map (fun (k, _, _) -> k) read_results in
       let reads =
         List.map (fun (k, v, seq) -> (k, seq, Oracle.Value v)) read_results
@@ -1523,9 +1598,9 @@ let run_txn t ~node (txn : Types.t) =
      reason counts always sum to this metrics object's
      aborted-transaction count. *)
   let abort_with reason =
-    Metrics.record t.metrics ~latency_ns:(Engine.now t.engine -. t_start)
-      Types.Aborted;
-    Metrics.record_abort_reason t.metrics reason;
+    let m = mx t in
+    Metrics.record m ~latency_ns:(Engine.now t.engine -. t_start) Types.Aborted;
+    Metrics.record_abort_reason m reason;
     trace_instant t ~cat:"txn" ~name:"abort" ~pid:node
       ~tid:t.nodes.(node).txn_seq
       [ ("reason", Metrics.abort_reason_name reason) ];
@@ -1542,7 +1617,7 @@ let run_txn t ~node (txn : Types.t) =
           ~tid:t.nodes.(node).txn_seq ~ts:t_start ~dur:(now -. t_start)
           ~args:[ ("cls", (Attrib.get ()).Attrib.cls) ]
           ());
-    Metrics.record t.metrics ~latency_ns:(now -. t_start) Types.Committed;
+    Metrics.record (mx t) ~latency_ns:(now -. t_start) Types.Committed;
     Types.Committed
   in
   if not (armed t) then

@@ -45,6 +45,12 @@ type params = {
       (** Initial coordinator backoff after a dead-peer retry; doubles
           per attempt. *)
   max_retries : int;  (** Attempts before reporting Aborted. *)
+  partitions : int;
+      (** [> 0]: windowed conservative-PDES topology over this many
+          node partitions with per-partition metrics/oracle shards (the
+          open-loop configuration; un-armed runs only, no
+          membership/trace). [0] (default): legacy. Same contract as
+          {!Xenic_system.params}[.partitions]. *)
 }
 
 val default_params : params
@@ -65,7 +71,23 @@ val cfg : t -> Config.t
 
 val flavor : t -> flavor
 
+(** Reported metrics: partitioned systems merge the per-partition
+    shards into a fresh object on every call. *)
 val metrics : t -> Metrics.t
+
+(** Record one admission-control shed as an aborted transaction with
+    reason {!Metrics.Shed}. *)
+val record_shed : t -> latency_ns:float -> unit
+
+(** Instantaneous ingress occupancy of [node] (most loaded of the host
+    RPC pool and the RDMA NIC unit; > 1.0 = backlog) — the admission
+    backpressure signal. *)
+val ingress_occupancy : t -> node:int -> float
+
+(** Flush partition-local oracle buffers into the attached oracle, in
+    partition-index order. Call between engine runs; no-op on
+    unpartitioned systems. *)
+val sync : t -> unit
 
 val load : t -> Keyspace.t -> bytes -> unit
 

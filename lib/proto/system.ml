@@ -4,7 +4,10 @@ type t = {
   name : string;
   cfg : Config.t;
   engine : Xenic_sim.Engine.t;
-  metrics : Metrics.t;
+  metrics : unit -> Metrics.t;
+  record_shed : latency_ns:float -> unit;
+  ingress_occupancy : node:int -> float;
+  sync : unit -> unit;
   load : Keyspace.t -> bytes -> unit;
   seal : unit -> unit;
   run_txn : node:int -> Types.t -> Types.outcome;
@@ -30,7 +33,10 @@ let of_xenic x =
     name = "Xenic";
     cfg = Xenic_system.config x;
     engine = Xenic_system.engine x;
-    metrics = Xenic_system.metrics x;
+    metrics = (fun () -> Xenic_system.metrics x);
+    record_shed = (fun ~latency_ns -> Xenic_system.record_shed x ~latency_ns);
+    ingress_occupancy = (fun ~node -> Xenic_system.ingress_occupancy x ~node);
+    sync = (fun () -> Xenic_system.sync x);
     load = (fun k v -> Xenic_system.load x k v);
     seal = (fun () -> Xenic_system.seal x);
     run_txn = (fun ~node txn -> Xenic_system.run_txn x ~node txn);
@@ -60,7 +66,10 @@ let of_rdma r =
     name = Rdma_system.flavor_name (Rdma_system.flavor r);
     cfg = Rdma_system.cfg r;
     engine = Rdma_system.engine r;
-    metrics = Rdma_system.metrics r;
+    metrics = (fun () -> Rdma_system.metrics r);
+    record_shed = (fun ~latency_ns -> Rdma_system.record_shed r ~latency_ns);
+    ingress_occupancy = (fun ~node -> Rdma_system.ingress_occupancy r ~node);
+    sync = (fun () -> Rdma_system.sync r);
     load = (fun k v -> Rdma_system.load r k v);
     seal = (fun () -> Rdma_system.seal r);
     run_txn = (fun ~node txn -> Rdma_system.run_txn r ~node txn);

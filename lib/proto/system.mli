@@ -7,7 +7,19 @@ type t = {
   name : string;
   cfg : Config.t;
   engine : Xenic_sim.Engine.t;
-  metrics : Metrics.t;
+  metrics : unit -> Metrics.t;
+      (** Reported metrics. A call, not a field: partitioned (windowed)
+          systems merge their per-partition shards into a fresh object
+          each time; unpartitioned systems return the live object. *)
+  record_shed : latency_ns:float -> unit;
+      (** Record one admission-control shed as an aborted transaction
+          with reason {!Metrics.Shed}. *)
+  ingress_occupancy : node:int -> float;
+      (** Instantaneous coordinator-NIC ingress occupancy (> 1.0 =
+          backlog) — the admission backpressure signal. *)
+  sync : unit -> unit;
+      (** Flush partition-local oracle buffers into the attached oracle
+          (between engine runs only); no-op on unpartitioned systems. *)
   load : Keyspace.t -> bytes -> unit;
   seal : unit -> unit;
   run_txn : node:int -> Types.t -> Types.outcome;

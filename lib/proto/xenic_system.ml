@@ -25,6 +25,15 @@ type params = {
          next reconfiguration sweep. *)
   retry_backoff_ns : float;  (* initial backoff after a crash-abort *)
   max_retries : int;  (* crash-retry attempts before giving up *)
+  partitions : int;
+      (* > 0: install a windowed conservative-PDES topology over this
+         many node partitions (lookahead = the fabric wire latency) and
+         shard metrics and the oracle feed per partition, so open-loop
+         generators on different partitions never touch shared mutable
+         state. 0 (default): legacy single-heap or exact-order
+         multi-domain execution with one shared metrics object.
+         Windowed runs must stay un-armed (the fence, epoch and
+         membership machinery is cross-partition by construction). *)
 }
 
 let default_params =
@@ -42,6 +51,7 @@ let default_params =
     req_timeout_ns = None;
     retry_backoff_ns = 30_000.0;
     max_retries = 10;
+    partitions = 0;
   }
 
 type log_kind = Lrec_log | Lrec_commit
@@ -92,6 +102,13 @@ type t = {
   fabric : msg Xenic_net.Fabric.t;
   nodes : node array;
   metrics : Metrics.t;
+  part_metrics : Metrics.t array;
+      (* one slot per engine partition, touched only by events running
+         in that partition; empty when [p.partitions = 0] (then all
+         recording goes through the shared [metrics]) *)
+  part_oracle : Oracle.t array;
+      (* per-partition commit buffers feeding the attached oracle;
+         flushed by [sync] after the run (empty when [p.partitions = 0]) *)
   primaries : int array;  (* shard -> current primary node *)
   alive : bool array;
       (* routing view: false once a node is removed from the
@@ -144,9 +161,27 @@ let engine t = t.engine
 
 let config t = t.cfg
 
-let metrics t = t.metrics
+(* The metrics object protocol events record into: the partition-local
+   shard under a windowed topology (each partition's events run on one
+   domain at a time, so the shard is never written concurrently), the
+   shared object otherwise. *)
+let mx t =
+  if Array.length t.part_metrics = 0 then t.metrics
+  else t.part_metrics.(Engine.current_partition t.engine)
 
-let counters t = Metrics.counters t.metrics
+(* Reported metrics. Sharded runs merge the partitions into a fresh
+   object in partition-index order — deterministic for a fixed
+   partition count, independent of how many domains drained them. *)
+let metrics t =
+  if Array.length t.part_metrics = 0 then t.metrics
+  else begin
+    let m = Metrics.create () in
+    Metrics.merge ~into:m t.metrics;
+    Array.iter (fun pm -> Metrics.merge ~into:m pm) t.part_metrics;
+    m
+  end
+
+let counters t = Metrics.counters (mx t)
 
 let set_trace t tr = t.trace <- tr
 
@@ -583,11 +618,27 @@ let dispatch_loop t node =
 
 let create engine hw cfg p =
   (* Multi-domain engine: partition by node before any event exists.
-     Exact-order mode (no lookahead) — the driver's closed-loop state
-     couples all nodes at zero lookahead, so windowed parallelism
-     cannot apply; execution stays in global (time, seq) order with
-     each node's events running on its partition's domain. *)
-  (if Engine.domains engine > 1 && Engine.partitions engine = 0 then
+
+     [p.partitions > 0] requests windowed conservative-PDES mode: the
+     open-loop driver has no cross-node shared state, so partitions can
+     drain whole lookahead windows independently (lookahead = the wire
+     latency every cross-node message already pays). Results are
+     bit-identical for a fixed partition count regardless of domains.
+
+     Otherwise, a multi-domain engine gets exact-order mode (no
+     lookahead) — the closed-loop driver's shared counters couple all
+     nodes at zero lookahead, so execution stays in global (time, seq)
+     order with each node's events running on its partition's domain. *)
+  (if p.partitions > 0 then begin
+     if Engine.partitions engine <> 0 then
+       invalid_arg "Xenic_system.create: engine already has a topology";
+     let partitions = min p.partitions cfg.Config.nodes in
+     Engine.set_topology engine ~lookahead:hw.Xenic_params.Hw.wire_latency_ns
+       ~partitions
+       ~node_partition:(fun node ->
+         Config.partition_of_node cfg ~partitions ~node)
+   end
+   else if Engine.domains engine > 1 && Engine.partitions engine = 0 then
      let partitions = min (Engine.domains engine) cfg.Config.nodes in
      Engine.set_topology engine ~partitions
        ~node_partition:(fun node ->
@@ -637,6 +688,14 @@ let create engine hw cfg p =
       fabric;
       nodes;
       metrics = Metrics.create ();
+      part_metrics =
+        (if p.partitions > 0 then
+           Array.init (Engine.partitions engine) (fun _ -> Metrics.create ())
+         else [||]);
+      part_oracle =
+        (if p.partitions > 0 then
+           Array.init (Engine.partitions engine) (fun _ -> Oracle.create ())
+         else [||]);
       primaries = Array.init cfg.Config.nodes (fun s -> s);
       alive = Array.make cfg.Config.nodes true;
       crashed = Array.make cfg.Config.nodes false;
@@ -709,13 +768,27 @@ let view_of values : Types.view =
 
 let set_oracle t o = t.oracle <- Some o
 
+(* Flush the partition-local oracle buffers into the attached oracle,
+   in partition-index order (deterministic for a fixed partition
+   count). Call between engine runs — never while partitions may still
+   be recording. No-op on unsharded systems. *)
+let sync t =
+  match t.oracle with
+  | None -> ()
+  | Some o -> Array.iter (fun po -> Oracle.absorb ~into:o po) t.part_oracle
+
 (* Report a committed transaction to the serializability oracle, if one
    is attached: execute-time reads carry values, lock-only keys carry
-   their lock version, writes carry the installed version. *)
+   their lock version, writes carry the installed version. Sharded runs
+   buffer into the current partition's oracle ([sync] merges later). *)
 let oracle_commit t ~id ~values ~lock_versions ~seq_ops =
   match t.oracle with
   | None -> ()
   | Some o ->
+      let o =
+        if Array.length t.part_oracle = 0 then o
+        else t.part_oracle.(Engine.current_partition t.engine)
+      in
       let read_keys = List.map (fun (k, _, _) -> k) values in
       let reads =
         List.map (fun (k, v, seq) -> (k, seq, Oracle.Value v)) values
@@ -808,7 +881,7 @@ let log_phase t ~src ~decision ~seq_ops_by_shard =
    transaction span. *)
 let commit_async_mark t ~src ~seq t_send =
   let now = Engine.now t.engine in
-  Metrics.record_phase t.metrics ~phase:"commit-async" (now -. t_send);
+  Metrics.record_phase (mx t) ~phase:"commit-async" (now -. t_send);
   match t.trace with
   | None -> ()
   | Some tr ->
@@ -1077,7 +1150,7 @@ let profile = Sys.getenv_opt "XENIC_PROFILE" <> None
 let phase_mark t ~src ~seq name t_prev =
   let now = Engine.now t.engine in
   if profile then Printf.printf "phase %-10s %7.0fns\n%!" name (now -. t_prev);
-  Metrics.record_phase t.metrics ~phase:name (now -. t_prev);
+  Metrics.record_phase (mx t) ~phase:name (now -. t_prev);
   (match t.trace with
   | None -> ()
   | Some tr ->
@@ -1780,9 +1853,9 @@ let run_txn t ~node (txn : Types.t) =
      caller (never per internal attempt), so reason counts always sum
      to this metrics object's aborted-transaction count. *)
   let abort_with reason =
-    Metrics.record t.metrics ~latency_ns:(Engine.now t.engine -. t_start)
-      Types.Aborted;
-    Metrics.record_abort_reason t.metrics reason;
+    let m = mx t in
+    Metrics.record m ~latency_ns:(Engine.now t.engine -. t_start) Types.Aborted;
+    Metrics.record_abort_reason m reason;
     trace_instant t ~cat:"txn" ~name:"abort" ~pid:node ~tid:n.txn_seq
       [ ("reason", Metrics.abort_reason_name reason) ];
     Types.Aborted
@@ -1799,7 +1872,7 @@ let run_txn t ~node (txn : Types.t) =
           ~ts:t_start ~dur:(now -. t_start)
           ~args:[ ("cls", (Attrib.get ()).Attrib.cls) ]
           ());
-    Metrics.record t.metrics ~latency_ns:(now -. t_start) Types.Committed;
+    Metrics.record (mx t) ~latency_ns:(now -. t_start) Types.Committed;
     Types.Committed
   in
   if not (armed t) then begin
@@ -2058,6 +2131,17 @@ let host_app_utilization t =
 let host_worker_utilization t =
   Array.fold_left (fun acc n -> acc +. Resource.utilization n.workers) 0.0 t.nodes
   /. float_of_int (Array.length t.nodes)
+
+(* Admission-control hooks (open-loop driver). A shed request is an
+   aborted transaction in this system's taxonomy (reason [Shed]) so
+   reason counts still sum to the abort count; the backpressure signal
+   is the coordinator NIC's instantaneous ingress occupancy. *)
+let record_shed t ~latency_ns =
+  let m = mx t in
+  Metrics.record m ~latency_ns Types.Aborted;
+  Metrics.record_abort_reason m Metrics.Shed
+
+let ingress_occupancy t ~node = Smartnic.ingress_occupancy t.nodes.(node).nic
 
 (* Instantaneous-occupancy gauges for the trace sampler: one source per
    node per resource class (NIC cores, DMA queues, links, host pools). *)

@@ -40,6 +40,16 @@ type params = {
       (** Initial coordinator backoff after a dead-peer retry; doubles
           per attempt. *)
   max_retries : int;  (** Attempts before reporting Aborted. *)
+  partitions : int;
+      (** [> 0]: install a windowed conservative-PDES topology over
+          this many node partitions (lookahead = the wire latency) and
+          shard metrics and the oracle feed per partition — the
+          open-loop configuration; results are bit-identical for a
+          fixed partition count regardless of the engine's domain
+          count. Windowed systems must stay un-armed and must not
+          attach membership, traces or profiles (that state is
+          cross-partition). [0] (default): legacy single-heap or
+          exact-order multi-domain execution. *)
 }
 
 val default_params : params
@@ -59,7 +69,27 @@ val engine : t -> Xenic_sim.Engine.t
 
 val config : t -> Config.t
 
+(** Reported metrics. Partitioned systems ([partitions > 0]) merge the
+    per-partition shards into a fresh object in partition-index order
+    on every call; unpartitioned systems return the live shared
+    object. *)
 val metrics : t -> Metrics.t
+
+(** Record one admission-control shed as an aborted transaction with
+    reason {!Metrics.Shed}, so reason counts still sum to the abort
+    count. [latency_ns] is the time the request spent queued before
+    being dropped (0 for arrival-time sheds). *)
+val record_shed : t -> latency_ns:float -> unit
+
+(** Instantaneous ingress occupancy of [node]'s SmartNIC (most loaded
+    of cores / packet I/O / DMA; > 1.0 = backlog) — the admission
+    backpressure signal. *)
+val ingress_occupancy : t -> node:int -> float
+
+(** Flush partition-local oracle buffers into the attached oracle, in
+    partition-index order. Call between engine runs, after the load
+    drains; no-op on unpartitioned systems. *)
+val sync : t -> unit
 
 (** Load one object into every replica (bulk loading, bypassing the
     protocol) and then {!seal} to sync NIC index hints. *)

@@ -131,6 +131,16 @@ let now t =
     | _ -> t.now
   else t.now
 
+let current_partition t =
+  if t.windowed then
+    match Domain.DLS.get cur_slot with
+    | Some p when p.p_eng == t -> p.p_id
+    | _ -> 0
+  else if Array.length t.parts = 0 then 0
+  else t.cur_part
+
+let current_lookahead t = if t.windowed then Some t.lookahead else None
+
 let strict t = t.strict
 
 let register_check t f =

@@ -80,6 +80,18 @@ val set_topology :
     window, this is the executing partition's clock. *)
 val now : t -> float
 
+(** Partition id of the executing event's context: in exact-order mode
+    the partition the current event was dispatched from, in windowed
+    mode the partition whose window drain is running on this domain.
+    0 on an unpartitioned engine and outside any run — so a model can
+    always use it to index per-partition state. *)
+val current_partition : t -> int
+
+(** [Some lookahead] iff the engine is in windowed conservative mode —
+    the mode in which partitions execute concurrently and a model must
+    keep its mutable state partition-local. *)
+val current_lookahead : t -> float option
+
 (** [at t time f] schedules [f] to run at absolute [time]. Scheduling
     in the past raises [Invalid_argument]. [~node] assigns the event to
     the node's partition on a partitioned engine (ignored otherwise);

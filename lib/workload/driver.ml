@@ -106,6 +106,17 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
           let rec loop () =
             (* A slot whose coordinator node has crashed or been declared
                dead retires; surviving nodes drive the rest of the run. *)
+            (* Target cutoff, pinned semantics: the check is made when a
+               slot {e starts} a transaction, so slots already executing
+               when the counter reaches [target] still finish and are
+               recorded — the run overshoots by at most
+               [concurrency * coordinators - 1] commits (every other
+               slot had passed the check before the last one could).
+               Cutting the recording off exactly at [target] would
+               censor in-flight transactions by completion order, which
+               is the kind of cross-slot coupling the measurement window
+               must not depend on; the overshoot bound is asserted in
+               test_workload.ml instead. *)
             if st.committed < st.target && sys.System.node_alive ~node
             then begin
               let cls, txn = spec.generate rng ~node in
@@ -130,7 +141,12 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
                       Types.Committed
                   end
               | Types.Aborted ->
-                  if st.committed > st.warmup then
+                  (* With zero warmup the whole run is the measurement
+                     window, including aborts that land before the first
+                     commit — [committed > warmup] alone is 0 > 0 there
+                     and would silently drop exactly the early-conflict
+                     aborts an overload run front-loads. *)
+                  if st.warmup = 0 || st.committed > st.warmup then
                     Metrics.record_class metrics ~cls ~latency_ns:latency
                       Types.Aborted;
                   (* Brief backoff so a retry does not land in the same

@@ -125,6 +125,52 @@ let increment_spec p ~nodes =
               [ bump p view k ]) ));
   }
 
+(* The top Zipf ranks double as the "celebrity" accounts targeted by
+   the open-loop flash-crowd arrivals. *)
+let celebrity_ranks = 16
+
+let openloop_spec p =
+  {
+    Openloop.name = "retwis-open";
+    make =
+      (fun ~nodes ~node ->
+        ignore node;
+        let n = p.keys_per_node * nodes in
+        (* Per-coordinator zeta cache: phases revisit the same few
+           thetas, so after each theta's first arrival the Zipf rebuild
+           is a table hit. One cache per coordinator — never shared
+           across engine partitions. *)
+        let cache = Zipf.cache () in
+        fun rng ~theta ~hot ->
+          let z = Zipf.create_cached cache ~n ~theta in
+          if hot then begin
+            (* Celebrity flash crowd: pile onto one of the top-ranked
+               accounts — mostly timeline reads, plus a slice of
+               interactions that read-modify-write the celebrity object
+               itself, which is what makes the crowd contend. *)
+            let celeb = key_of_rank ~nodes (Rng.int rng celebrity_ranks) in
+            if Float.compare (Rng.float rng) 0.8 < 0 then
+              let extra =
+                List.filter (fun k -> k <> celeb) (distinct_keys z rng ~nodes 2)
+              in
+              ( "hot_timeline",
+                mk ~read_set:(celeb :: extra) ~write_set:[] (fun _ -> []) )
+            else
+              ( "hot_interact",
+                mk ~read_set:[ celeb ] ~write_set:[ celeb ] (fun view ->
+                    [ bump p view celeb ]) )
+          end
+          else
+            let r = Rng.float rng in
+            if Float.compare r 0.05 < 0 then
+              ("add_user", txn_add_user p z rng ~nodes)
+            else if Float.compare r 0.20 < 0 then
+              ("follow", txn_follow p z rng ~nodes)
+            else if Float.compare r 0.50 < 0 then
+              ("post_tweet", txn_post_tweet p z rng ~nodes)
+            else ("get_timeline", txn_get_timeline p z rng ~nodes));
+  }
+
 let total_count p (sys : System.t) =
   let nodes = sys.System.cfg.Config.nodes in
   let total = ref 0L in

@@ -21,6 +21,16 @@ val load : params -> Xenic_proto.System.t -> unit
 
 val spec : params -> nodes:int -> Driver.spec
 
+(** Number of top Zipf ranks treated as "celebrity" accounts by the
+    open-loop flash-crowd arrivals. *)
+val celebrity_ranks : int
+
+(** Theta-parameterized open-loop workload: the closed-loop {!spec} mix
+    sampled at each phase's skew, plus a celebrity flash-crowd class
+    for hot arrivals (timeline reads and interaction RMWs against the
+    top [celebrity_ranks] accounts). *)
+val openloop_spec : params -> Openloop.workload
+
 (** Read-modify-write counter spec over the same keyspace for
     correctness tests: each committed transaction increments one
     object's embedded counter exactly once. *)

@@ -27,7 +27,7 @@ if ! timeout 2400 dune exec bench/main.exe -- parity \
   exit 1
 fi
 failed=""
-for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace profile sim scale; do
+for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace profile sim scale load; do
   timeout 2400 dune exec bench/main.exe -- "$exp" >> /root/repo/bench_output.txt 2>&1
   status=$?
   if [ "$status" -ne 0 ]; then
@@ -52,6 +52,22 @@ if [ -z "$XENIC_QUICK" ] && [ -f /root/repo/bench/ref/BENCH_scale.ref.json ]; th
     echo "FAILED: BENCH_scale.json diverged from bench/ref reference" \
       >> /root/repo/bench_output.txt
     echo "run_bench.sh: scale diff gate failed (exit $status)" >&2
+  fi
+fi
+# Same gate for the open-loop load sweep: deterministic by
+# construction (the experiment itself aborts on any same-seed rerun or
+# 2-domain divergence), so the emitted JSON must byte-match the
+# reference.
+if [ -z "$XENIC_QUICK" ] && [ -f /root/repo/bench/ref/BENCH_load.ref.json ]; then
+  dune exec bin/xenicctl.exe -- bench diff \
+    /root/repo/bench/ref/BENCH_load.ref.json /root/repo/BENCH_load.json \
+    --tol 0 --ignore-prefix wallclock >> /root/repo/bench_output.txt 2>&1
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    failed="$failed load-diff-gate"
+    echo "FAILED: BENCH_load.json diverged from bench/ref reference" \
+      >> /root/repo/bench_output.txt
+    echo "run_bench.sh: load diff gate failed (exit $status)" >&2
   fi
 fi
 touch /root/repo/.bench_done

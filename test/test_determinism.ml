@@ -116,7 +116,7 @@ let mk_rdma_sb_at flavor ~nodes () =
    with %h (hex, lossless), so equal digests mean bit-identical stats. *)
 let fingerprint sys (result : Driver.result) oracle =
   let counters =
-    Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics)
+    Xenic_stats.Counter.to_list (Metrics.counters (sys.System.metrics ()))
   in
   String.concat "\n"
     (Printf.sprintf "committed=%d aborted=%d oracle_txns=%d" result.Driver.committed

@@ -119,7 +119,7 @@ let test_all_paths_taken () =
   Smallbank.load sb_params sys;
   let spec = Smallbank.transfer_spec sb_params ~nodes:sys.System.cfg.Config.nodes in
   ignore (Driver.run sys spec ~concurrency:8 ~target:800);
-  let c = Metrics.counters sys.System.metrics in
+  let c = Metrics.counters (sys.System.metrics ()) in
   List.iter
     (fun path ->
       Alcotest.(check bool)

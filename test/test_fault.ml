@@ -78,7 +78,7 @@ let mk_rdma flavor () =
 let counter sys name =
   match
     List.assoc_opt name
-      (Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics))
+      (Xenic_stats.Counter.to_list (Metrics.counters (sys.System.metrics ())))
   with
   | Some v -> v
   | None -> 0.0
@@ -87,7 +87,7 @@ let counter sys name =
    perf counter. Equal digests mean bit-identical runs. *)
 let fingerprint sys (result : Driver.result) oracle =
   let counters =
-    Xenic_stats.Counter.to_list (Metrics.counters sys.System.metrics)
+    Xenic_stats.Counter.to_list (Metrics.counters (sys.System.metrics ()))
   in
   String.concat "\n"
     (Printf.sprintf "committed=%d aborted=%d oracle_txns=%d"

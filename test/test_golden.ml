@@ -66,7 +66,7 @@ let stacks =
 let digest sys (result : Driver.result) =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  let m = sys.System.metrics in
+  let m = sys.System.metrics () in
   line "stack=%s engine_events=%d now=%h" sys.System.name
     (Engine.events_run sys.System.engine)
     (Engine.now sys.System.engine);

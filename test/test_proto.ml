@@ -73,7 +73,7 @@ let test_metrics_abort_reasons () =
   Alcotest.(check (list string))
     "fixed reporting order"
     [ "lock-conflict"; "validation-failure"; "timeout"; "stale-epoch";
-      "crashed-owner" ]
+      "crashed-owner"; "shed" ]
     (List.map fst (Metrics.abort_reason_counts m));
   (* Reasons, class counts and phase histograms survive a merge. *)
   let m2 = Metrics.create () in
@@ -106,6 +106,86 @@ let test_features_ladders () =
   let last = snd (List.nth Features.fig9a_steps 3) in
   Alcotest.(check bool) "last step enables async dma" true last.Features.async_dma
 
+let test_admission_capacity () =
+  let a =
+    Admission.create
+      { Admission.capacity = 2; backpressure = infinity; deadline_ns = infinity }
+  in
+  Alcotest.(check bool) "1st admitted" true
+    (Admission.offer a ~occupancy:0.0 = Ok ());
+  Alcotest.(check bool) "2nd admitted" true
+    (Admission.offer a ~occupancy:0.0 = Ok ());
+  Alcotest.(check bool) "3rd shed on depth" true
+    (Admission.offer a ~occupancy:0.0 = Error Admission.Queue_full);
+  Alcotest.(check int) "depth" 2 (Admission.depth a);
+  Admission.finish a;
+  Alcotest.(check bool) "slot freed" true
+    (Admission.offer a ~occupancy:0.0 = Ok ());
+  Alcotest.(check int) "offered" 4 (Admission.offered a);
+  Alcotest.(check int) "admitted" 3 (Admission.admitted a);
+  Alcotest.(check int) "queue_full sheds" 1
+    (Admission.shed_count a Admission.Queue_full)
+
+let test_admission_backpressure () =
+  let a =
+    Admission.create
+      { Admission.capacity = 10; backpressure = 1.0; deadline_ns = infinity }
+  in
+  Alcotest.(check bool) "below threshold admitted" true
+    (Admission.offer a ~occupancy:0.99 = Ok ());
+  Alcotest.(check bool) "at threshold shed" true
+    (Admission.offer a ~occupancy:1.0 = Error Admission.Backpressure);
+  Alcotest.(check bool) "above threshold shed" true
+    (Admission.offer a ~occupancy:3.5 = Error Admission.Backpressure);
+  (* Depth still checked first. *)
+  Alcotest.(check int) "depth unchanged by sheds" 1 (Admission.depth a);
+  Alcotest.(check int) "backpressure sheds" 2
+    (Admission.shed_count a Admission.Backpressure)
+
+let test_admission_deadline () =
+  let a =
+    Admission.create
+      { Admission.capacity = 4; backpressure = infinity; deadline_ns = 100.0 }
+  in
+  ignore (Admission.offer a ~occupancy:0.0);
+  ignore (Admission.offer a ~occupancy:0.0);
+  Alcotest.(check bool) "fresh request kept" false
+    (Admission.drop_expired a ~waited_ns:99.0);
+  Alcotest.(check int) "depth kept" 2 (Admission.depth a);
+  Alcotest.(check bool) "stale request dropped" true
+    (Admission.drop_expired a ~waited_ns:100.0);
+  Alcotest.(check int) "depth released" 1 (Admission.depth a);
+  Alcotest.(check int) "deadline sheds" 1
+    (Admission.shed_count a Admission.Deadline);
+  Alcotest.(check int) "shed total" 1 (Admission.shed_total a)
+
+let test_admission_unlimited () =
+  let a = Admission.create Admission.unlimited in
+  for _ = 1 to 1_000 do
+    Alcotest.(check bool) "always admitted" true
+      (Admission.offer a ~occupancy:1e9 = Ok ())
+  done;
+  Alcotest.(check bool) "never dropped" false
+    (Admission.drop_expired a ~waited_ns:1e18);
+  Alcotest.(check int) "no sheds" 0 (Admission.shed_total a)
+
+let test_admission_invalid () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Admission.create: capacity") (fun () ->
+      ignore
+        (Admission.create
+           { Admission.capacity = 0; backpressure = infinity; deadline_ns = infinity }));
+  Alcotest.check_raises "backpressure"
+    (Invalid_argument "Admission.create: backpressure") (fun () ->
+      ignore
+        (Admission.create
+           { Admission.capacity = 1; backpressure = 0.0; deadline_ns = infinity }));
+  Alcotest.check_raises "deadline"
+    (Invalid_argument "Admission.create: deadline_ns") (fun () ->
+      ignore
+        (Admission.create
+           { Admission.capacity = 1; backpressure = infinity; deadline_ns = 0.0 }))
+
 let () =
   Alcotest.run "xenic_proto"
     [
@@ -120,4 +200,12 @@ let () =
           Alcotest.test_case "abort reasons" `Quick test_metrics_abort_reasons;
         ] );
       ("features", [ Alcotest.test_case "ladders" `Quick test_features_ladders ]);
+      ( "admission",
+        [
+          Alcotest.test_case "capacity" `Quick test_admission_capacity;
+          Alcotest.test_case "backpressure" `Quick test_admission_backpressure;
+          Alcotest.test_case "deadline" `Quick test_admission_deadline;
+          Alcotest.test_case "unlimited" `Quick test_admission_unlimited;
+          Alcotest.test_case "invalid configs" `Quick test_admission_invalid;
+        ] );
     ]

@@ -143,7 +143,7 @@ let test_trace_deterministic mk () =
    reason — no "unknown" bucket exists, and counts must balance. *)
 let test_taxonomy_covers mk () =
   let _, sys = traced_run mk in
-  let m = sys.System.metrics in
+  let m = sys.System.metrics () in
   let reasons =
     List.fold_left (fun acc (_, n) -> acc + n) 0 (Metrics.abort_reason_counts m)
   in

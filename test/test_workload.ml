@@ -45,6 +45,35 @@ let test_zipf_invalid () =
   Alcotest.check_raises "bad n" (Invalid_argument "Zipf.create: n") (fun () ->
       ignore (Zipf.create ~n:0 ~theta:0.5))
 
+let test_zipf_cached_identity () =
+  (* create_cached must be bit-identical to the naive constructor —
+     same zeta, same samples — for any (n, theta), including repeated
+     hits on one cache and prefix-extension (small n before larger n at
+     the same theta). *)
+  let cache = Zipf.cache () in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun n ->
+          let naive = Zipf.create ~n ~theta in
+          let cached = Zipf.create_cached cache ~n ~theta in
+          let r1 = Rng.create ~seed:42L and r2 = Rng.create ~seed:42L in
+          for i = 1 to 2_000 do
+            let a = Zipf.sample naive r1 and b = Zipf.sample cached r2 in
+            if a <> b then
+              Alcotest.failf "n=%d theta=%.2f draw %d: %d <> %d" n theta i a b
+          done)
+        [ 1; 2; 17; 500; 1_000 ])
+    [ 0.0; 0.3; 0.5; 0.9; 0.99 ];
+  (* A second cached build of an already-seen (n, theta) is also
+     identical. *)
+  let a = Zipf.create_cached cache ~n:500 ~theta:0.9 in
+  let b = Zipf.create_cached cache ~n:500 ~theta:0.9 in
+  let r1 = Rng.create ~seed:9L and r2 = Rng.create ~seed:9L in
+  for _ = 1 to 500 do
+    Alcotest.(check int) "repeat hit" (Zipf.sample a r1) (Zipf.sample b r2)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* TPC-C keys *)
 
@@ -178,6 +207,256 @@ let test_driver_zero_warmup_window () =
     true
     (r.Driver.duration_ns > 0.0 && r.Driver.duration_ns <= elapsed)
 
+let test_driver_zero_warmup_aborts () =
+  (* Regression: with warmup = 0 the abort guard used to read
+     [committed > 0], so every aborted attempt before the first commit
+     vanished from the measurement window. With zero warmup the window
+     is the whole run, so the driver's abort count must match the
+     system's own attempt-level accounting exactly. *)
+  let p = { Retwis.default_params with keys_per_node = 50 } in
+  let sys = mk_xenic (Retwis.store_cfg p) 256 in
+  Retwis.load p sys;
+  let r =
+    Driver.run ~seed:21L ~warmup_frac:0.0 sys
+      (Retwis.increment_spec p ~nodes:4)
+      ~concurrency:8 ~target:400
+  in
+  Alcotest.(check bool) "contention produced aborts" true (r.Driver.aborted > 0);
+  let m = sys.System.metrics () in
+  Alcotest.(check int) "window aborts = system aborts" (Metrics.aborted m)
+    r.Driver.aborted;
+  Alcotest.(check int) "window commits = system commits" (Metrics.committed m)
+    r.Driver.committed
+
+let test_driver_target_overshoot () =
+  (* Document-and-pin: the closed-loop driver checks [st.committed <
+     target] before issuing, so every in-flight slot at the threshold
+     can still land one more commit — overshoot is bounded by
+     concurrency x coordinators - 1 and never negative. *)
+  let p = { Smallbank.default_params with accounts_per_node = 200 } in
+  let sys = mk_xenic (Smallbank.store_cfg p) 512 in
+  Smallbank.load p sys;
+  let concurrency = 16 and target = 60 and coordinators = 4 in
+  let r =
+    Driver.run ~warmup_frac:0.0 sys (Smallbank.spec p ~nodes:4) ~concurrency
+      ~target
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "target reached (%d)" r.Driver.committed)
+    true
+    (r.Driver.committed >= target);
+  Alcotest.(check bool)
+    (Printf.sprintf "overshoot bounded (%d)" r.Driver.committed)
+    true
+    (r.Driver.committed < target + (concurrency * coordinators))
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop driver *)
+
+let retwis_small = { Retwis.default_params with keys_per_node = 1_000 }
+
+let mk_xenic_open ?(domains = 1) ?(partitions = 0) () =
+  let engine = Engine.create ~domains () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  let segments, seg_size, d_max = Retwis.store_cfg retwis_small in
+  System.of_xenic
+    (Xenic_system.create engine hw cfg
+       {
+         Xenic_system.default_params with
+         segments;
+         seg_size;
+         d_max;
+         cache_capacity = 2048;
+         partitions;
+       })
+
+let mk_rdma_open flavor =
+  let engine = Engine.create () in
+  let cfg = Config.make ~nodes:4 ~replication:3 in
+  System.of_rdma
+    (Rdma_system.create engine hw cfg flavor
+       {
+         Rdma_system.default_params with
+         buckets = Retwis.chained_buckets retwis_small;
+       })
+
+let open_phases =
+  [
+    {
+      Openloop.duration_ns = 2_000_000.0;
+      rate_tps = 400_000.0;
+      theta = 0.5;
+      hot_frac = 0.1;
+    };
+  ]
+
+let open_admission =
+  { Admission.capacity = 64; backpressure = 8.0; deadline_ns = 500_000.0 }
+
+let openloop_fingerprint ?(seed = 11L) sys =
+  Retwis.load retwis_small sys;
+  let r =
+    Openloop.run ~seed ~admission:open_admission ~service_slots:4 ~users:10_000
+      sys
+      (Retwis.openloop_spec retwis_small)
+      ~phases:open_phases
+  in
+  ( Printf.sprintf "o=%d a=%d c=%d ab=%d sh=%d now=%h med=%h p99=%h"
+      r.Openloop.offered r.Openloop.admitted r.Openloop.committed
+      r.Openloop.aborted r.Openloop.shed_total
+      (Engine.now sys.System.engine)
+      r.Openloop.median_latency_us r.Openloop.p99_latency_us,
+    r )
+
+let test_openloop_determinism_stacks () =
+  (* Same seed, same stack => bit-identical open-loop results, on all
+     six stacks. *)
+  let stacks =
+    [
+      ("xenic", fun () -> mk_xenic_open ());
+      ("drtmh", fun () -> mk_rdma_open Rdma_system.Drtmh);
+      ("drtmh-nc", fun () -> mk_rdma_open Rdma_system.Drtmh_nc);
+      ("fasst", fun () -> mk_rdma_open Rdma_system.Fasst);
+      ("drtmr", fun () -> mk_rdma_open Rdma_system.Drtmr);
+      ("farm", fun () -> mk_rdma_open Rdma_system.Farm);
+    ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      let a, ra = openloop_fingerprint (mk ()) in
+      let b, _ = openloop_fingerprint (mk ()) in
+      Alcotest.(check string) name a b;
+      Alcotest.(check bool) (name ^ " made progress") true (ra.Openloop.committed > 0))
+    stacks
+
+let test_openloop_shed_taxonomy () =
+  (* Overload a small service pool so all three shed causes can fire,
+     then check the books: every shed the driver reports is an abort
+     with reason Shed in the system's metrics, and the abort-reason
+     taxonomy still sums to the abort count. *)
+  let sys = mk_xenic_open () in
+  Retwis.load retwis_small sys;
+  let r =
+    Openloop.run ~seed:17L
+      ~admission:
+        { Admission.capacity = 8; backpressure = 6.0; deadline_ns = 60_000.0 }
+      ~service_slots:2 ~users:10_000 sys
+      (Retwis.openloop_spec retwis_small)
+      ~phases:
+        [
+          {
+            Openloop.duration_ns = 2_000_000.0;
+            rate_tps = 1_200_000.0;
+            theta = 0.5;
+            hot_frac = 0.2;
+          };
+        ]
+  in
+  Alcotest.(check bool) "sheds occurred" true (r.Openloop.shed_total > 0);
+  let m = sys.System.metrics () in
+  let reason_sum =
+    List.fold_left (fun a (_, n) -> a + n) 0 (Metrics.abort_reason_counts m)
+  in
+  Alcotest.(check int) "taxonomy sums to abort count" (Metrics.aborted m)
+    reason_sum;
+  Alcotest.(check int) "driver sheds = system Shed reason"
+    r.Openloop.shed_total
+    (Metrics.abort_reason_count m Metrics.Shed);
+  let cause_sum = List.fold_left (fun a (_, n) -> a + n) 0 r.Openloop.shed in
+  Alcotest.(check int) "per-cause sheds sum to total" r.Openloop.shed_total
+    cause_sum;
+  (* Arrival accounting closes: every windowed arrival was admitted or
+     shed at arrival (deadline drops shed post-admission). *)
+  let arrival_sheds =
+    List.fold_left
+      (fun a (name, n) -> if name = "deadline" then a else a + n)
+      0 r.Openloop.shed
+  in
+  Alcotest.(check int) "offered = admitted + arrival sheds"
+    r.Openloop.offered
+    (r.Openloop.admitted + arrival_sheds)
+
+let test_openloop_windowed_parity () =
+  (* The open-loop driver on a partitioned (windowed) system must be
+     bit-identical across domain counts, serializable, and audit-clean. *)
+  let run domains =
+    let sys = mk_xenic_open ~domains ~partitions:2 () in
+    Retwis.load retwis_small sys;
+    let o = Oracle.create () in
+    sys.System.set_oracle o;
+    let r =
+      Openloop.run ~seed:13L ~admission:open_admission ~service_slots:4
+        ~users:10_000 sys
+        (Retwis.openloop_spec retwis_small)
+        ~phases:open_phases
+    in
+    (match Oracle.check o with
+    | Oracle.Serializable -> ()
+    | Oracle.Violation v -> Alcotest.failf "domains=%d not serializable: %s" domains v);
+    (match sys.System.audit () with
+    | [] -> ()
+    | issues ->
+        Alcotest.failf "domains=%d audit: %s" domains
+          (String.concat "; " issues));
+    Alcotest.(check bool)
+      (Printf.sprintf "domains=%d progress" domains)
+      true (r.Openloop.committed > 0);
+    Printf.sprintf "o=%d a=%d c=%d ab=%d sh=%d now=%h med=%h p99=%h"
+      r.Openloop.offered r.Openloop.admitted r.Openloop.committed
+      r.Openloop.aborted r.Openloop.shed_total
+      (Engine.now sys.System.engine)
+      r.Openloop.median_latency_us r.Openloop.p99_latency_us
+  in
+  Alcotest.(check string) "1 vs 2 domains" (run 1) (run 2)
+
+let test_openloop_retry_metastability () =
+  (* With client retries and an unbounded queue, a burst leaves a
+     backlog that outlives it — the post-burst phase commits less than
+     the same phase under deadline-bounded admission, which sheds the
+     stale work instead of serving it. *)
+  let phases =
+    [
+      {
+        Openloop.duration_ns = 1_000_000.0;
+        rate_tps = 150_000.0;
+        theta = 0.5;
+        hot_frac = 0.0;
+      };
+      {
+        Openloop.duration_ns = 1_000_000.0;
+        rate_tps = 2_000_000.0;
+        theta = 0.9;
+        hot_frac = 0.6;
+      };
+      {
+        Openloop.duration_ns = 2_000_000.0;
+        rate_tps = 150_000.0;
+        theta = 0.5;
+        hot_frac = 0.0;
+      };
+    ]
+  in
+  let run admission =
+    let sys = mk_xenic_open () in
+    Retwis.load retwis_small sys;
+    Openloop.run ~seed:19L ~admission ~service_slots:2 ~retries:3
+      ~users:10_000 sys
+      (Retwis.openloop_spec retwis_small)
+      ~phases
+  in
+  let unmitigated = run Admission.unlimited in
+  let mitigated =
+    run { Admission.capacity = 16; backpressure = 6.0; deadline_ns = 200_000.0 }
+  in
+  let post r = r.Openloop.per_phase.(2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "post-burst recovery (%d unmitigated vs %d mitigated)"
+       (post unmitigated).Openloop.p_committed
+       (post mitigated).Openloop.p_committed)
+    true
+    ((post mitigated).Openloop.p_committed
+    > (post unmitigated).Openloop.p_committed)
+
 (* ------------------------------------------------------------------ *)
 (* §4.2.1-style recovery: after the primary dies, a backup's replica
    plus a freshly built caching index serve the shard with identical
@@ -305,6 +584,7 @@ let () =
           Alcotest.test_case "bounds" `Quick test_zipf_bounds;
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "invalid" `Quick test_zipf_invalid;
+          Alcotest.test_case "cached identity" `Quick test_zipf_cached_identity;
         ] );
       ( "tpcc-keys",
         [
@@ -325,6 +605,20 @@ let () =
           Alcotest.test_case "warmup excluded" `Quick test_driver_warmup_excluded;
           Alcotest.test_case "zero-warmup window" `Quick
             test_driver_zero_warmup_window;
+          Alcotest.test_case "zero-warmup abort accounting" `Quick
+            test_driver_zero_warmup_aborts;
+          Alcotest.test_case "target overshoot bound" `Quick
+            test_driver_target_overshoot;
+        ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "determinism on six stacks" `Quick
+            test_openloop_determinism_stacks;
+          Alcotest.test_case "shed taxonomy" `Quick test_openloop_shed_taxonomy;
+          Alcotest.test_case "windowed 1v2-domain parity" `Quick
+            test_openloop_windowed_parity;
+          Alcotest.test_case "retry metastability mitigated" `Quick
+            test_openloop_retry_metastability;
         ] );
       ( "recovery",
         [
