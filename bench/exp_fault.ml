@@ -77,8 +77,15 @@ let one ~name ~mk_sys ~load ~spec ~concurrency ~target =
         samples := (at, Oracle.txn_count oracle) :: !samples);
     t := !t +. probe_step_ns
   done;
+  (* Windowed flight recorder alongside the probe: the dip/recovery
+     story re-expressed on telemetry windows, with time-to-recovery
+     measured in simulated time by the online detector. *)
+  let tel =
+    Xenic_telemetry.Telemetry.create ~window_ns:probe_step_ns engine
+  in
   let result =
     Driver.run sys (spec sys) ~warmup_frac:0.0 ~concurrency ~target
+      ~telemetry:tel
       ~faults:[ (fault_ns, crashed_node) ]
   in
   let samples = List.rev !samples in
@@ -139,7 +146,30 @@ let one ~name ~mk_sys ~load ~spec ~concurrency ~target =
   json_num (name ^ " recovery_us") (recovery_ns /. 1e3);
   json_num (name ^ " post_over_pre") ratio;
   json_int (name ^ " committed") result.Driver.committed;
-  json_int (name ^ " aborted") result.Driver.aborted
+  json_int (name ^ " aborted") result.Driver.aborted;
+  (* Same question asked of the flight recorder: time from the fault
+     until the last half-rate-degraded window is behind us, scanning
+     only full windows inside the run (the probe events keep the engine
+     alive to the horizon, so later windows are empty, and the partial
+     window at the last commit would read as a fake collapse). Must be
+     finite — a None here means the recorder never saw recovery the
+     probe-based accounting above claims happened. *)
+  let roll = Xenic_telemetry.Telemetry.rollup tel in
+  let after_abs = Xenic_telemetry.Telemetry.t0 tel +. fault_ns in
+  (match
+     Xenic_telemetry.Detect.time_to_recovery ~after_ns:after_abs
+       ~until_ns:(Xenic_telemetry.Telemetry.t0 tel +. t_end)
+       roll
+   with
+  | None ->
+      failwith
+        (Printf.sprintf
+           "fault (%s): telemetry detector found no recovery (windows=%d)"
+           name (Array.length roll))
+  | Some ttr_ns ->
+      note "%s: telemetry time-to-recovery %.0fus (window %.0fus, %d windows)"
+        name (ttr_ns /. 1e3) (probe_step_ns /. 1e3) (Array.length roll);
+      json_num (name ^ " telemetry_ttr_us") (ttr_ns /. 1e3))
 
 let run () =
   section "Mid-run node crash: throughput dip and recovery";

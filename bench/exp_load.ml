@@ -27,6 +27,8 @@
 
 open Xenic_proto
 open Xenic_workload
+module Telemetry = Xenic_telemetry.Telemetry
+module Detect = Xenic_telemetry.Detect
 
 let seed = 23L
 
@@ -75,12 +77,17 @@ let fingerprint sys (r : Openloop.result) =
     r.Openloop.goodput_tps r.Openloop.median_latency_us
     r.Openloop.p99_latency_us
 
-let run_point ~rate mk =
+let run_point ?telemetry_window ~rate mk =
   let p = retwis_params () in
   let sys = mk () in
   Retwis.load p sys;
+  let telemetry =
+    Option.map
+      (fun window_ns -> Telemetry.create ~window_ns sys.System.engine)
+      telemetry_window
+  in
   let result =
-    Openloop.run ~seed ~admission:sweep_admission ~service_slots:4
+    Openloop.run ~seed ?telemetry ~admission:sweep_admission ~service_slots:4
       ~users:2_000_000 sys (Retwis.openloop_spec p)
       ~phases:
         [
@@ -92,7 +99,7 @@ let run_point ~rate mk =
           };
         ]
   in
-  (sys, result)
+  (sys, result, telemetry)
 
 (* Rerun point: past the knee so admission is actually working. *)
 let rerun_rate = 2_000_000.0
@@ -109,7 +116,7 @@ let run () =
         "median_us" "p99_us" "shed%";
       List.iter
         (fun rate ->
-          let sys, r = run_point ~rate mk in
+          let sys, r, _ = run_point ~rate mk in
           let shed_frac =
             if r.Openloop.offered = 0 then 0.0
             else
@@ -136,30 +143,53 @@ let run () =
         rates)
     (systems ());
   (* Same-seed rerun + explicit 2-domain run of one sweep point per
-     stack: both must be bit-identical to the recorded cell. A
+     stack: both must be bit-identical to the recorded cell. The reruns
+     carry a telemetry recorder while the first runs did not, so this
+     gate also proves observation is event-free — attaching the flight
+     recorder does not perturb the run. The two recorders' exports
+     must in turn be byte-identical across 1 vs 2 domains. A
      divergence aborts the experiment (no JSON keys), so the checked-in
      reference is unaffected. *)
-  Printf.printf "\n    %-10s %8s %12s\n" "stack" "rerun" "2-dom parity";
+  Printf.printf "\n    %-10s %8s %12s %14s\n" "stack" "rerun" "2-dom parity"
+    "telemetry";
+  let tel_window = duration_ns () /. 20.0 in
   List.iter2
     (fun (name, mk) (_, mk2) ->
       let first = Hashtbl.find cells (name, rerun_rate) in
-      let sys, r = run_point ~rate:rerun_rate mk in
+      let sys, r, tel1 =
+        run_point ~telemetry_window:tel_window ~rate:rerun_rate mk
+      in
       let again = fingerprint sys r in
       if not (String.equal first again) then
         failwith
-          (Printf.sprintf "load: %s @%.0f same-seed rerun diverged:\n  %s\n  %s"
+          (Printf.sprintf
+             "load: %s @%.0f telemetry-attached same-seed rerun diverged:\n\
+             \  %s\n\
+             \  %s"
              name rerun_rate first again);
-      let sys2, r2 = run_point ~rate:rerun_rate mk2 in
+      let sys2, r2, tel2 =
+        run_point ~telemetry_window:tel_window ~rate:rerun_rate mk2
+      in
       let two_dom = fingerprint sys2 r2 in
       if not (String.equal first two_dom) then
         failwith
           (Printf.sprintf
              "load: %s @%.0f 2-domain run diverged from 1-domain:\n  %s\n  %s"
              name rerun_rate first two_dom);
-      Printf.printf "    %-10s %8s %12s\n" name "ok" "identical")
+      let tel_json t =
+        Telemetry.to_json (Option.get t) ~id:"load-parity" ~description:name
+      in
+      if not (String.equal (tel_json tel1) (tel_json tel2)) then
+        failwith
+          (Printf.sprintf
+             "load: %s @%.0f telemetry series diverged between 1 and 2 \
+              domains"
+             name rerun_rate);
+      Printf.printf "    %-10s %8s %12s %14s\n" name "ok" "identical"
+        "identical")
     (systems ()) (systems ~domains:2 ());
   Common.note "same-seed rerun @%.0f: bit-identical for all stacks, 1 and 2 \
-               domains" rerun_rate;
+               domains, telemetry attached" rerun_rate;
   (* Metastable retry storm, demonstrated then mitigated (Xenic,
      legacy single-partition mode, client-side retries). Phase 2 is a
      celebrity flash crowd 4x past capacity; phase 3 returns to the
@@ -191,8 +221,11 @@ let run () =
         ~store_cfg:(Retwis.store_cfg p) ()
     in
     Retwis.load p sys;
+    (* 10 windows per phase segment: enough resolution for the online
+       detectors at either run scale. *)
+    let tel = Telemetry.create ~window_ns:(seg /. 10.0) sys.System.engine in
     let r =
-      Openloop.run ~seed ~admission ~service_slots:2 ~retries:4
+      Openloop.run ~seed ~telemetry:tel ~admission ~service_slots:2 ~retries:4
         ~users:2_000_000 sys (Retwis.openloop_spec p) ~phases
     in
     let post = r.Openloop.per_phase.(2) in
@@ -207,10 +240,32 @@ let run () =
     Common.json_int (k "retried") r.Openloop.retried;
     Common.json_int (k "committed") r.Openloop.committed;
     Common.json_int (k "shed_total") r.Openloop.shed_total;
-    post.Openloop.p_committed
+    (* Online detectors over the per-window rollup. *)
+    let roll = Telemetry.rollup tel in
+    let verdicts =
+      [
+        ("retry-storm", Detect.retry_storm roll);
+        ("queue-growth", Detect.queue_growth roll);
+        ("littles-law", Detect.littles_law roll);
+        ( "slo-burn",
+          Detect.slo_burn
+            { Detect.latency_ns = 100_000.0; target = 0.99 }
+            roll );
+      ]
+    in
+    List.iter
+      (fun (dname, (v : Detect.verdict)) ->
+        Printf.printf "      detect %-12s %s (%s)\n" dname
+          (if v.Detect.flagged then "FLAGGED" else "clean")
+          v.Detect.detail;
+        Common.json_int
+          (k ("detect " ^ dname))
+          (if v.Detect.flagged then 1 else 0))
+      verdicts;
+    (tel, List.assoc "retry-storm" verdicts, post.Openloop.p_committed)
   in
-  let unmitigated = scenario "unbounded" Admission.unlimited in
-  let mitigated =
+  let tel_u, storm_u, unmitigated = scenario "unbounded" Admission.unlimited in
+  let _, storm_b, mitigated =
     scenario "bounded"
       { Admission.capacity = 16; backpressure = 6.0; deadline_ns = 300_000.0 }
   in
@@ -220,8 +275,36 @@ let run () =
          "load: admission control failed to mitigate the retry storm \
           (post-burst committed %d bounded vs %d unbounded)"
          mitigated unmitigated);
+  if not storm_u.Detect.flagged then
+    failwith
+      (Printf.sprintf
+         "load: retry-storm detector missed the unbounded-admission storm \
+          (%s)"
+         storm_u.Detect.detail);
+  if storm_b.Detect.flagged then
+    failwith
+      (Printf.sprintf
+         "load: retry-storm detector false positive on bounded admission (%s)"
+         storm_b.Detect.detail);
   Common.note
     "bounded admission recovers post-burst goodput: %d committed vs %d \
-     unbounded (%.1fx)"
+     unbounded (%.1fx); storm flagged on unbounded, clean on bounded"
     mitigated unmitigated
-    (float_of_int mitigated /. float_of_int (max 1 unmitigated))
+    (float_of_int mitigated /. float_of_int (max 1 unmitigated));
+  (* Flight-recorder artifacts from the unbounded storm run: flat JSON
+     (byte-gated by run_bench.sh against bench/ref) and OpenMetrics
+     text (validated structurally here). *)
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write "TELEMETRY_load.json"
+    (Telemetry.to_json tel_u ~id:"load"
+       ~description:"retry storm, unbounded admission, Xenic");
+  let om = Telemetry.to_openmetrics tel_u in
+  (match Telemetry.validate_openmetrics om with
+  | Ok () -> ()
+  | Error e -> failwith ("load: invalid OpenMetrics exposition: " ^ e));
+  write "TELEMETRY_load.prom" om;
+  Common.note "telemetry artifacts: TELEMETRY_load.json, TELEMETRY_load.prom"

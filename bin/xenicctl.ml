@@ -64,11 +64,20 @@ let build_system kind ~nodes ~replication ~store_cfg ~buckets ~cache =
         (Rdma_system.create engine hw cfg flavor
            { Rdma_system.default_params with buckets })
 
-(* Shared driver for the [run], [trace] and [profile] subcommands;
-   [trace_out] attaches an execution trace and writes it as Chrome trace
-   JSON; [profile_out] enables time attribution and writes the
-   bottleneck report plus the collapsed-stack flamegraph. *)
-let execute ?trace_out ?profile_out system workload nodes replication
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Shared driver for the [run], [trace], [profile] and [telemetry]
+   subcommands; [trace_out] attaches an execution trace and writes it as
+   Chrome trace JSON; [profile_out] enables time attribution and writes
+   the bottleneck report plus the collapsed-stack flamegraph;
+   [telemetry_out] attaches the windowed flight recorder and writes the
+   series as BENCH-style JSON and OpenMetrics text. *)
+let execute ?trace_out ?profile_out ?telemetry_out
+    ?(telemetry_window_us = 100.0) ?(slo_latency_us = 100.0)
+    ?(slo_target = 0.99) system workload nodes replication
     concurrency target scale seed =
   let sb = { Smallbank.default_params with accounts_per_node = scale } in
   let rw = { Retwis.default_params with keys_per_node = scale } in
@@ -112,12 +121,14 @@ let execute ?trace_out ?profile_out system workload nodes replication
   let sys =
     build_system system ~nodes ~replication ~store_cfg ~buckets ~cache
   in
-  Printf.printf "loading %s on %s (%d nodes, rf=%d)...\n%!"
-    (match workload with
+  let wl_name =
+    match workload with
     | Smallbank -> "smallbank"
     | Retwis -> "retwis"
     | Tpcc -> "tpcc"
-    | Tpcc_no -> "tpcc-neworder")
+    | Tpcc_no -> "tpcc-neworder"
+  in
+  Printf.printf "loading %s on %s (%d nodes, rf=%d)...\n%!" wl_name
     sys.System.name nodes replication;
   load sys;
   let trace =
@@ -125,10 +136,19 @@ let execute ?trace_out ?profile_out system workload nodes replication
     | None -> None
     | Some _ -> Some (Xenic_sim.Trace.create sys.System.engine)
   in
+  let telemetry =
+    match telemetry_out with
+    | None -> None
+    | Some _ ->
+        Some
+          (Xenic_telemetry.Telemetry.create
+             ~window_ns:(telemetry_window_us *. 1e3)
+             sys.System.engine)
+  in
   let profile = profile_out <> None in
   let result =
-    Driver.run ~seed:(Int64.of_int seed) ?trace ~profile sys (spec sys)
-      ~concurrency ~target
+    Driver.run ~seed:(Int64.of_int seed) ?trace ?telemetry ~profile sys
+      (spec sys) ~concurrency ~target
   in
   Printf.printf
     "%s: %.0f txn/s/server, median %.1fus, p99 %.1fus, abort rate %.1f%%\n"
@@ -138,15 +158,69 @@ let execute ?trace_out ?profile_out system workload nodes replication
   List.iter
     (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v)
     (Xenic_stats.Counter.to_list (Metrics.counters (sys.System.metrics ())));
+  (match (telemetry_out, telemetry) with
+  | Some base, Some tel ->
+      let open Xenic_telemetry in
+      let roll = Telemetry.rollup tel in
+      let t =
+        Xenic_stats.Table.create ~title:"Telemetry windows"
+          ~columns:
+            [
+              "win"; "start us"; "offered"; "admitted"; "committed";
+              "aborted"; "shed"; "q mean"; "p50 us"; "p99 us";
+            ]
+      in
+      Array.iter
+        (fun (a : Telemetry.agg) ->
+          Xenic_stats.Table.add_row t
+            [
+              string_of_int a.Telemetry.a_win;
+              Xenic_stats.Table.cellf ~decimals:0
+                (a.Telemetry.a_start_ns /. 1e3);
+              string_of_int a.Telemetry.a_offered;
+              string_of_int a.Telemetry.a_admitted;
+              string_of_int a.Telemetry.a_committed;
+              string_of_int a.Telemetry.a_aborted;
+              string_of_int a.Telemetry.a_shed;
+              Xenic_stats.Table.cellf ~decimals:1 a.Telemetry.a_q_mean;
+              Xenic_stats.Table.cellf ~decimals:1
+                (Xenic_stats.Whist.median a.Telemetry.a_lat /. 1e3);
+              Xenic_stats.Table.cellf ~decimals:1
+                (Xenic_stats.Whist.p99 a.Telemetry.a_lat /. 1e3);
+            ])
+        roll;
+      Xenic_stats.Table.print t;
+      let slo =
+        { Detect.latency_ns = slo_latency_us *. 1e3; target = slo_target }
+      in
+      List.iter
+        (fun (dname, (v : Detect.verdict)) ->
+          Printf.printf "  detect %-12s %s (%s)\n" dname
+            (if v.Detect.flagged then "FLAGGED" else "clean")
+            v.Detect.detail)
+        [
+          ("retry-storm", Detect.retry_storm roll);
+          ("queue-growth", Detect.queue_growth roll);
+          ("littles-law", Detect.littles_law roll);
+          ("slo-burn", Detect.slo_burn slo roll);
+        ];
+      write_file (base ^ ".json")
+        (Telemetry.to_json tel ~id:"telemetry"
+           ~description:(sys.System.name ^ " " ^ wl_name));
+      let om = Telemetry.to_openmetrics tel in
+      (match Telemetry.validate_openmetrics om with
+      | Ok () -> ()
+      | Error e -> failwith ("telemetry: invalid OpenMetrics output: " ^ e));
+      write_file (base ^ ".prom") om;
+      Printf.printf
+        "wrote telemetry series to %s.json, OpenMetrics to %s.prom\n" base
+        base
+  | _ -> ());
   (match (profile_out, result.Driver.profile) with
   | Some base, Some prof ->
       let report = Xenic_profile.Profile.report prof in
       let folded = Xenic_profile.Profile.folded prof in
-      let write path contents =
-        let oc = open_out path in
-        output_string oc contents;
-        close_out oc
-      in
+      let write = write_file in
       write (base ^ ".txt") report;
       write (base ^ ".folded") folded;
       print_string report;
@@ -197,11 +271,24 @@ let execute ?trace_out ?profile_out system workload nodes replication
       Xenic_stats.Table.print ar
   | _ -> ()
 
-let run_cmd = execute ?trace_out:None ?profile_out:None
+let run_cmd system workload nodes replication concurrency target scale seed =
+  execute system workload nodes replication concurrency target scale seed
 
-let trace_cmd out = execute ~trace_out:out ?profile_out:None
+let trace_cmd out system workload nodes replication concurrency target scale
+    seed =
+  execute ~trace_out:out system workload nodes replication concurrency target
+    scale seed
 
-let profile_cmd out = execute ?trace_out:None ~profile_out:out
+let profile_cmd out system workload nodes replication concurrency target
+    scale seed =
+  execute ~profile_out:out system workload nodes replication concurrency
+    target scale seed
+
+let telemetry_cmd out window_us slo_latency_us slo_target system workload
+    nodes replication concurrency target scale seed =
+  execute ~telemetry_out:out ~telemetry_window_us:window_us ~slo_latency_us
+    ~slo_target system workload nodes replication concurrency target scale
+    seed
 
 (* [bench diff]: compare two BENCH_*.json metric files with a relative
    tolerance; exit nonzero when any metric is out of tolerance. *)
@@ -273,6 +360,41 @@ let cmd =
       const profile_cmd $ profile_out $ system $ workload $ nodes
       $ replication $ concurrency $ target $ scale $ seed)
   in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt string "xenic_telemetry"
+      & info [ "out"; "o" ]
+          ~doc:
+            "Output path prefix: writes $(i,PREFIX).json (BENCH-style \
+             flat metrics, byte-gateable with $(b,xenicctl bench diff)) \
+             and $(i,PREFIX).prom (OpenMetrics text exposition).")
+  in
+  let telemetry_window =
+    Arg.(
+      value & opt float 100.0
+      & info [ "window-us" ] ~doc:"Telemetry window width in microseconds.")
+  in
+  let slo_latency =
+    Arg.(
+      value & opt float 100.0
+      & info [ "slo-latency-us" ]
+          ~doc:"Latency objective for the SLO burn-rate detector.")
+  in
+  let slo_target =
+    Arg.(
+      value & opt float 0.99
+      & info [ "slo-target" ]
+          ~doc:
+            "Fraction of offered requests that should commit within the \
+             latency objective (in (0, 1)).")
+  in
+  let telemetry_term =
+    Term.(
+      const telemetry_cmd $ telemetry_out $ telemetry_window $ slo_latency
+      $ slo_target $ system $ workload $ nodes $ replication $ concurrency
+      $ target $ scale $ seed)
+  in
   let diff_a =
     Arg.(
       required
@@ -323,6 +445,15 @@ let cmd =
               per-resource bottleneck report and the collapsed-stack \
               flamegraph, and print the report.")
         profile_term;
+      Cmd.v
+        (Cmd.info "telemetry"
+           ~doc:
+             "Run a benchmark with the windowed flight recorder attached; \
+              print the per-window rollup table and online detector \
+              verdicts (retry-storm, queue-growth, Little's-law residual, \
+              SLO burn rate), and write the series as BENCH-style JSON \
+              and OpenMetrics text.")
+        telemetry_term;
       Cmd.group
         (Cmd.info "bench" ~doc:"Benchmark artifact utilities.")
         [

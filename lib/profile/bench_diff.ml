@@ -48,7 +48,17 @@ let load_metrics path =
         in
         let v =
           if String.equal val_part "null" then None
-          else float_of_string_opt val_part
+          else
+            match float_of_string_opt val_part with
+            | Some f -> Some f
+            | None ->
+                (* A value that is neither a number nor null is a shape
+                   error, not a regression; fail naming the key rather
+                   than silently treating it as missing. *)
+                failwith
+                  (Printf.sprintf
+                     "bench diff: %s: metric %S has non-numeric value %s"
+                     path key val_part)
         in
         (* Keys containing ':' would split wrong at rindex only if the
            value also contained one; bench values never do. *)

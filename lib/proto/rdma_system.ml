@@ -95,6 +95,7 @@ type t = {
   mutable recovery_waiting : int;  (* pending recoveries gating the fence *)
   mutable membership : Membership.t option;
   mutable trace : Trace.t option;
+  mutable telemetry : Xenic_telemetry.Telemetry.t option;
 }
 
 let engine t = t.engine
@@ -124,6 +125,8 @@ let metrics t =
 let counters t = Metrics.counters (mx t)
 
 let set_trace t tr = t.trace <- tr
+
+let set_telemetry t tel = t.telemetry <- tel
 
 (* Phase/recovery events for the trace (no-ops with tracing off). *)
 let trace_instant t ~cat ~name ~pid ~tid args =
@@ -566,6 +569,7 @@ let create engine hw cfg flavor p =
       recovery_waiting = 0;
       membership = None;
       trace = None;
+      telemetry = None;
     }
   in
   Array.iter
@@ -1599,8 +1603,16 @@ let run_txn t ~node (txn : Types.t) =
      aborted-transaction count. *)
   let abort_with reason =
     let m = mx t in
-    Metrics.record m ~latency_ns:(Engine.now t.engine -. t_start) Types.Aborted;
+    let latency_ns = Engine.now t.engine -. t_start in
+    Metrics.record m ~latency_ns Types.Aborted;
     Metrics.record_abort_reason m reason;
+    (match t.telemetry with
+    | None -> ()
+    | Some tel ->
+        Xenic_telemetry.Telemetry.record_abort tel
+          ~label:(Attrib.get ()).Attrib.cls ~stack:(flavor_name t.flavor)
+          ~node
+          ~reason:(Metrics.abort_reason_name reason) ~latency_ns);
     trace_instant t ~cat:"txn" ~name:"abort" ~pid:node
       ~tid:t.nodes.(node).txn_seq
       [ ("reason", Metrics.abort_reason_name reason) ];
@@ -1618,6 +1630,12 @@ let run_txn t ~node (txn : Types.t) =
           ~args:[ ("cls", (Attrib.get ()).Attrib.cls) ]
           ());
     Metrics.record (mx t) ~latency_ns:(now -. t_start) Types.Committed;
+    (match t.telemetry with
+    | None -> ()
+    | Some tel ->
+        Xenic_telemetry.Telemetry.record_commit tel
+          ~label:(Attrib.get ()).Attrib.cls ~stack:(flavor_name t.flavor)
+          ~node ~latency_ns:(now -. t_start));
     Types.Committed
   in
   if not (armed t) then

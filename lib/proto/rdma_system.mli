@@ -113,6 +113,11 @@ val host_utilization : t -> float
     become instant events. *)
 val set_trace : t -> Xenic_sim.Trace.t option -> unit
 
+(** Attach (or detach, with [None]) a telemetry flight recorder:
+    commits and aborts-by-reason, with service latency, stream into its
+    windows. Event-free — attaching never perturbs the run. *)
+val set_telemetry : t -> Xenic_telemetry.Telemetry.t option -> unit
+
 (** Instantaneous-occupancy gauges (links, host pools) for
     {!Xenic_sim.Trace.sampler}. *)
 val util_sources : t -> (string * (unit -> float)) list

@@ -24,6 +24,7 @@ type t = {
   node_alive : node:int -> bool;
   stop_background : unit -> unit;
   set_trace : Xenic_sim.Trace.t option -> unit;
+  set_telemetry : Xenic_telemetry.Telemetry.t option -> unit;
   util_sources : unit -> (string * (unit -> float)) list;
   resources : unit -> (string * Xenic_sim.Resource.t) list;
 }
@@ -57,6 +58,7 @@ let of_xenic x =
     node_alive = (fun ~node -> Xenic_system.node_alive x ~node);
     stop_background = (fun () -> Xenic_system.stop_background x);
     set_trace = (fun tr -> Xenic_system.set_trace x tr);
+    set_telemetry = (fun tel -> Xenic_system.set_telemetry x tel);
     util_sources = (fun () -> Xenic_system.util_sources x);
     resources = (fun () -> Xenic_system.resources x);
   }
@@ -86,6 +88,7 @@ let of_rdma r =
     node_alive = (fun ~node -> Rdma_system.node_alive r ~node);
     stop_background = (fun () -> Rdma_system.stop_background r);
     set_trace = (fun tr -> Rdma_system.set_trace r tr);
+    set_telemetry = (fun tel -> Rdma_system.set_telemetry r tel);
     util_sources = (fun () -> Rdma_system.util_sources r);
     resources = (fun () -> Rdma_system.resources r);
   }

@@ -42,6 +42,9 @@ type t = {
           drain. *)
   set_trace : Xenic_sim.Trace.t option -> unit;
       (** Attach/detach an execution trace; see {!Xenic_system.set_trace}. *)
+  set_telemetry : Xenic_telemetry.Telemetry.t option -> unit;
+      (** Attach/detach a windowed telemetry flight recorder; see
+          {!Xenic_system.set_telemetry}. *)
   util_sources : unit -> (string * (unit -> float)) list;
       (** Instantaneous-occupancy gauges for {!Xenic_sim.Trace.sampler}. *)
   resources : unit -> (string * Xenic_sim.Resource.t) list;

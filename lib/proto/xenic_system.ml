@@ -129,6 +129,7 @@ type t = {
   mutable membership : Membership.t option;
   mutable oracle : Oracle.t option;
   mutable trace : Trace.t option;
+  mutable telemetry : Xenic_telemetry.Telemetry.t option;
   mutable debug_key : int option;
       (* debugging hook: trace every protocol event touching this key;
          per-system state, so two systems in one process debug
@@ -184,6 +185,8 @@ let metrics t =
 let counters t = Metrics.counters (mx t)
 
 let set_trace t tr = t.trace <- tr
+
+let set_telemetry t tel = t.telemetry <- tel
 
 (* Phase/recovery events for the trace (no-ops with tracing off). *)
 let trace_instant t ~cat ~name ~pid ~tid args =
@@ -705,6 +708,7 @@ let create engine hw cfg p =
       membership = None;
       oracle = None;
       trace = None;
+      telemetry = None;
       debug_key = None;
     }
   in
@@ -1854,8 +1858,15 @@ let run_txn t ~node (txn : Types.t) =
      to this metrics object's aborted-transaction count. *)
   let abort_with reason =
     let m = mx t in
-    Metrics.record m ~latency_ns:(Engine.now t.engine -. t_start) Types.Aborted;
+    let latency_ns = Engine.now t.engine -. t_start in
+    Metrics.record m ~latency_ns Types.Aborted;
     Metrics.record_abort_reason m reason;
+    (match t.telemetry with
+    | None -> ()
+    | Some tel ->
+        Xenic_telemetry.Telemetry.record_abort tel
+          ~label:(Attrib.get ()).Attrib.cls ~stack:"Xenic" ~node
+          ~reason:(Metrics.abort_reason_name reason) ~latency_ns);
     trace_instant t ~cat:"txn" ~name:"abort" ~pid:node ~tid:n.txn_seq
       [ ("reason", Metrics.abort_reason_name reason) ];
     Types.Aborted
@@ -1873,6 +1884,12 @@ let run_txn t ~node (txn : Types.t) =
           ~args:[ ("cls", (Attrib.get ()).Attrib.cls) ]
           ());
     Metrics.record (mx t) ~latency_ns:(now -. t_start) Types.Committed;
+    (match t.telemetry with
+    | None -> ()
+    | Some tel ->
+        Xenic_telemetry.Telemetry.record_commit tel
+          ~label:(Attrib.get ()).Attrib.cls ~stack:"Xenic" ~node
+          ~latency_ns:(now -. t_start));
     Types.Committed
   in
   if not (armed t) then begin

@@ -191,6 +191,11 @@ val host_worker_utilization : t -> float
     compare per candidate event. *)
 val set_trace : t -> Xenic_sim.Trace.t option -> unit
 
+(** Attach (or detach, with [None]) a telemetry flight recorder:
+    commits and aborts-by-reason, with service latency, stream into its
+    windows. Event-free — attaching never perturbs the run. *)
+val set_telemetry : t -> Xenic_telemetry.Telemetry.t option -> unit
+
 (** Instantaneous-occupancy gauges — one per node per resource class
     (NIC cores, DMA queues, links, host pools) — for
     {!Xenic_sim.Trace.sampler}. *)

@@ -76,13 +76,21 @@ let events t = List.rev t.events
    source is polled every [period_ns] and recorded as a Chrome counter
    track. The returned thunk stops the loop; the driver must call it
    once the run ends or the pending self-rescheduling timer would keep
-   the engine from draining. *)
-let sampler t ~period_ns ~pid ~sources =
+   the engine from draining.
+
+   [until_ns] is a hard accounting cutoff: the sampler self-stops at
+   the first tick past it, without recording, even if the stop thunk
+   has not fired yet. Without it a caller that stops the sampler only
+   when the simulation drains (rather than when the measured schedule
+   ends) would leak post-schedule drain samples into its accounting
+   windows — the open-loop [t_end] trap. *)
+let sampler ?(until_ns = infinity) t ~period_ns ~pid ~sources =
   if Float.compare period_ns 0.0 <= 0 then
     invalid_arg "Trace.sampler: period must be positive";
   let stopped = ref false in
   let rec tick () =
-    if not !stopped then begin
+    if (not !stopped) && Float.compare (Engine.now t.engine) until_ns <= 0
+    then begin
       List.iter
         (fun (name, poll) -> counter t ~name ~pid ~values:[ ("value", poll ()) ])
         sources;

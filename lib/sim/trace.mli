@@ -84,8 +84,13 @@ val events : t -> event list
     source each [period_ns] and records the gauge as a counter track.
     Returns a stop thunk; callers must invoke it when the measured run
     ends, otherwise the self-rescheduling timer keeps the engine from
-    draining. *)
+    draining. [until_ns] (default [infinity]) is a hard accounting
+    cutoff: a tick strictly past it records nothing and the loop
+    self-stops, so post-schedule drain samples cannot leak into an
+    open-loop run's accounting interval even when the stop thunk only
+    fires once the engine drains. *)
 val sampler :
+  ?until_ns:float ->
   t ->
   period_ns:float ->
   pid:int ->

@@ -41,7 +41,8 @@ let bucket_of_value v =
     done;
     let shift = !octave - 1 in
     let sub = (v lsr shift) - sub_buckets in
-    (sub_buckets * !octave) + sub
+    let i = (sub_buckets * !octave) + sub in
+    if i >= n_buckets then n_buckets - 1 else i
   end
 
 let value_of_bucket i =
@@ -59,7 +60,6 @@ let value_of_bucket i =
 let record_n t v n =
   if n > 0 then begin
     let i = bucket_of_value v in
-    let i = if i >= n_buckets then n_buckets - 1 else i in
     t.counts.(i) <- t.counts.(i) + n;
     t.count <- t.count + n;
     t.total <- t.total +. (v *. float_of_int n);

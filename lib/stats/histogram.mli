@@ -37,3 +37,18 @@ val clear : t -> unit
 
 (** [merge ~into src] adds all of [src]'s samples into [into]. *)
 val merge : into:t -> t -> unit
+
+(** {2 Bucket geometry}
+
+    The log-bucket mapping, exposed so sibling histogram
+    representations (the sparse per-window {!Whist}) share exactly the
+    same buckets and therefore merge and compare losslessly. *)
+
+(** Total number of buckets. *)
+val n_buckets : int
+
+(** Bucket index covering value [v] (clamped to [0, n_buckets)). *)
+val bucket_of_value : float -> int
+
+(** Representative (midpoint) value of bucket [i]. *)
+val value_of_bucket : int -> float

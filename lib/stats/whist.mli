@@ -1,0 +1,45 @@
+(** Sparse log-bucketed histogram for per-window latency shards.
+
+    Same bucket geometry as {!Histogram} (shared via
+    {!Histogram.bucket_of_value}), but stored sparsely: a telemetry run
+    keeps one histogram per (window, series) cell, and most cells see a
+    handful of distinct latency buckets, so the dense [n_buckets]-array
+    representation would waste two orders of magnitude of memory.
+    Merging a [Whist] into another (partition shards of the same
+    logical window) or into a dense {!Histogram} is lossless — both
+    sides agree on every bucket boundary. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> unit
+
+(** [record_n t v n] records [n] occurrences of [v]. *)
+val record_n : t -> float -> int -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+
+(** [quantile t q] for [q] in [0, 1]; [nan] when empty. Identical to
+    {!Histogram.quantile} over the same samples, including the clamp to
+    observed extrema. *)
+val quantile : t -> float -> float
+
+val median : t -> float
+
+val p99 : t -> float
+
+(** Samples with value at most [v] (bucket resolution: everything in
+    [v]'s bucket and below counts) — the SLO-attainment query. *)
+val count_at_or_below : t -> float -> int
+
+(** [merge ~into src] adds all of [src]'s samples into [into]. *)
+val merge : into:t -> t -> unit
+
+(** Nonzero [(bucket, count)] pairs sorted by bucket index — the
+    deterministic serialization order. *)
+val buckets : t -> (int * int) list

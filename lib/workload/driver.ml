@@ -29,9 +29,39 @@ type state = {
 
 let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
     ?coordinators ?(faults = []) ?trace ?(sample_period_ns = 10_000.0)
-    ?(profile = false) (sys : System.t) spec ~concurrency ~target =
+    ?(profile = false) ?telemetry (sys : System.t) spec ~concurrency ~target =
   let engine = sys.System.engine in
   let metrics = Metrics.create () in
+  sys.System.set_telemetry telemetry;
+  (* Occupancy integrals for the flight recorder, without sampling
+     events: at each transaction completion (an existing event) the
+     current gauge readings are integrated backward over the span since
+     the previous completion. Gauge state is shared across slots, so
+     this stays off in windowed conservative mode, where slots run
+     concurrently on different domains; exact-order mode serializes
+     every event through the baton, so the shared ref is race-free and
+     the integrals are bit-identical to a single-domain run. *)
+  let occ_state =
+    match telemetry with
+    | Some tel when Option.is_none (Engine.current_lookahead engine) ->
+        Some (tel, sys.System.util_sources (), ref (Engine.now engine))
+    | _ -> None
+  in
+  let integrate_occ () =
+    match occ_state with
+    | None -> ()
+    | Some (tel, sources, last) ->
+        let now = Engine.now engine in
+        if Float.compare now !last > 0 then begin
+          List.iter
+            (fun (resource, poll) ->
+              Xenic_telemetry.Telemetry.add_occupancy tel
+                ~stack:sys.System.name ~node:(-1) ~resource ~from:!last
+                ~until:now ~value:(poll ()))
+            sources;
+          last := now
+        end
+  in
   (* Profiling needs transaction spans for critical-path extraction; if
      the caller did not attach a trace, run an internal one. *)
   let trace =
@@ -129,6 +159,7 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
               let t0 = Engine.now engine in
               let outcome = sys.System.run_txn ~node txn in
               let latency = Engine.now engine -. t0 in
+              integrate_occ ();
               (match outcome with
               | Types.Committed ->
                   st.committed <- st.committed + 1;
@@ -160,6 +191,12 @@ let run ?(seed = 1L) ?(warmup_frac = 0.15) ?(abort_backoff_ns = 3_000.0)
           slot_done ())
     done) coordinators;
   ignore (Engine.run engine);
+  (match telemetry with
+  | None -> ()
+  | Some tel ->
+      integrate_occ ();
+      Xenic_telemetry.Telemetry.seal tel;
+      sys.System.set_telemetry None);
   Process.spawn engine (fun () -> sys.System.quiesce ());
   ignore (Engine.run engine);
   (* Sanitizer mode: a strict engine fails the run on any protocol-audit

@@ -50,7 +50,14 @@ type result = {
     ({!Xenic_sim.Attrib}) for the run and returns the collected
     {!Xenic_profile.Profile.t} in the result; if no [trace] was given,
     an internal one records the transaction spans critical-path
-    extraction needs. *)
+    extraction needs.
+
+    [telemetry] attaches a windowed flight recorder for the run: the
+    system streams commits/aborts into it, resource occupancy is
+    integrated at transaction completions (off in windowed
+    conservative mode, where slots run concurrently),
+    and the recorder is sealed — [t_end] fixed at the drain instant —
+    and detached before [run] returns. *)
 val run :
   ?seed:int64 ->
   ?warmup_frac:float ->
@@ -60,6 +67,7 @@ val run :
   ?trace:Xenic_sim.Trace.t ->
   ?sample_period_ns:float ->
   ?profile:bool ->
+  ?telemetry:Xenic_telemetry.Telemetry.t ->
   Xenic_proto.System.t ->
   spec ->
   concurrency:int ->

@@ -95,7 +95,7 @@ let mk_cstate nphases =
 
 let run ?(seed = 1L) ?(warmup_ns = 0.0) ?(admission = Admission.unlimited)
     ?(service_slots = 8) ?(retries = 0) ?(users = 2_000_000)
-    ?(active_frac = 0.05) ?(churn_period_ns = 2e6) ?coordinators
+    ?(active_frac = 0.05) ?(churn_period_ns = 2e6) ?coordinators ?telemetry
     (sys : System.t) (wl : workload) ~phases =
   if phases = [] then invalid_arg "Openloop.run: empty phase list";
   List.iter
@@ -149,6 +149,14 @@ let run ?(seed = 1L) ?(warmup_ns = 0.0) ?(admission = Admission.unlimited)
      unbounded queue look as good as a bounded one once the run drains.
      The system's own metrics still record everything. *)
   let t_end = t0 +. total in
+  (* The recorder shares the accounting cutoff: recordings during the
+     post-schedule drain — including the system's own commit/abort
+     streams — are dropped, exactly like the driver-side counters. *)
+  sys.System.set_telemetry telemetry;
+  (match telemetry with
+  | None -> ()
+  | Some tel -> Xenic_telemetry.Telemetry.set_cutoff tel t_end);
+  let stack = sys.System.name in
   let root = Rng.create ~seed in
   (* Active-session churn: a window of [active] users slides over the
      population by [stride] every churn period — a pure function of
@@ -174,6 +182,11 @@ let run ?(seed = 1L) ?(warmup_ns = 0.0) ?(admission = Admission.unlimited)
     let mb = Mailbox.create ~name:(Printf.sprintf "openloop-q%d" coord) engine in
     let record_shed cs idx cause ~now ~latency_ns =
       sys.System.record_shed ~latency_ns;
+      (match telemetry with
+      | None -> ()
+      | Some tel ->
+          Xenic_telemetry.Telemetry.record_shed tel ~stack ~node:coord
+            ~cause:(Admission.cause_name cause));
       if Float.compare now t_end <= 0 then begin
         cs.ph_shed.(idx) <- cs.ph_shed.(idx) + 1;
         if Float.compare now wstart >= 0 then
@@ -190,6 +203,11 @@ let run ?(seed = 1L) ?(warmup_ns = 0.0) ?(admission = Admission.unlimited)
                ~now:(Engine.now engine) ~latency_ns:waited
            else begin
              let outcome = sys.System.run_txn ~node:coord r.txn in
+             (match telemetry with
+             | None -> ()
+             | Some tel ->
+                 Xenic_telemetry.Telemetry.sample_queue tel ~stack ~node:coord
+                   ~depth:(Admission.depth adm));
              Admission.finish adm;
              let done_t = Engine.now engine in
              let latency = done_t -. r.t_arr in
@@ -234,6 +252,7 @@ let run ?(seed = 1L) ?(warmup_ns = 0.0) ?(admission = Admission.unlimited)
            end);
           serve ()
     in
+    let occ_last = ref t0 in
     let rec arrive seq =
       let now = Engine.now engine in
       let rel = now -. t0 in
@@ -254,14 +273,33 @@ let run ?(seed = 1L) ?(warmup_ns = 0.0) ?(admission = Admission.unlimited)
         let cls, txn = gen txn_rng ~theta:ph.theta ~hot in
         cs.ph_offered.(idx) <- cs.ph_offered.(idx) + 1;
         if Float.compare now wstart >= 0 then cs.w_offered <- cs.w_offered + 1;
-        (match
-           Admission.offer adm
-             ~occupancy:(sys.System.ingress_occupancy ~node:coord)
-         with
+        let occupancy = sys.System.ingress_occupancy ~node:coord in
+        (match telemetry with
+        | None -> ()
+        | Some tel ->
+            Xenic_telemetry.Telemetry.record_offered tel ~stack ~node:coord;
+            (* Coordinator-ingress occupancy integral, event-free: the
+               gauge read at this arrival is integrated backward over
+               the span since the previous one (coordinator-local
+               state, so partition-safe). *)
+            if Float.compare now !occ_last > 0 then begin
+              Xenic_telemetry.Telemetry.add_occupancy tel ~stack ~node:coord
+                ~resource:"ingress" ~from:!occ_last ~until:now
+                ~value:occupancy;
+              occ_last := now
+            end);
+        (match Admission.offer adm ~occupancy with
         | Ok () ->
             cs.ph_admitted.(idx) <- cs.ph_admitted.(idx) + 1;
             if Float.compare now wstart >= 0 then
               cs.w_admitted <- cs.w_admitted + 1;
+            (match telemetry with
+            | None -> ()
+            | Some tel ->
+                Xenic_telemetry.Telemetry.record_admitted tel ~stack
+                  ~node:coord;
+                Xenic_telemetry.Telemetry.sample_queue tel ~stack ~node:coord
+                  ~depth:(Admission.depth adm));
             Mailbox.send mb (Some { txn; cls; t_arr = now; phase = idx; attempt = 0 })
         | Error cause -> record_shed cs idx cause ~now ~latency_ns:0.0);
         let gap =
@@ -281,6 +319,11 @@ let run ?(seed = 1L) ?(warmup_ns = 0.0) ?(admission = Admission.unlimited)
         Process.spawn engine (fun () -> arrive 0))
   done;
   ignore (Engine.run engine);
+  (match telemetry with
+  | None -> ()
+  | Some tel ->
+      Xenic_telemetry.Telemetry.seal tel;
+      sys.System.set_telemetry None);
   sys.System.stop_background ();
   Process.spawn engine (fun () -> sys.System.quiesce ());
   ignore (Engine.run engine);

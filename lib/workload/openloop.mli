@@ -109,7 +109,15 @@ type result = {
     coordinator; [retries] the client-side re-submissions per aborted
     transaction (0 by default). [users], [active_frac] and
     [churn_period_ns] shape the logical population and its session
-    churn. [coordinators] defaults to every node. *)
+    churn. [coordinators] defaults to every node.
+
+    [telemetry] attaches a windowed flight recorder sharing the run's
+    accounting cutoff (the end of the arrival schedule): offered /
+    admitted / shed arrivals, queue-depth samples and coordinator
+    ingress-occupancy integrals stream in from the driver, commits and
+    aborts from the system, and everything landing during the
+    post-schedule drain is dropped. The recorder is sealed and
+    detached before [run] returns. *)
 val run :
   ?seed:int64 ->
   ?warmup_ns:float ->
@@ -120,6 +128,7 @@ val run :
   ?active_frac:float ->
   ?churn_period_ns:float ->
   ?coordinators:int ->
+  ?telemetry:Xenic_telemetry.Telemetry.t ->
   System.t ->
   workload ->
   phases:phase list ->

@@ -16,7 +16,8 @@ if ! dune build @lint; then
   exit 1
 fi
 : > /root/repo/bench_output.txt
-rm -f /root/repo/BENCH_*.json /root/repo/PROFILE_*.txt /root/repo/PROFILE_*.folded
+rm -f /root/repo/BENCH_*.json /root/repo/PROFILE_*.txt /root/repo/PROFILE_*.folded \
+  /root/repo/TELEMETRY_*.json /root/repo/TELEMETRY_*.prom
 # Domain-parity gate: every stack must produce bit-identical digests on
 # 1-domain and 2-domain engines before any experiment spends cycles —
 # a divergence means the partitioned engine is broken and every number
@@ -68,6 +69,23 @@ if [ -z "$XENIC_QUICK" ] && [ -f /root/repo/bench/ref/BENCH_load.ref.json ]; the
     echo "FAILED: BENCH_load.json diverged from bench/ref reference" \
       >> /root/repo/bench_output.txt
     echo "run_bench.sh: load diff gate failed (exit $status)" >&2
+  fi
+fi
+# Telemetry gate: the load experiment's flight-recorder series share
+# the sweep's determinism (byte-identical across same-seed reruns and
+# domain counts, enforced inside the experiment), so the exported
+# TELEMETRY_load.json must byte-match its reference too. The telemetry
+# JSON holds simulated-time series only — no wall-clock keys to drop.
+if [ -z "$XENIC_QUICK" ] && [ -f /root/repo/bench/ref/TELEMETRY_load.ref.json ]; then
+  dune exec bin/xenicctl.exe -- bench diff \
+    /root/repo/bench/ref/TELEMETRY_load.ref.json /root/repo/TELEMETRY_load.json \
+    --tol 0 >> /root/repo/bench_output.txt 2>&1
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    failed="$failed telemetry-diff-gate"
+    echo "FAILED: TELEMETRY_load.json diverged from bench/ref reference" \
+      >> /root/repo/bench_output.txt
+    echo "run_bench.sh: telemetry diff gate failed (exit $status)" >&2
   fi
 fi
 touch /root/repo/.bench_done

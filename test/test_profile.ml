@@ -315,6 +315,40 @@ let test_diff_parse () =
   Alcotest.(check (option (float 1e-9))) "null value" None
     (List.assoc "farm residual" m)
 
+(* A type-corrupted metrics file (a string where a number belongs) is a
+   shape error, not a regression: it must fail loudly and the message
+   must name the offending key. *)
+let test_diff_parse_bad_type () =
+  let path = Filename.temp_file "bench_diff" ".json" in
+  let oc = open_out path in
+  output_string oc
+    "{\n\
+    \  \"experiment\": \"t\",\n\
+    \  \"description\": \"d\",\n\
+    \  \"metrics\": {\n\
+    \    \"xenic tput\": \"fast\"\n\
+    \  }\n\
+     }\n";
+  close_out oc;
+  let got =
+    match Bench_diff.load_metrics path with
+    | _ -> None
+    | exception Failure e -> Some e
+  in
+  Sys.remove path;
+  match got with
+  | None -> Alcotest.fail "expected Failure on a non-numeric metric value"
+  | Some e ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        m = 0 || go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the key (%s)" e)
+        true
+        (contains e "xenic tput")
+
 let all_stacks =
   [
     ("xenic", mk_xenic);
@@ -360,5 +394,7 @@ let () =
           Alcotest.test_case "presence and zero" `Quick test_diff_presence;
           Alcotest.test_case "ignore prefixes" `Quick test_diff_ignore_prefixes;
           Alcotest.test_case "file parse" `Quick test_diff_parse;
+          Alcotest.test_case "non-numeric value names key" `Quick
+            test_diff_parse_bad_type;
         ] );
     ]

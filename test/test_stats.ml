@@ -123,6 +123,47 @@ let test_histogram_large_values_qcheck =
          let hi = List.nth sorted (min (n - 1) ((n / 2) + 2)) in
          approx >= lo *. 0.96 && approx <= hi *. 1.04))
 
+(* The sparse Whist shares Histogram's bucket geometry, so every
+   derived statistic must agree exactly with the dense histogram over
+   the same samples. *)
+let test_whist_matches_histogram () =
+  let w = Whist.create () and h = Histogram.create () in
+  let vals = [ 0.0; 1.0; 3.5; 90.0; 1_500.0; 1_500.0; 2.0e6; 5.0e9 ] in
+  List.iter
+    (fun v ->
+      Whist.record w v;
+      Histogram.record h v)
+    vals;
+  Alcotest.(check int) "count" (Histogram.count h) (Whist.count w);
+  Alcotest.(check (float 1e-9)) "total" (Histogram.total h) (Whist.total w);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "quantile %.2f" q)
+        (Histogram.quantile h q) (Whist.quantile w q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_whist_merge () =
+  let a = Whist.create () and b = Whist.create () in
+  Whist.record_n a 10.0 3;
+  Whist.record a 500.0;
+  Whist.record b 10.0;
+  Whist.record_n b 40_000.0 2;
+  Whist.merge ~into:a b;
+  Alcotest.(check int) "count" 7 (Whist.count a);
+  Alcotest.(check (float 1e-9)) "mean"
+    ((3.0 *. 10.0) +. 500.0 +. 10.0 +. (2.0 *. 40_000.0))
+    (Whist.mean a *. 7.0);
+  let buckets = Whist.buckets a in
+  Alcotest.(check int) "three distinct buckets" 3 (List.length buckets);
+  Alcotest.(check int) "merged bucket count" 4
+    (List.assoc (Histogram.bucket_of_value 10.0) buckets);
+  Alcotest.(check bool) "buckets sorted" true
+    (List.sort compare (List.map fst buckets) = List.map fst buckets);
+  Alcotest.(check int) "at-or-below 10" 4 (Whist.count_at_or_below a 10.0);
+  Alcotest.(check int) "at-or-below 500" 5 (Whist.count_at_or_below a 500.0);
+  Alcotest.(check int) "at-or-below max" 7 (Whist.count_at_or_below a 1e9)
+
 let test_counter () =
   let c = Counter.create () in
   Counter.incr c "msgs";
@@ -171,6 +212,12 @@ let () =
           Alcotest.test_case "merge bounds" `Quick test_histogram_merge_bounds;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           qt test_histogram_large_values_qcheck;
+        ] );
+      ( "whist",
+        [
+          Alcotest.test_case "matches dense histogram" `Quick
+            test_whist_matches_histogram;
+          Alcotest.test_case "merge" `Quick test_whist_merge;
         ] );
       ("counter", [ Alcotest.test_case "basics" `Quick test_counter ]);
       ( "table",

@@ -80,6 +80,25 @@ let test_trace_sampler () =
   Alcotest.(check bool) "gauge change observed" true
     (List.exists (fun v -> v > 2.0) samples)
 
+(* Regression for the open-loop accounting cutoff: a sampler armed with
+   [?until_ns] must stop ticking at the cutoff instead of sampling
+   through the post-schedule drain. *)
+let test_trace_sampler_cutoff () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng in
+  let stop =
+    Trace.sampler tr ~until_ns:300.0 ~period_ns:100.0 ~pid:0
+      ~sources:[ ("g", fun () -> 1.0) ]
+  in
+  (* Keep the engine running well past the cutoff; the sampler must
+     retire itself rather than rely on [stop]. *)
+  Engine.after eng 2_000.0 (fun () -> ());
+  ignore (Engine.run eng);
+  stop ();
+  (* Ticks at t = 0, 100, 200, 300 sample; the 400 tick is past the
+     cutoff and neither samples nor reschedules. *)
+  Alcotest.(check int) "samples stop at the cutoff" 4 (Trace.count tr)
+
 (* ------------------------------------------------------------------ *)
 (* Full-stack determinism + taxonomy *)
 
@@ -175,6 +194,8 @@ let () =
           Alcotest.test_case "order" `Quick test_trace_buffer_order;
           Alcotest.test_case "limit" `Quick test_trace_limit;
           Alcotest.test_case "sampler" `Quick test_trace_sampler;
+          Alcotest.test_case "sampler cutoff" `Quick
+            test_trace_sampler_cutoff;
           Alcotest.test_case "driver overflow" `Quick
             test_trace_driver_overflow;
         ] );
