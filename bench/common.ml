@@ -59,6 +59,24 @@ let section title =
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
 
+(* Scenario corpus files live under test/scenarios/. The bench binary
+   usually runs from the workspace root (dune exec), but walk up a few
+   levels so invocations from _build subdirectories resolve too. *)
+let corpus_path name =
+  let rel = Filename.concat "test/scenarios" name in
+  let rec search dir depth =
+    let candidate = Filename.concat dir rel in
+    if Sys.file_exists candidate then candidate
+    else if depth = 0 then rel
+    else search (Filename.concat dir Filename.parent_dir_name) (depth - 1)
+  in
+  search Filename.current_dir_name 4
+
+let load_scenario name =
+  match Xenic_scenario.Scenario.load_file (corpus_path name) with
+  | Ok scn -> scn
+  | Error m -> failwith (Printf.sprintf "scenario corpus %s: %s" name m)
+
 let hw = Xenic_params.Hw.testbed
 
 (* The paper's testbed: 6 servers, 3-way replication. *)

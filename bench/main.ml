@@ -26,6 +26,7 @@ let experiments =
     ("scale", "nodes x replication scale-out sweep", Exp_scale.run);
     ("load", "open-loop offered load vs goodput under admission control", Exp_load.run);
     ("parity", "1-domain vs 2-domain bit-identity gate", Exp_parity.run);
+    ("scenario", "declarative fault/load scenario corpus", Exp_scenario.run);
   ]
 
 let () =

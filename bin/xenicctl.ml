@@ -308,6 +308,54 @@ let bench_diff_cmd a b tol ignore_prefixes =
       print_string (Xenic_profile.Bench_diff.render ~tol findings);
       if Xenic_profile.Bench_diff.regressed findings then exit 1
 
+(* [scenario run]: load a declarative scenario file, validate it and
+   drive it on the chosen stack under the scenario harness (strict
+   engine + serializability oracle), then print the outcome. *)
+let scenario_run_cmd file stack seed target concurrency verbose =
+  let module Scenario = Xenic_scenario.Scenario in
+  let module Harness = Xenic_scenario.Harness in
+  let stack =
+    match Harness.stack_of_string stack with
+    | Some s -> s
+    | None ->
+        Printf.eprintf
+          "scenario run: unknown stack %S (expected one of: %s)\n" stack
+          (String.concat ", " (List.map Harness.stack_name Harness.all_stacks));
+        exit 2
+  in
+  match Scenario.load_file file with
+  | Error msg ->
+      Printf.eprintf "scenario run: %s: %s\n" file msg;
+      exit 2
+  | Ok scn -> (
+      Printf.printf "scenario %s: %d nodes, %d events, %d phases (%s)\n"
+        scn.Scenario.name scn.Scenario.nodes
+        (List.length scn.Scenario.events)
+        (List.length scn.Scenario.phases)
+        (if Scenario.has_phases scn then "open-loop Retwis"
+         else "closed-loop Smallbank");
+      match
+        Harness.run ~stack ~seed:(Int64.of_int seed) ~target ~concurrency scn
+      with
+      | exception Failure msg ->
+          Printf.eprintf "scenario run: %s\n" msg;
+          exit 1
+      | exception Invalid_argument msg ->
+          Printf.eprintf "scenario run: invalid scenario: %s\n" msg;
+          exit 2
+      | o ->
+          Printf.printf
+            "stack %s seed %d: committed=%d aborted=%d oracle_txns=%d \
+             (serializable)\n"
+            (Harness.stack_name stack) seed o.Harness.committed
+            o.Harness.aborted o.Harness.oracle_txns;
+          List.iter
+            (fun (k, v) ->
+              if Float.compare v 0.0 <> 0 then
+                Printf.printf "  %-32s %.6g\n" k v)
+            (List.sort compare o.Harness.counters);
+          if verbose then Printf.printf "digest %s\n" o.Harness.digest)
+
 let cmd =
   let system =
     Arg.(value & opt system_conv Xenic & info [ "system"; "s" ] ~doc:"System to run: xenic, drtmh, drtmh-nc, fasst, drtmr.")
@@ -425,6 +473,46 @@ let cmd =
   let bench_diff_term =
     Term.(const bench_diff_cmd $ diff_a $ diff_b $ diff_tol $ diff_ignore)
   in
+  let scn_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.scn" ~doc:"Scenario file (s-expression text).")
+  in
+  let scn_stack =
+    Arg.(
+      value & opt string "xenic"
+      & info [ "stack"; "s" ]
+          ~doc:"Stack to run: xenic, drtmh, drtmh-nc, fasst, drtmr, farm.")
+  in
+  let scn_seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed.")
+  in
+  let scn_target =
+    Arg.(
+      value & opt int 300
+      & info [ "target"; "n" ]
+          ~doc:"Committed-transaction target (closed-loop scenarios only).")
+  in
+  let scn_concurrency =
+    Arg.(
+      value & opt int 8
+      & info [ "concurrency"; "c" ]
+          ~doc:
+            "Outstanding transactions per coordinator (closed-loop \
+             scenarios only).")
+  in
+  let scn_verbose =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:"Also print the lossless run digest (bit-identity checks).")
+  in
+  let scenario_run_term =
+    Term.(
+      const scenario_run_cmd $ scn_file $ scn_stack $ scn_seed $ scn_target
+      $ scn_concurrency $ scn_verbose)
+  in
   Cmd.group
     (Cmd.info "xenicctl" ~doc:"Run Xenic-reproduction benchmarks")
     [
@@ -464,6 +552,19 @@ let cmd =
                   tolerance; print per-metric deltas and exit nonzero if \
                   any metric regressed out of tolerance.")
             bench_diff_term;
+        ];
+      Cmd.group
+        (Cmd.info "scenario"
+           ~doc:"Declarative fault/load scenario utilities.")
+        [
+          Cmd.v
+            (Cmd.info "run"
+               ~doc:
+                 "Validate a scenario file and drive it end to end on one \
+                  stack under the scenario harness (strict engine, \
+                  serializability oracle); print the outcome and nonzero \
+                  counters, exiting nonzero on a violation.")
+            scenario_run_term;
         ];
     ]
 

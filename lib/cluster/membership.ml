@@ -56,24 +56,49 @@ let check_expiry t =
     List.iter (fun f -> f ~epoch:t.epoch ~dead:newly_dead) t.subscribers
   end
 
-let start t =
+(* Renewal loop for one node; exits when the node fails or the service
+   stops. [recover_node] respawns it for a node rejoining within its
+   lease. *)
+let renew_loop t s =
   let renew_period = t.lease_ns /. 3.0 in
+  Process.spawn t.engine (fun () ->
+      let rec loop () =
+        if (not s.failed) && not t.stopped then begin
+          s.last_renew <- Engine.now t.engine;
+          Process.sleep t.engine renew_period;
+          loop ()
+        end
+      in
+      loop ())
+
+let recover_node t ~node =
+  let s = t.nodes.(node) in
+  if s.dead then
+    (* Fail-stop discipline: once the lease expired and the epoch moved
+       past the node, it must not rejoin under its old identity — a
+       flapping node that missed the declaration would otherwise be
+       re-promoted with a stale epoch. It stays out; a real deployment
+       would readmit it as a fresh member. *)
+    false
+  else begin
+    (* Crash-and-return within the lease window: refresh the lease
+       synchronously (so no expiry can fire between this instant and
+       the loop's first renewal) and resume renewals. A node that never
+       failed keeps its existing loop. *)
+    s.last_renew <- Engine.now t.engine;
+    if s.failed then begin
+      s.failed <- false;
+      if not t.stopped then renew_loop t s
+    end;
+    true
+  end
+
+let start t =
   Array.iteri
     (fun _i s -> s.last_renew <- Engine.now t.engine)
     t.nodes;
   (* Renewal loop per node. *)
-  Array.iter
-    (fun s ->
-      Process.spawn t.engine (fun () ->
-          let rec loop () =
-            if (not s.failed) && not t.stopped then begin
-              s.last_renew <- Engine.now t.engine;
-              Process.sleep t.engine renew_period;
-              loop ()
-            end
-          in
-          loop ()))
-    t.nodes;
+  Array.iter (fun s -> renew_loop t s) t.nodes;
   (* Manager expiry checker. *)
   Process.spawn t.engine (fun () ->
       let rec loop () =

@@ -30,6 +30,16 @@ val alive_nodes : t -> int list
     reconfiguration (fault injection). *)
 val fail_node : t -> node:int -> unit
 
+(** [recover_node t ~node] readmits a node that crashed and returned
+    {e within} its lease window: the lease is refreshed synchronously
+    and renewals resume; returns [true]. If the lease already expired —
+    the node was declared dead and the epoch moved past it — the
+    request is refused ([false]) and the node stays out permanently:
+    readmitting it under its old identity would let a flapping node be
+    re-promoted with a stale epoch. Must be called after {!start};
+    idempotent for a node that never failed. *)
+val recover_node : t -> node:int -> bool
+
 (** Subscribe to reconfiguration events: called with the new epoch and
     the nodes newly declared dead. *)
 val on_reconfigure : t -> (epoch:int -> dead:int list -> unit) -> unit

@@ -77,6 +77,59 @@ let load t k v =
   if Keyspace.ordered k then Btree.insert s.ordered k v
   else ignore (Robinhood.insert s.hash k v)
 
+(* State transfer for node rejoin: make [t]'s copy of [shard] mirror
+   [from]'s. The source must be quiescent (callers run this under the
+   recovery commit fence, after the source's logs have drained), so the
+   copy is a consistent snapshot. Versions are carried over, which
+   keeps the destination's version-guarded [apply] idempotent against
+   any stale records its own workers drain afterwards. *)
+let sync_shard ~from t ~shard =
+  let s = shard_store from ~shard in
+  let d = shard_store t ~shard in
+  (* Hash table: mirror the source entry set. Entries are applied in
+     sorted key order so the destination's table layout is a function
+     of the source's contents, not of either table's probe history. *)
+  let src_entries = ref [] in
+  Robinhood.iter s.hash (fun k v seq -> src_entries := (k, v, seq) :: !src_entries);
+  let src_entries =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) !src_entries
+  in
+  let src_keys = Hashtbl.create (List.length src_entries) in
+  List.iter (fun (k, _, _) -> Hashtbl.replace src_keys k ()) src_entries;
+  let stale = ref [] in
+  Robinhood.iter d.hash (fun k _ _ ->
+      if not (Hashtbl.mem src_keys k) then stale := k :: !stale);
+  List.iter
+    (fun k -> ignore (Robinhood.delete d.hash k))
+    (List.sort compare !stale);
+  List.iter
+    (fun (k, v, seq) ->
+      if not (Robinhood.update d.hash k v ~seq) then begin
+        ignore (Robinhood.insert d.hash k v);
+        ignore (Robinhood.update d.hash k v ~seq)
+      end)
+    src_entries;
+  (* Ordered table: mirror the shard's key range, dropping destination
+     keys the source deleted, and carry the apply stamps over so
+     stamp-ordered log replay cannot regress a copied write. Range
+     iteration is in ascending key order — deterministic, and no
+     Hashtbl iteration is involved. *)
+  let lo = Keyspace.make ~shard ~table:0 ~ordered:true ~id:0 in
+  let hi =
+    Keyspace.make ~shard ~table:Keyspace.max_table ~ordered:true
+      ~id:Keyspace.max_id
+  in
+  let stale_ordered =
+    Btree.fold_range d.ordered ~lo ~hi ~init:[] (fun acc k _ ->
+        if Btree.mem s.ordered k then acc else k :: acc)
+  in
+  List.iter (fun k -> ignore (Btree.delete d.ordered k)) (List.rev stale_ordered);
+  Btree.iter_range s.ordered ~lo ~hi (fun k v ->
+      Btree.insert d.ordered k v;
+      match Hashtbl.find_opt from.ordered_stamps k with
+      | Some stamp -> Hashtbl.replace t.ordered_stamps k stamp
+      | None -> ())
+
 let iter_hash t ~shard f =
   let s = shard_store t ~shard in
   Robinhood.iter s.hash f

@@ -37,6 +37,14 @@ val load : t -> Keyspace.t -> bytes -> unit
 (** Iterate every (key, value, seq) of one shard's hash store. *)
 val iter_hash : t -> shard:int -> (Keyspace.t -> bytes -> int -> unit) -> unit
 
+(** [sync_shard ~from t ~shard] makes [t]'s copy of [shard] mirror
+    [from]'s — values, versions, deletions and ordered-table apply
+    stamps. State transfer for a rejoining node; the source must be
+    quiescent (run it under the recovery commit fence, after the
+    source's logs have drained). Deterministic: entries are applied in
+    sorted key order. Both nodes must hold [shard]. *)
+val sync_shard : from:t -> t -> shard:int -> unit
+
 (** Ordered-table range reads over this node's replicas (used by local
     transactions whose scans are serialized by companion hash locks). *)
 val ordered_min :

@@ -6,6 +6,20 @@ type 'm node = {
   inbox : 'm Packet.t Mailbox.t;
 }
 
+(* Per-source gray-failure state. Each row is read at send time — which
+   always runs on the source node's partition — and mutated only by
+   injection events scheduled [~node:src], so the arrays are race-free
+   under the windowed parallel engine, exactly like the wire counters
+   below. *)
+type fault_row = {
+  f_cut : bool array;  (* dst -> frames stall until the cut heals *)
+  f_loss : float array;  (* dst -> per-transmission retransmit probability *)
+  f_delay : float array;  (* dst -> wire-latency multiplier, >= 1 *)
+  f_rng : Rng.t;  (* retransmit draws for frames leaving this source *)
+}
+
+type faults = { rto_ns : float; rows : fault_row array }
+
 type 'm t = {
   engine : Engine.t;
   hw : Xenic_params.Hw.t;
@@ -17,7 +31,13 @@ type 'm t = {
   frames_arr : int array;
   bytes_arr : int array;
   mutable rate_override : float option;
+  mutable faults : faults option;
 }
+
+(* A lost transmission is retried at most this many times; the
+   validator layer uses the same constant to bound worst-case extra
+   delay below any armed request timeout. *)
+let max_retransmits = 4
 
 let create engine hw ~nodes =
   let make i =
@@ -34,6 +54,7 @@ let create engine hw ~nodes =
     frames_arr = Array.make nodes 0;
     bytes_arr = Array.make nodes 0;
     rate_override = None;
+    faults = None;
   }
 
 let nodes t = Array.length t.node_arr
@@ -49,6 +70,89 @@ let rate t =
   | Some r -> r
   | None -> Xenic_params.Hw.link_rate t.hw
 
+let enable_faults t ~seed ~rto_ns =
+  if Float.compare rto_ns 0.0 <= 0 then
+    invalid_arg "Fabric.enable_faults: rto_ns must be > 0";
+  match t.faults with
+  | Some _ -> ()
+  | None ->
+      let n = Array.length t.node_arr in
+      let root = Rng.create ~seed in
+      t.faults <-
+        Some
+          {
+            rto_ns;
+            rows =
+              Array.init n (fun src ->
+                  {
+                    f_cut = Array.make n false;
+                    f_loss = Array.make n 0.0;
+                    f_delay = Array.make n 1.0;
+                    (* [derive]: per-source streams keyed by node id, so
+                       one link's draws never depend on another's. *)
+                    f_rng = Rng.derive root ~index:src;
+                  });
+          }
+
+let faults_enabled t = Option.is_some t.faults
+
+let require_faults t op =
+  match t.faults with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Fabric.%s: faults not enabled" op)
+
+let set_cut t ~src ~dst cut = (require_faults t "set_cut").rows.(src).f_cut.(dst) <- cut
+
+let set_loss t ~src ~dst p =
+  if Float.compare p 0.0 < 0 || Float.compare p 1.0 >= 0 then
+    invalid_arg "Fabric.set_loss: p must be in [0, 1)";
+  (require_faults t "set_loss").rows.(src).f_loss.(dst) <- p
+
+let set_delay t ~src ~dst factor =
+  if Float.compare factor 1.0 < 0 then
+    invalid_arg "Fabric.set_delay: factor must be >= 1";
+  (require_faults t "set_delay").rows.(src).f_delay.(dst) <- factor
+
+(* The wire hop for one frame src->dst under the current fault state.
+   Loss is modeled as a reliable transport over a lossy wire: each lost
+   transmission costs one retransmit timeout, capped at
+   [max_retransmits] — frames are delayed, never dropped, so protocol
+   invariants (fire-and-forget COMMIT notifications, lock releases)
+   survive arbitrary loss rates. The extra delay is always >= the base
+   wire latency, so the hop stays legal as the windowed engine's
+   lookahead. Runs on the source's partition; must be called from
+   process context. *)
+let hop_delay t ~src ~dst =
+  let base = t.hw.wire_latency_ns in
+  match t.faults with
+  | None -> base
+  | Some f ->
+      let row = f.rows.(src) in
+      let d = base *. row.f_delay.(dst) in
+      let p = row.f_loss.(dst) in
+      if Float.compare p 0.0 > 0 then begin
+        let rec retx n =
+          if n >= max_retransmits then n
+          else if Float.compare (Rng.float row.f_rng) p < 0 then retx (n + 1)
+          else n
+        in
+        d +. (float_of_int (retx 0) *. f.rto_ns)
+      end
+      else d
+
+(* A cut link stalls the frame at the source until the cut heals (the
+   transport keeps retrying; nothing is delivered and nothing is lost).
+   Polling keeps the wait on the source's partition; the poll period is
+   one base wire latency so heals are noticed promptly. *)
+let wait_reachable t ~src ~dst =
+  match t.faults with
+  | None -> ()
+  | Some f ->
+      let row = f.rows.(src) in
+      while row.f_cut.(dst) do
+        Process.sleep t.engine t.hw.wire_latency_ns
+      done
+
 let send t ~src ~dst ~payload_bytes msgs =
   let wire_bytes = payload_bytes + t.hw.eth_frame_overhead_b in
   t.frames_arr.(src) <- t.frames_arr.(src) + 1;
@@ -57,12 +161,13 @@ let send t ~src ~dst ~payload_bytes msgs =
   let serialization = float_of_int wire_bytes /. rate t in
   Process.spawn t.engine (fun () ->
       Resource.use t.node_arr.(src).tx serialization;
+      wait_reachable t ~src ~dst;
       (* The wire hop is the partition handoff: the wakeup — and the
          rx/delivery work after it — runs on the destination node's
          partition. Wire latency is exactly the partitioned engine's
          lookahead, so the hop is legal in windowed mode by
-         construction. *)
-      Process.sleep ~node:dst t.engine t.hw.wire_latency_ns;
+         construction (fault delays only ever add to it). *)
+      Process.sleep ~node:dst t.engine (hop_delay t ~src ~dst);
       Resource.use t.node_arr.(dst).rx_link serialization;
       Mailbox.send t.node_arr.(dst).inbox packet)
 
@@ -72,7 +177,8 @@ let transfer t ~src ~dst ~payload_bytes =
   t.bytes_arr.(src) <- t.bytes_arr.(src) + wire_bytes;
   let serialization = float_of_int wire_bytes /. rate t in
   Resource.use t.node_arr.(src).tx serialization;
-  Process.sleep ~node:dst t.engine t.hw.wire_latency_ns;
+  wait_reachable t ~src ~dst;
+  Process.sleep ~node:dst t.engine (hop_delay t ~src ~dst);
   Resource.use t.node_arr.(dst).rx_link serialization
 
 let loopback t ~node msgs =

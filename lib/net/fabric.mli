@@ -53,3 +53,40 @@ val bytes_sent : 'm t -> int
 (** [set_rate_override t rate] replaces the per-link byte rate (bytes per
     nanosecond); used by experiments that change link counts. *)
 val set_rate_override : 'm t -> float option -> unit
+
+(** {2 Gray-failure injection}
+
+    Per-link fault state for scenario runs: cuts (frames stall until
+    healed), loss (modeled as a reliable transport over a lossy wire —
+    each lost transmission costs one retransmit timeout, capped at
+    {!max_retransmits}, so frames are delayed, never dropped), and
+    latency multipliers. All state is sharded by source node and read
+    only at send time on the source's partition; mutations must run as
+    engine events scheduled [~node:src] to stay legal under the
+    windowed parallel engine. With faults never enabled the send path
+    is bit-identical to a fault-free build. *)
+
+(** Cap on retransmissions of one frame; bounds worst-case extra delay
+    at [max_retransmits * rto_ns] per hop. *)
+val max_retransmits : int
+
+(** [enable_faults t ~seed ~rto_ns] allocates the fault state (idempotent;
+    keeps the first seed/rto). [rto_ns] is the retransmit timeout lost
+    transmissions pay. Raises [Invalid_argument] on [rto_ns <= 0]. *)
+val enable_faults : 'm t -> seed:int64 -> rto_ns:float -> unit
+
+val faults_enabled : 'm t -> bool
+
+(** [set_cut t ~src ~dst cut] stalls (or releases) frames src->dst.
+    Direction matters: cut one way models an asymmetric partition.
+    Requires {!enable_faults} first. *)
+val set_cut : 'm t -> src:int -> dst:int -> bool -> unit
+
+(** [set_loss t ~src ~dst p] sets the per-transmission retransmit
+    probability of the src->dst link. [p] in [0, 1). *)
+val set_loss : 'm t -> src:int -> dst:int -> float -> unit
+
+(** [set_delay t ~src ~dst factor] multiplies the src->dst wire latency.
+    [factor >= 1] (extra latency only, so windowed-lookahead legality is
+    preserved). *)
+val set_delay : 'm t -> src:int -> dst:int -> float -> unit

@@ -7,6 +7,10 @@ type 'm t = {
   fabric : 'm Fabric.t;
   hw : Xenic_params.Hw.t;
   units : Resource.t array;  (* per-node NIC processing unit *)
+  slow : float array;
+      (* gray-failure multiplier on each node's NIC unit service time
+         (>= 1); slot [n] is only read by work running at node [n], so
+         mutations scheduled as events at that node are partition-safe *)
   verbs_arr : int array;
       (* verb count sharded by initiator node, so issuing is race-free
          under the windowed parallel engine; the total is a sum *)
@@ -29,8 +33,26 @@ let create fabric =
           Resource.create (Fabric.engine fabric)
             ~name:(Printf.sprintf "rdma%d" i)
             ~servers:1);
+    slow = Array.make (Fabric.nodes fabric) 1.0;
     verbs_arr = Array.make (Fabric.nodes fabric) 0;
   }
+
+(* NIC-unit service time at [node] under the current degradation. *)
+let unit_ns t ~node = t.hw.rdma_hw_op_ns *. t.slow.(node)
+
+let set_slowdown t ~node factor =
+  if Float.compare factor 1.0 < 0 then
+    invalid_arg "Rdma.set_slowdown: factor must be >= 1";
+  t.slow.(node) <- factor
+
+(* Stall [node]'s NIC processing unit for [dur_ns]: the holder occupies
+   the single unit through the ordinary resource accounting, so queueing
+   and occupancy gauges see the degradation. *)
+let degrade_unit t ~node ~dur_ns =
+  if Float.compare dur_ns 0.0 <= 0 then
+    invalid_arg "Rdma.degrade_unit: dur_ns must be > 0";
+  Process.spawn (Fabric.engine t.fabric) (fun () ->
+      Resource.use t.units.(node) dur_ns)
 
 let hw t = t.hw
 
@@ -60,15 +82,15 @@ let target_pcie_ns t = function
 let one_sided ?(pay_submit = true) t ~src ~dst verb ~bytes ~at_target =
   t.verbs_arr.(src) <- t.verbs_arr.(src) + 1;
   if pay_submit then Process.sleep (engine t) t.hw.rdma_submit_ns;
-  Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
+  Resource.use t.units.(src) (unit_ns t ~node:src);
   Fabric.transfer t.fabric ~src ~dst
     ~payload_bytes:(request_bytes t verb ~bytes);
-  Resource.use t.units.(dst) t.hw.rdma_hw_op_ns;
+  Resource.use t.units.(dst) (unit_ns t ~node:dst);
   Process.sleep (engine t) (target_pcie_ns t verb);
   let result = at_target () in
   Fabric.transfer t.fabric ~src:dst ~dst:src
     ~payload_bytes:(response_bytes t verb ~bytes);
-  Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
+  Resource.use t.units.(src) (unit_ns t ~node:src);
   Process.sleep (engine t) t.hw.rdma_completion_poll_ns;
   result
 
@@ -90,13 +112,13 @@ let one_sided_many t ~src verbs =
 let rpc_send ?(pay_submit = true) t ~src ~dst ~bytes msg =
   t.verbs_arr.(src) <- t.verbs_arr.(src) + 1;
   if pay_submit then Process.sleep (engine t) t.hw.rdma_submit_ns;
-  Resource.use t.units.(src) t.hw.rdma_hw_op_ns;
+  Resource.use t.units.(src) (unit_ns t ~node:src);
   Fabric.send t.fabric ~src ~dst ~payload_bytes:(req_header_b + bytes) [ msg ]
 
 let rpc_recv_cost t ~node =
   (* Target NIC DMA-writes the receive buffer, then the polling host
      thread picks it up. *)
-  Resource.use t.units.(node) t.hw.rdma_hw_op_ns;
+  Resource.use t.units.(node) (unit_ns t ~node);
   Process.sleep (engine t) t.hw.rdma_target_write_pcie_ns
 
 let verbs_issued t = Array.fold_left ( + ) 0 t.verbs_arr

@@ -60,3 +60,18 @@ val unit_busy : 'm t -> node:int -> int
 (** The per-node NIC processing units, for the profiler. Names are
     node-unique ([rdma<n>]). *)
 val resources : 'm t -> Xenic_sim.Resource.t list
+
+(** {2 Gray-failure injection}
+
+    Per-node degradation knobs for scenario runs. Slot [node] is only
+    read by work running at that node, so mutations must run as engine
+    events at that node to stay partition-safe. *)
+
+(** [set_slowdown t ~node f] multiplies [node]'s NIC-unit service time
+    by [f >= 1]; [1.0] restores nominal speed. *)
+val set_slowdown : 'm t -> node:int -> float -> unit
+
+(** [degrade_unit t ~node ~dur_ns] stalls [node]'s (single-server) NIC
+    processing unit for [dur_ns] via the ordinary resource accounting.
+    Must be called from an event/process at that node. *)
+val degrade_unit : 'm t -> node:int -> dur_ns:float -> unit

@@ -6,6 +6,10 @@ type t = {
   cores : Resource.t;
   pkt_io_path : Resource.t;
   dma : Xenic_pcie.Dma.t;
+  mutable slowdown : float;
+      (* gray-failure multiplier on NIC-side service times (>= 1);
+         per-device and only read by events at this device's node, so
+         partition-safe when mutations run as events at that node *)
 }
 
 let create ?cores engine (hw : Xenic_params.Hw.t) =
@@ -16,7 +20,28 @@ let create ?cores engine (hw : Xenic_params.Hw.t) =
     cores = Resource.create engine ~name:"nic-cores" ~servers:n_cores;
     pkt_io_path = Resource.create engine ~name:"nic-pkt-io" ~servers:1;
     dma = Xenic_pcie.Dma.create engine hw;
+    slowdown = 1.0;
   }
+
+let set_slowdown t factor =
+  if Float.compare factor 1.0 < 0 then
+    invalid_arg "Smartnic.set_slowdown: factor must be >= 1";
+  t.slowdown <- factor
+
+let slowdown t = t.slowdown
+
+(* Take [n] SoC cores out of service for [dur_ns]: each holder occupies
+   one core like any unit of work, so queueing, utilization gauges and
+   the ingress-occupancy backpressure signal all see the degradation
+   through the ordinary resource accounting. At least one core is left
+   serving. *)
+let degrade_cores t ~n ~dur_ns =
+  if Float.compare dur_ns 0.0 <= 0 then
+    invalid_arg "Smartnic.degrade_cores: dur_ns must be > 0";
+  let n = min n (Resource.servers t.cores - 1) in
+  for _ = 1 to n do
+    Process.spawn t.engine (fun () -> Resource.use t.cores dur_ns)
+  done
 
 let engine t = t.engine
 
@@ -26,17 +51,18 @@ let cores t = t.cores
 
 let dma t = t.dma
 
-let pkt_io t = Resource.use t.pkt_io_path t.hw.nic_pkt_io_ns
+let pkt_io t = Resource.use t.pkt_io_path (t.hw.nic_pkt_io_ns *. t.slowdown)
 
 let op_cost ?(ops = 1) t ~bytes =
-  (float_of_int ops *. t.hw.nic_core_op_ns)
-  +. (float_of_int bytes *. t.hw.nic_core_byte_ns)
+  ((float_of_int ops *. t.hw.nic_core_op_ns)
+  +. (float_of_int bytes *. t.hw.nic_core_byte_ns))
+  *. t.slowdown
 
 let core_work ?ops t ~bytes = Resource.use t.cores (op_cost ?ops t ~bytes)
 
 let core_work_held ?ops t ~bytes = Process.sleep t.engine (op_cost ?ops t ~bytes)
 
-let mem_access t = Process.sleep t.engine t.hw.nic_mem_access_ns
+let mem_access t = Process.sleep t.engine (t.hw.nic_mem_access_ns *. t.slowdown)
 
 let host_msg t = Process.sleep t.engine t.hw.host_nic_msg_ns
 

@@ -54,3 +54,23 @@ val ingress_occupancy : t -> float
 (** Core pool, packet-I/O path and DMA resources of this NIC, for the
     profiler. Names are per-device; callers must node-prefix them. *)
 val resources : t -> Xenic_sim.Resource.t list
+
+(** {2 Gray-failure injection}
+
+    Per-device degradation knobs for scenario runs. Each device belongs
+    to one node, so the state is partition-local by construction;
+    mutations must run as engine events at that node. *)
+
+(** [set_slowdown t f] multiplies NIC-side service times (core ops,
+    packet I/O, NIC DRAM) by [f >= 1]; [1.0] restores nominal speed.
+    Raises [Invalid_argument] on [f < 1]. *)
+val set_slowdown : t -> float -> unit
+
+val slowdown : t -> float
+
+(** [degrade_cores t ~n ~dur_ns] takes [min n (cores-1)] SoC cores out
+    of service for [dur_ns] by occupying them through the ordinary
+    resource accounting (so utilization and ingress-occupancy gauges see
+    the degradation). Must be called from an event/process at this
+    device's node. Raises [Invalid_argument] on [dur_ns <= 0]. *)
+val degrade_cores : t -> n:int -> dur_ns:float -> unit

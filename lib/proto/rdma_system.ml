@@ -1763,5 +1763,37 @@ let crash_node t ~node =
         t.alive.(node) <- false
   end
 
+(* Flap rejoin is not modeled for the RDMA baselines: their lock words
+   live in host memory (they survive a NIC reset, unlike Xenic's NIC
+   SRAM), so a sound rejoin would need lock reconciliation in the
+   chained tables on top of state transfer. A recovery request is
+   therefore always refused — counted, never raised — and the node
+   stays out under the fail-stop discipline; the scenario validator
+   rejects flap scenarios on these stacks. *)
+let recover_node t ~node =
+  if t.crashed.(node) then begin
+    Xenic_stats.Counter.incr (counters t) "rejoin_refused";
+    trace_instant t ~cat:"recovery" ~name:"rejoin-refused" ~pid:node ~tid:0 []
+  end
+
+(* -- Gray-failure hooks (scenario injection) ------------------------ *)
+
+let net_enable_faults t ~seed ~rto_ns =
+  Xenic_net.Fabric.enable_faults t.fabric ~seed ~rto_ns
+
+let net_set_cut t ~src ~dst cut = Xenic_net.Fabric.set_cut t.fabric ~src ~dst cut
+
+let net_set_loss t ~src ~dst p = Xenic_net.Fabric.set_loss t.fabric ~src ~dst p
+
+let net_set_delay t ~src ~dst f = Xenic_net.Fabric.set_delay t.fabric ~src ~dst f
+
+let set_nic_slowdown t ~node f = Rdma.set_slowdown t.rdma ~node f
+
+let degrade_nic_cores t ~node ~n ~dur_ns =
+  (* The RDMA NIC model has one processing unit per node, not a core
+     pool: degrading [n >= 1] "cores" stalls that unit for the
+     duration. *)
+  if n > 0 then Rdma.degrade_unit t.rdma ~node ~dur_ns
+
 let stop_background t =
   match t.membership with Some m -> Membership.stop m | None -> ()

@@ -144,6 +144,31 @@ val crash_node : t -> node:int -> unit
 
 val node_alive : t -> node:int -> bool
 
+(** Flap rejoin is not modeled for the RDMA baselines (their lock words
+    live in host memory, so a sound rejoin would need lock
+    reconciliation on top of state transfer): a recovery request is
+    always refused — counted as [rejoin_refused], never raised — and
+    the node stays out. No-op on a node that never crashed. *)
+val recover_node : t -> node:int -> unit
+
+(** {2 Gray-failure hooks} — pass-throughs to {!Xenic_net.Fabric} and
+    {!Xenic_nicdev.Rdma} injection knobs; mutations must run as engine
+    events at the stated node. *)
+
+val net_enable_faults : t -> seed:int64 -> rto_ns:float -> unit
+
+val net_set_cut : t -> src:int -> dst:int -> bool -> unit
+
+val net_set_loss : t -> src:int -> dst:int -> float -> unit
+
+val net_set_delay : t -> src:int -> dst:int -> float -> unit
+
+val set_nic_slowdown : t -> node:int -> float -> unit
+
+(** Stalls the node's single NIC processing unit for the duration when
+    [n >= 1]. *)
+val degrade_nic_cores : t -> node:int -> n:int -> dur_ns:float -> unit
+
 val current_primary : t -> shard:int -> int
 
 (** Subscribe to a membership service: declared deaths bump the routing

@@ -21,7 +21,14 @@ type t = {
   nic_util : unit -> float;
   host_util : unit -> float;
   crash_node : node:int -> unit;
+  recover_node : node:int -> unit;
   node_alive : node:int -> bool;
+  net_enable_faults : seed:int64 -> rto_ns:float -> unit;
+  net_set_cut : src:int -> dst:int -> bool -> unit;
+  net_set_loss : src:int -> dst:int -> float -> unit;
+  net_set_delay : src:int -> dst:int -> float -> unit;
+  set_nic_slowdown : node:int -> float -> unit;
+  degrade_nic_cores : node:int -> n:int -> dur_ns:float -> unit;
   stop_background : unit -> unit;
   set_trace : Xenic_sim.Trace.t option -> unit;
   set_telemetry : Xenic_telemetry.Telemetry.t option -> unit;
@@ -55,7 +62,17 @@ let of_xenic x =
         +. Xenic_system.host_worker_utilization x)
         /. 2.0);
     crash_node = (fun ~node -> Xenic_system.crash_node x ~node);
+    recover_node = (fun ~node -> Xenic_system.recover_node x ~node);
     node_alive = (fun ~node -> Xenic_system.node_alive x ~node);
+    net_enable_faults =
+      (fun ~seed ~rto_ns -> Xenic_system.net_enable_faults x ~seed ~rto_ns);
+    net_set_cut = (fun ~src ~dst c -> Xenic_system.net_set_cut x ~src ~dst c);
+    net_set_loss = (fun ~src ~dst p -> Xenic_system.net_set_loss x ~src ~dst p);
+    net_set_delay =
+      (fun ~src ~dst f -> Xenic_system.net_set_delay x ~src ~dst f);
+    set_nic_slowdown = (fun ~node f -> Xenic_system.set_nic_slowdown x ~node f);
+    degrade_nic_cores =
+      (fun ~node ~n ~dur_ns -> Xenic_system.degrade_nic_cores x ~node ~n ~dur_ns);
     stop_background = (fun () -> Xenic_system.stop_background x);
     set_trace = (fun tr -> Xenic_system.set_trace x tr);
     set_telemetry = (fun tel -> Xenic_system.set_telemetry x tel);
@@ -85,7 +102,16 @@ let of_rdma r =
     nic_util = (fun () -> 0.0);
     host_util = (fun () -> Rdma_system.host_utilization r);
     crash_node = (fun ~node -> Rdma_system.crash_node r ~node);
+    recover_node = (fun ~node -> Rdma_system.recover_node r ~node);
     node_alive = (fun ~node -> Rdma_system.node_alive r ~node);
+    net_enable_faults =
+      (fun ~seed ~rto_ns -> Rdma_system.net_enable_faults r ~seed ~rto_ns);
+    net_set_cut = (fun ~src ~dst c -> Rdma_system.net_set_cut r ~src ~dst c);
+    net_set_loss = (fun ~src ~dst p -> Rdma_system.net_set_loss r ~src ~dst p);
+    net_set_delay = (fun ~src ~dst f -> Rdma_system.net_set_delay r ~src ~dst f);
+    set_nic_slowdown = (fun ~node f -> Rdma_system.set_nic_slowdown r ~node f);
+    degrade_nic_cores =
+      (fun ~node ~n ~dur_ns -> Rdma_system.degrade_nic_cores r ~node ~n ~dur_ns);
     stop_background = (fun () -> Rdma_system.stop_background r);
     set_trace = (fun tr -> Rdma_system.set_trace r tr);
     set_telemetry = (fun tel -> Rdma_system.set_telemetry r tel);

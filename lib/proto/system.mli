@@ -36,7 +36,26 @@ type t = {
   host_util : unit -> float;
   crash_node : node:int -> unit;
       (** Mid-run fault injection; see {!Xenic_system.crash_node}. *)
+  recover_node : node:int -> unit;
+      (** Recover a crashed node: epoch-fenced rejoin with replica
+          repair on Xenic (see {!Xenic_system.recover_node}); always
+          refused (counted) on the RDMA baselines. *)
   node_alive : node:int -> bool;
+  net_enable_faults : seed:int64 -> rto_ns:float -> unit;
+      (** Allocate per-link fault state; see
+          {!Xenic_net.Fabric.enable_faults}. *)
+  net_set_cut : src:int -> dst:int -> bool -> unit;
+  net_set_loss : src:int -> dst:int -> float -> unit;
+  net_set_delay : src:int -> dst:int -> float -> unit;
+      (** Link-level gray failures; mutations must run as engine events
+          at [src]; see {!Xenic_net.Fabric}. *)
+  set_nic_slowdown : node:int -> float -> unit;
+      (** Multiply [node]'s NIC service times by a factor >= 1; must run
+          as an engine event at [node]. *)
+  degrade_nic_cores : node:int -> n:int -> dur_ns:float -> unit;
+      (** Take [n] of [node]'s NIC cores (the single RDMA unit) out of
+          service for a duration; must run as an engine event at
+          [node]. *)
   stop_background : unit -> unit;
       (** Stop background services (membership loops) so the engine can
           drain. *)

@@ -2132,8 +2132,155 @@ let crash_node t ~node =
         t.alive.(node) <- false
   end
 
+(* Epoch-fenced rejoin of a node that crashed and returned within its
+   lease window (a "flap"). The node is still primary of its shards —
+   no declaration ever moved them — but during the outage it missed
+   COMMIT applications and backup LOG records (both are dropped at a
+   crashed node), and its NIC SRAM state (locks, hints, cache) died
+   with the crash. A blind un-crash would serve stale data and leaked
+   locks; sweeping the locks alone would break live owners. Instead:
+
+   - the epoch was bumped and the commit fence closed at the recover
+     instant, so every transaction that executed against the node's
+     pre-crash or mid-crash view aborts at its fence check;
+   - once in-flight commits resolve and the live replicas' logs drain,
+     each shard the node holds is copied back from a live holder
+     ([Storage.sync_shard]) — the decided writes it missed are all in
+     those replicas by the time the fence is quiet;
+   - its caching indexes are rebuilt lock-free over the repaired host
+     tables, exactly like a promotion's index rebuild;
+   - only then does the node start answering again. *)
+let rejoin t ~node =
+  let rec wait_fence () =
+    if t.inflight_commits > 0 then begin
+      Process.sleep t.engine 1_000.0;
+      wait_fence ()
+    end
+  in
+  wait_fence ();
+  trace_instant t ~cat:"recovery" ~name:"rejoin-start" ~pid:node ~tid:0
+    [ ("epoch", string_of_int t.epoch) ];
+  (* The node's coordinators died with their in-flight transactions;
+     the ones that crashed mid-LOG never run an abort round, so their
+     locks at live primaries survive ("swept at the declaration" — but
+     a flap never declares). Sweep them here, while [crashed.(node)] is
+     still set: the owner token identifies the dead coordinator, and a
+     late unlock from a straggler is owner-guarded. *)
+  sweep_dead_owner_locks t;
+  let n = t.nodes.(node) in
+  (* Repair every shard this node replicates from a live holder. The
+     fence is quiet, so draining the source's logs first makes its host
+     table a complete image of the decided history. *)
+  for shard = 0 to t.cfg.Config.nodes - 1 do
+    if Storage.holds n.storage ~shard then begin
+      match
+        List.find_opt
+          (fun r -> r <> node && t.alive.(r) && not t.crashed.(r))
+          (Config.replicas t.cfg ~shard)
+      with
+      | None -> ()  (* no live source (rf = 1): local image stands *)
+      | Some src ->
+          let src_node = t.nodes.(src) in
+          let rec drain log =
+            if
+              Xenic_store.Hostlog.used_b log > 0
+              || Xenic_store.Hostlog.appended log
+                 > Xenic_store.Hostlog.applied log
+            then begin
+              Process.sleep t.engine 1_000.0;
+              drain log
+            end
+          in
+          drain src_node.log;
+          drain src_node.commit_log;
+          Storage.sync_shard ~from:src_node.storage n.storage ~shard
+    end
+  done;
+  (* NIC SRAM died with the crash: rebuild each caching index over the
+     repaired host table, lock-free with fresh hints (promotion's
+     rebuild, applied to the returning node itself). *)
+  Array.iteri
+    (fun shard idx_opt ->
+      match idx_opt with
+      | None -> ()
+      | Some _ ->
+          let store = Storage.shard_store n.storage ~shard in
+          let idx =
+            Xenic_store.Nic_index.create ~host:store.Storage.hash
+              ~cache_capacity:
+                (if t.p.features.caching then t.p.cache_capacity else 0)
+              ()
+          in
+          Xenic_store.Nic_index.sync_hints idx;
+          if t.p.features.caching then Xenic_store.Nic_index.prewarm idx;
+          n.indexes.(shard) <- Some idx)
+    n.indexes;
+  (* Only un-crash if the node is still in the configuration: if the
+     lease slipped away mid-rejoin and the node was declared, the
+     declaration wins and the node stays out (fail-stop discipline). *)
+  if t.alive.(node) then begin
+    (* The span from the fence wait to here holds [crashed.(node)] true
+       deliberately: nothing else can clear it (crash_node only sets
+       it, and a declaration would have cleared [alive] instead), so
+       the read-modify-write is single-writer despite the suspensions. *)
+    (* xenic-lint: atomic rejoin-uncrash *)
+    t.crashed.(node) <- false;
+    Xenic_stats.Counter.incr (counters t) "node_rejoins"
+  end;
+  t.recovery_waiting <- t.recovery_waiting - 1;
+  trace_instant t ~cat:"recovery" ~name:"rejoin-done" ~pid:node ~tid:0
+    [ ("epoch", string_of_int t.epoch) ]
+
+(* Recovery of a crashed node. Two regimes:
+   - flap (still within its lease, never declared): epoch-fenced rejoin
+     with replica repair, see [rejoin];
+   - already declared dead: refused — the epoch moved past the node and
+     re-admitting it under its old identity would hand out stale-epoch
+     promotions. The refusal is counted, not raised, so scenario runs
+     that race a recovery against a declaration stay well-defined. *)
+let recover_node t ~node =
+  if not t.crashed.(node) then ()
+  else begin
+    let membership_ok =
+      match t.membership with
+      | Some m -> Membership.recover_node m ~node
+      | None -> false  (* no membership: a crash is an immediate removal *)
+    in
+    if (not membership_ok) || not t.alive.(node) then begin
+      Xenic_stats.Counter.incr (counters t) "rejoin_refused";
+      trace_instant t ~cat:"recovery" ~name:"rejoin-refused" ~pid:node ~tid:0
+        []
+    end
+    else begin
+      (* Freeze commits and invalidate every in-flight transaction's
+         view synchronously, before any event of the rejoin runs — the
+         same atomic step a declaration performs. *)
+      t.epoch <- t.epoch + 1;
+      t.recovery_waiting <- t.recovery_waiting + 1;
+      trace_instant t ~cat:"recovery" ~name:"recover" ~pid:node ~tid:0
+        [ ("epoch", string_of_int t.epoch) ];
+      Process.spawn t.engine (fun () -> rejoin t ~node)
+    end
+  end
+
 let stop_background t =
   match t.membership with Some m -> Membership.stop m | None -> ()
+
+(* -- Gray-failure hooks (scenario injection) ------------------------ *)
+
+let net_enable_faults t ~seed ~rto_ns =
+  Xenic_net.Fabric.enable_faults t.fabric ~seed ~rto_ns
+
+let net_set_cut t ~src ~dst cut = Xenic_net.Fabric.set_cut t.fabric ~src ~dst cut
+
+let net_set_loss t ~src ~dst p = Xenic_net.Fabric.set_loss t.fabric ~src ~dst p
+
+let net_set_delay t ~src ~dst f = Xenic_net.Fabric.set_delay t.fabric ~src ~dst f
+
+let set_nic_slowdown t ~node f = Smartnic.set_slowdown t.nodes.(node).nic f
+
+let degrade_nic_cores t ~node ~n ~dur_ns =
+  Smartnic.degrade_cores t.nodes.(node).nic ~n ~dur_ns
 
 let current_primary t ~shard = t.primaries.(shard)
 

@@ -163,6 +163,40 @@ val crash_node : t -> node:int -> unit
 (** A node is alive if it has not been declared dead or crashed. *)
 val node_alive : t -> node:int -> bool
 
+(** Recover a crashed node. If it returned within its lease window
+    (never declared dead), this starts an epoch-fenced rejoin: the
+    commit fence closes and the epoch bumps synchronously — aborting
+    every transaction that saw the pre-recovery view — then, once
+    in-flight commits resolve and live replicas' logs drain, each shard
+    the node holds is repaired by state transfer from a live replica
+    ({!Xenic_cluster.Storage.sync_shard}), its caching indexes are
+    rebuilt lock-free, and only then does it answer again. If the node
+    was already declared dead the recovery is refused (counted as
+    [rejoin_refused]) and the node stays out — readmitting it would
+    hand out stale-epoch promotions. No-op on a node that never
+    crashed. Requires an attached, started membership for the rejoin
+    path. *)
+val recover_node : t -> node:int -> unit
+
+(** {2 Gray-failure hooks}
+
+    Pass-throughs to the fabric's and per-node NICs' injection knobs;
+    see {!Xenic_net.Fabric} and {!Xenic_nicdev.Smartnic}. Mutations
+    must run as engine events at the stated node ([~src] for link
+    state) to stay legal under a partitioned engine. *)
+
+val net_enable_faults : t -> seed:int64 -> rto_ns:float -> unit
+
+val net_set_cut : t -> src:int -> dst:int -> bool -> unit
+
+val net_set_loss : t -> src:int -> dst:int -> float -> unit
+
+val net_set_delay : t -> src:int -> dst:int -> float -> unit
+
+val set_nic_slowdown : t -> node:int -> float -> unit
+
+val degrade_nic_cores : t -> node:int -> n:int -> dur_ns:float -> unit
+
 (** Subscribe this system to a membership service: declared deaths bump
     the routing epoch and drive recovery (lock sweep + promotion)
     automatically. The membership must cover the same node ids. *)

@@ -1,0 +1,280 @@
+open Xenic_sim
+
+type bounds = {
+  nodes : int;
+  max_events : int;
+  horizon_ns : float;
+  allow_crash : bool;
+  allow_cut : bool;
+  allow_phases : bool;
+}
+
+let default_bounds =
+  {
+    nodes = 4;
+    max_events = 6;
+    horizon_ns = 150_000.0;
+    allow_crash = true;
+    allow_cut = true;
+    allow_phases = true;
+  }
+
+(* All generated quantities are quantized so shrinking has a finite
+   lattice to walk: times to 1000 ns, factors to 0.25, probabilities
+   to 0.01. *)
+let quantum_ns = 1_000.0
+
+let q_time rng ~lo ~hi =
+  let lo_k = int_of_float (lo /. quantum_ns) in
+  let hi_k = max lo_k (int_of_float (hi /. quantum_ns)) in
+  float_of_int (Rng.range rng lo_k hi_k) *. quantum_ns
+
+let q_factor rng ~lo ~hi =
+  let lo_k = int_of_float (lo *. 4.0) in
+  let hi_k = max lo_k (int_of_float (hi *. 4.0)) in
+  float_of_int (Rng.range rng lo_k hi_k) /. 4.0
+
+let q_prob rng ~hi =
+  float_of_int (Rng.range rng 1 (max 1 (int_of_float (hi *. 100.0)))) /. 100.0
+
+let gen_armed rng b =
+  (* Crash/recover pairs, non-overlapping in time so at most one node
+     is ever down — safe at any replication >= 2. Optionally one
+     bounded gray loss/delay backdrop (the validator's armed limits:
+     rto 1000 keeps retransmit cost at 4000 <= 5000; delay <= 2). *)
+  let events = ref [] in
+  if Rng.bool rng then
+    events :=
+      {
+        Scenario.at_ns = 0.0;
+        action = Scenario.Loss { src = -1; dst = -1; p = q_prob rng ~hi:0.1 };
+      }
+      :: !events;
+  if Rng.bool rng then
+    events :=
+      {
+        Scenario.at_ns = 0.0;
+        action =
+          Scenario.Delay
+            { src = -1; dst = -1; factor = q_factor rng ~lo:1.25 ~hi:2.0 };
+      }
+      :: !events;
+  let cursor = ref (q_time rng ~lo:10_000.0 ~hi:30_000.0) in
+  let pairs = Rng.range rng 1 2 in
+  for _ = 1 to pairs do
+    if Float.compare (!cursor +. 20_000.0) b.horizon_ns <= 0 then begin
+      let node = Rng.int rng b.nodes in
+      let down = q_time rng ~lo:10_000.0 ~hi:25_000.0 in
+      events :=
+        { Scenario.at_ns = !cursor; action = Scenario.Crash node }
+        :: {
+             Scenario.at_ns = !cursor +. down;
+             action = Scenario.Recover node;
+           }
+        :: !events;
+      cursor := !cursor +. down +. q_time rng ~lo:10_000.0 ~hi:25_000.0
+    end
+  done;
+  !events
+
+let gen_gray rng b ~allow_cut =
+  let events = ref [] in
+  let n_events = Rng.range rng 1 (max 1 b.max_events) in
+  for _ = 1 to n_events do
+    let at_ns = q_time rng ~lo:0.0 ~hi:(b.horizon_ns /. 2.0) in
+    let action =
+      match Rng.int rng 4 with
+      | 0 ->
+          Scenario.Loss
+            {
+              src = (if Rng.bool rng then -1 else Rng.int rng b.nodes);
+              dst = -1;
+              p = q_prob rng ~hi:0.2;
+            }
+      | 1 ->
+          Scenario.Delay
+            {
+              src = (if Rng.bool rng then -1 else Rng.int rng b.nodes);
+              dst = -1;
+              factor = q_factor rng ~lo:1.25 ~hi:6.0;
+            }
+      | 2 ->
+          Scenario.Slow_nic
+            { node = Rng.int rng b.nodes; factor = q_factor rng ~lo:1.5 ~hi:6.0 }
+      | _ ->
+          Scenario.Degrade_cores
+            {
+              node = Rng.int rng b.nodes;
+              n = 1 + Rng.int rng 2;
+              dur_ns = q_time rng ~lo:10_000.0 ~hi:60_000.0;
+            }
+    in
+    events := { Scenario.at_ns; action } :: !events
+  done;
+  if allow_cut && b.nodes >= 2 && Rng.bool rng then begin
+    let a = Rng.int rng b.nodes in
+    let c = (a + 1 + Rng.int rng (b.nodes - 1)) mod b.nodes in
+    let t_cut = q_time rng ~lo:10_000.0 ~hi:(b.horizon_ns /. 2.0) in
+    let t_heal =
+      t_cut +. q_time rng ~lo:5_000.0 ~hi:20_000.0
+    in
+    events :=
+      {
+        Scenario.at_ns = t_cut;
+        action = Scenario.Cut { froms = [ a ]; tos = [ c ] };
+      }
+      :: { Scenario.at_ns = t_heal; action = Scenario.Heal }
+      :: !events
+  end;
+  !events
+
+let gen_phases rng b =
+  let n = Rng.range rng 1 3 in
+  List.init n (fun _ ->
+      {
+        Scenario.dur_ns = q_time rng ~lo:40_000.0 ~hi:(b.horizon_ns /. 2.0);
+        rate_tps = float_of_int (Rng.range rng 100 400) *. 1_000.0;
+        theta = float_of_int (Rng.range rng 0 19) /. 20.0;
+        hot_frac = float_of_int (Rng.range rng 0 6) /. 20.0;
+      })
+
+let generate ~seed b =
+  let rng = Rng.create ~seed in
+  let name = Printf.sprintf "fuzz-%Lx" seed in
+  let open_loop = b.allow_phases && Rng.int rng 3 = 0 in
+  let scn =
+    if open_loop then
+      (* Open loop excludes crash/recover; keep cuts out too so the
+         arrival deadlines never race an unbounded stall. *)
+      Scenario.make ~name ~nodes:b.nodes ~phases:(gen_phases rng b)
+        (gen_gray rng b ~allow_cut:false)
+    else if b.allow_crash && Rng.bool rng then
+      Scenario.make ~name ~nodes:b.nodes (gen_armed rng b)
+    else
+      Scenario.make ~name ~nodes:b.nodes
+        (gen_gray rng b ~allow_cut:b.allow_cut)
+  in
+  Scenario.validate_exn scn;
+  scn
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+(* Lexicographic measure: event count first, then a quantized sum of
+   times, probabilities, factor excess and phase count. Every accepted
+   shrink step strictly decreases it, and each component lives on a
+   finite quantized lattice, so minimize terminates. *)
+let measure (t : Scenario.t) =
+  let weight e =
+    (e.Scenario.at_ns /. quantum_ns)
+    +.
+    match e.Scenario.action with
+    | Scenario.Loss { p; _ } -> p *. 100.0
+    | Scenario.Delay { factor; _ } -> (factor -. 1.0) *. 4.0
+    | Scenario.Slow_nic { factor; _ } -> (factor -. 1.0) *. 4.0
+    | Scenario.Degrade_cores { n; dur_ns; _ } ->
+        float_of_int n +. (dur_ns /. quantum_ns)
+    | _ -> 0.0
+  in
+  ( List.length t.Scenario.events,
+    List.fold_left (fun acc e -> acc +. weight e) 0.0 t.Scenario.events
+    +. (float_of_int (List.length t.Scenario.phases) *. 1000.0) )
+
+let measure_lt (a1, a2) (b1, b2) =
+  a1 < b1 || (a1 = b1 && Float.compare a2 b2 < 0)
+
+let halve_time at_ns =
+  float_of_int (int_of_float (at_ns /. quantum_ns) / 2) *. quantum_ns
+
+let shrink_action = function
+  | Scenario.Loss ({ p; _ } as l) when Float.compare p 0.02 > 0 ->
+      Some (Scenario.Loss { l with p = float_of_int (int_of_float (p *. 100.0) / 2) /. 100.0 })
+  | Scenario.Delay ({ factor; _ } as d) when Float.compare factor 1.25 > 0 ->
+      Some
+        (Scenario.Delay
+           { d with factor = 1.0 +. (float_of_int (int_of_float ((factor -. 1.0) *. 4.0) / 2) /. 4.0) })
+  | Scenario.Slow_nic ({ factor; _ } as s) when Float.compare factor 1.25 > 0
+    ->
+      Some
+        (Scenario.Slow_nic
+           { s with factor = 1.0 +. (float_of_int (int_of_float ((factor -. 1.0) *. 4.0) / 2) /. 4.0) })
+  | Scenario.Degrade_cores ({ n; dur_ns; _ } as d) ->
+      if n > 1 then Some (Scenario.Degrade_cores { d with n = n / 2 })
+      else if Float.compare dur_ns (2.0 *. quantum_ns) > 0 then
+        Some (Scenario.Degrade_cores { d with dur_ns = halve_time dur_ns })
+      else None
+  | _ -> None
+
+let candidates (t : Scenario.t) =
+  let evs = Array.of_list t.Scenario.events in
+  let n = Array.length evs in
+  let with_events events = { t with Scenario.events } in
+  let drop i =
+    with_events
+      (Array.to_list evs |> List.filteri (fun j _ -> j <> i))
+  in
+  let replace i e =
+    with_events (Array.to_list (Array.mapi (fun j x -> if j = i then e else x) evs))
+  in
+  let drops = List.init n drop in
+  let time_halves =
+    List.init n (fun i ->
+        let e = evs.(i) in
+        if Float.compare e.Scenario.at_ns quantum_ns >= 0 then
+          Some (replace i { e with Scenario.at_ns = halve_time e.Scenario.at_ns })
+        else None)
+    |> List.filter_map Fun.id
+  in
+  let action_shrinks =
+    List.init n (fun i ->
+        let e = evs.(i) in
+        Option.map
+          (fun a -> replace i { e with Scenario.action = a })
+          (shrink_action e.Scenario.action))
+    |> List.filter_map Fun.id
+  in
+  let phase_drops =
+    List.init
+      (List.length t.Scenario.phases)
+      (fun i ->
+        {
+          t with
+          Scenario.phases =
+            List.filteri (fun j _ -> j <> i) t.Scenario.phases;
+        })
+  in
+  drops @ action_shrinks @ time_halves @ phase_drops
+
+let minimize ~fails scn =
+  if not (fails scn) then
+    invalid_arg "Fuzz.minimize: the input scenario does not fail";
+  let best = ref scn in
+  let best_m = ref (measure scn) in
+  let budget = ref 10_000 in
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    let cands = candidates !best in
+    List.iter
+      (fun c ->
+        if (not !progress) && !budget > 0 then begin
+          decr budget;
+          let m = measure c in
+          if
+            measure_lt m !best_m
+            && Result.is_ok (Scenario.validate c)
+            && fails c
+          then begin
+            best := c;
+            best_m := m;
+            progress := true
+          end
+        end)
+      cands
+  done;
+  !best
+
+let write_reproducer ~dir scn =
+  let path = Filename.concat dir (scn.Scenario.name ^ ".repro.scn") in
+  Scenario.save_file path scn;
+  path

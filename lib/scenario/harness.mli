@@ -1,0 +1,49 @@
+(** Run a scenario end to end on any stack, under the full safety net.
+
+    The harness owns the boilerplate the corpus tests and the fuzzer
+    share: build a system (strict engine — the sanitizer is always
+    on), load a workload, attach a serializability oracle, inject the
+    scenario, drive it, and check the oracle before reporting. A
+    closed-loop scenario ([phases = []]) runs Smallbank under
+    [Driver.run]; crash scenarios arm per-request timeouts and a
+    lease-based membership exactly like the fault tests. An open-loop
+    scenario runs Retwis through [Openloop.run] on a partitioned
+    system ([partitions = 2]), so [XENIC_DOMAINS] exercises the
+    windowed parallel engine. *)
+
+type stack = Xenic | Drtmh | Drtmh_nc | Fasst | Drtmr | Farm
+
+val all_stacks : stack list
+
+val stack_name : stack -> string
+
+val stack_of_string : string -> stack option
+
+type outcome = {
+  committed : int;
+  aborted : int;
+  oracle_txns : int;
+  digest : string;
+      (** Lossless ([%h] floats, every counter): equal digests mean
+          bit-identical runs. *)
+  counters : (string * float) list;
+}
+
+val counter : outcome -> string -> float
+
+(** [run ~stack ~seed scn] validates, injects and drives [scn],
+    raising [Failure] on a serializability violation. [domains] is the
+    engine's domain budget (default: [XENIC_DOMAINS], or 1);
+    closed-loop digests are domain-count-invariant (exact-order
+    engine), open-loop ones likewise (windowed engine, 2 partitions).
+    [concurrency]/[target] shape the closed-loop run only. Requires
+    [max_concurrent_crashes < replication] (= 3, or [nodes] if
+    smaller). *)
+val run :
+  ?domains:int ->
+  ?concurrency:int ->
+  ?target:int ->
+  stack:stack ->
+  seed:int64 ->
+  Scenario.t ->
+  outcome

@@ -28,6 +28,34 @@ if ! timeout 2400 dune exec bench/main.exe -- parity \
   exit 1
 fi
 failed=""
+# Scenario-corpus gate, ahead of the other experiments: replay the
+# checked-in fault/load scenario files (crash, flap, churn, partition,
+# gray failure, open-loop skew/wave) through the oracle-checked
+# harness. The experiment itself aborts on any same-seed rerun
+# divergence, and in full mode the emitted BENCH_scenario.json must
+# byte-match the reference — if the scenario semantics drifted, every
+# fault number below would be suspect.
+timeout 2400 dune exec bench/main.exe -- scenario \
+  >> /root/repo/bench_output.txt 2>&1
+status=$?
+if [ "$status" -ne 0 ]; then
+  failed="$failed scenario"
+  echo "FAILED: experiment scenario exited with status $status" \
+    >> /root/repo/bench_output.txt
+  echo "run_bench.sh: experiment scenario failed (exit $status)" >&2
+fi
+if [ -z "$XENIC_QUICK" ] && [ -f /root/repo/bench/ref/BENCH_scenario.ref.json ]; then
+  dune exec bin/xenicctl.exe -- bench diff \
+    /root/repo/bench/ref/BENCH_scenario.ref.json /root/repo/BENCH_scenario.json \
+    --tol 0 >> /root/repo/bench_output.txt 2>&1
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    failed="$failed scenario-diff-gate"
+    echo "FAILED: BENCH_scenario.json diverged from bench/ref reference" \
+      >> /root/repo/bench_output.txt
+    echo "run_bench.sh: scenario diff gate failed (exit $status)" >&2
+  fi
+fi
 for exp in fig2 fig3 fig4 tab1 tab2 fig8 tab3 fig9 fault micro trace profile sim scale load; do
   timeout 2400 dune exec bench/main.exe -- "$exp" >> /root/repo/bench_output.txt 2>&1
   status=$?
